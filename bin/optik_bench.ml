@@ -1,0 +1,215 @@
+(* Command-line front-end for the experiment engine: pick experiments,
+   sweep density, or run a single ad-hoc workload against one data
+   structure on either backend.
+
+   Examples:
+     optik_bench figures --ids fig5,fig12
+     optik_bench figures --full
+     optik_bench run --structure optik --family list --threads 12 \
+                     --size 1024 --updates 40 --skewed
+     optik_bench list *)
+
+open Cmdliner
+
+let out = print_endline
+
+(* ---------------- figures ---------------- *)
+
+let figures_cmd =
+  let ids =
+    let doc =
+      "Comma-separated experiment ids (default: all). Known ids: "
+      ^ String.concat ", " Figures.Experiments.all_ids
+    in
+    Arg.(value & opt (some string) None & info [ "ids" ] ~docv:"IDS" ~doc)
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Dense thread sweeps (slower).")
+  in
+  let run ids full =
+    let mode =
+      if full then Figures.Experiments.full else Figures.Experiments.quick
+    in
+    let ids =
+      match ids with
+      | None -> Figures.Experiments.all_ids
+      | Some s -> String.split_on_char ',' s |> List.map String.trim
+    in
+    (match
+       List.find_opt
+         (fun id -> not (List.mem id Figures.Experiments.all_ids))
+         ids
+     with
+    | Some bad ->
+        Printf.eprintf "unknown experiment id %S; known ids: %s\n" bad
+          (String.concat ", " Figures.Experiments.all_ids);
+        exit 2
+    | None -> ());
+    let claims = ref [] in
+    List.iter
+      (fun id ->
+        let figs, cs = Figures.Experiments.run_id mode id in
+        List.iter (Figures.Render.figure out) figs;
+        claims := !claims @ cs)
+      ids;
+    Figures.Render.claims out !claims
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's figures (simulator).")
+    Term.(const run $ ids $ full)
+
+(* ---------------- single ad-hoc run ---------------- *)
+
+let family_structures = function
+  | "map" -> Harness.Registry.Sim_backend.maps
+  | "list" -> Harness.Registry.Sim_backend.lists
+  | "hashtable" -> Harness.Registry.Sim_backend.hashtables
+  | "skiplist" -> Harness.Registry.Sim_backend.skiplists
+  | "bst" -> Harness.Registry.Sim_backend.bsts
+  | f -> invalid_arg ("unknown family: " ^ f)
+
+let run_cmd =
+  let family =
+    Arg.(
+      value
+      & opt string "list"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"map | list | hashtable | skiplist | bst")
+  in
+  let structure =
+    Arg.(
+      value
+      & opt string "optik"
+      & info [ "structure" ] ~docv:"NAME"
+          ~doc:"Structure name within the family (as in the figures).")
+  in
+  let threads =
+    Arg.(value & opt int 10 & info [ "threads" ] ~docv:"N" ~doc:"Thread count.")
+  in
+  let size =
+    Arg.(value & opt int 1024 & info [ "size" ] ~docv:"N" ~doc:"Initial size.")
+  in
+  let updates =
+    Arg.(
+      value & opt int 40
+      & info [ "updates" ] ~docv:"PCT"
+          ~doc:"Attempted update percentage (split insert/delete).")
+  in
+  let skewed =
+    Arg.(value & flag & info [ "skewed" ] ~doc:"Zipfian keys (a = 0.9).")
+  in
+  let machine =
+    Arg.(
+      value & opt string "xeon"
+      & info [ "machine" ] ~docv:"M" ~doc:"xeon | opteron")
+  in
+  let ops =
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.")
+  in
+  let run family structure threads size updates skewed machine ops =
+    let topology =
+      match machine with
+      | "xeon" -> Sim.Topology.xeon
+      | "opteron" -> Sim.Topology.opteron
+      | m ->
+          Printf.eprintf "unknown machine %S (use xeon or opteron)\n" m;
+          exit 2
+    in
+    let structures =
+      try family_structures family
+      with Invalid_argument msg ->
+        Printf.eprintf "%s (use map, list, hashtable, skiplist or bst)\n" msg;
+        exit 2
+    in
+    let (module S : Harness.Registry.SET_OPS) =
+      try Harness.Registry.Sim_backend.find_named structures structure
+      with Not_found ->
+        Printf.eprintf "unknown structure %S in family %S; known: %s\n"
+          structure family
+          (String.concat ", "
+             (List.map
+                (fun (module S : Harness.Registry.SET_OPS) -> S.name)
+                structures));
+        exit 2
+    in
+    let w =
+      let base =
+        if skewed then
+          Harness.Runner.skewed_workload ~init_size:size ~update_pct:updates ()
+        else
+          Harness.Runner.uniform_workload ~init_size:size ~update_pct:updates
+            ()
+      in
+      match family with
+      | "map" | "hashtable" -> { base with Harness.Runner.capacity = Some size }
+      | _ -> base
+    in
+    let m =
+      Harness.Runner.run_set_sim ~topology ~nthreads:threads ~ops (module S) w
+    in
+    Printf.printf
+      "%s/%s on %s, %d threads, size %d, %d%% attempted updates%s\n" family
+      structure machine threads size updates
+      (if skewed then " (zipf 0.9)" else "");
+    Printf.printf "  throughput      %.2f Mops/s\n" m.Harness.Runner.mops;
+    Printf.printf "  effective upd   %.1f%%\n" m.Harness.Runner.eff_update_pct;
+    Printf.printf "  CAS total/failed %d/%d\n" m.Harness.Runner.cas
+      m.Harness.Runner.cas_failed;
+    Printf.printf "  final size      %d (valid: %b)\n"
+      m.Harness.Runner.final_size m.Harness.Runner.valid;
+    Array.iteri
+      (fun i cls ->
+        let l = m.Harness.Runner.lat.(i) in
+        if l.Harness.Pstats.n > 0 then
+          Printf.printf "  %-9s p50=%-8d p95=%d cycles\n" cls
+            l.Harness.Pstats.p50 l.Harness.Pstats.p95)
+      Harness.Runner.class_names;
+    List.iter
+      (fun (k, v) -> Printf.printf "  counter %-28s %d\n" k v)
+      m.Harness.Runner.counters
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload against one structure.")
+    Term.(
+      const run $ family $ structure $ threads $ size $ updates $ skewed
+      $ machine $ ops)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    let p label l =
+      Printf.printf "%-11s %s\n" label
+        (String.concat ", "
+           (List.map
+              (fun (module S : Harness.Registry.SET_OPS) -> S.name)
+              l))
+    in
+    p "maps:" Harness.Registry.Sim_backend.maps;
+    p "lists:" Harness.Registry.Sim_backend.lists;
+    p "hashtables:" Harness.Registry.Sim_backend.hashtables;
+    p "skiplists:" Harness.Registry.Sim_backend.skiplists;
+    p "bsts:" Harness.Registry.Sim_backend.bsts;
+    Printf.printf "%-11s %s\n" "queues:"
+      (String.concat ", "
+         (List.map
+            (fun (module Q : Harness.Registry.QUEUE_OPS) -> Q.name)
+            Harness.Registry.Sim_backend.queues));
+    Printf.printf "%-11s %s\n" "stacks:"
+      (String.concat ", "
+         (List.map
+            (fun (module S : Harness.Registry.STACK_OPS) -> S.name)
+            Harness.Registry.Sim_backend.stacks));
+    Printf.printf "experiments: %s\n"
+      (String.concat ", " Figures.Experiments.all_ids)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available structures and experiments.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "optik_bench" ~version:"1.0"
+      ~doc:"OPTIK (PPoPP'16) reproduction: benchmarks and ad-hoc runs"
+  in
+  exit (Cmd.eval (Cmd.group info [ figures_cmd; run_cmd; list_cmd ]))

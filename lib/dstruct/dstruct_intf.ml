@@ -1,0 +1,83 @@
+(** Common interfaces for the concurrent data structures.
+
+    All search structures (array maps, linked lists, hash tables, skip
+    lists) expose the paper's three-operation interface (§2): [search],
+    [insert] (no-op if the key is present), [delete]. Keys are [int]s;
+    implementations based on sentinel nodes require
+    [min_int < key < max_int], and the array maps additionally require
+    [key <> 0] (0 marks a free slot, as in the paper's C code).
+
+    [size] and [validate] are quiescent helpers for tests: they assume no
+    concurrent operations. *)
+
+module type SET = sig
+  type 'v t
+
+  val name : string
+
+  val create : ?capacity:int -> unit -> 'v t
+  (** [capacity] sizes array maps (number of slots) and hash tables
+      (number of buckets); list and skip-list implementations ignore it. *)
+
+  val search : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val delete : 'v t -> int -> 'v option
+  val size : 'v t -> int
+  val validate : 'v t -> bool
+end
+
+(** FIFO queues (§5.4). *)
+module type QUEUE = sig
+  type 'v t
+
+  val name : string
+  val create : unit -> 'v t
+  val enqueue : 'v t -> 'v -> unit
+  val dequeue : 'v t -> 'v option
+  val size : 'v t -> int
+end
+
+(** LIFO stacks (§5.5). *)
+module type STACK = sig
+  type 'v t
+
+  val name : string
+  val create : unit -> 'v t
+  val push : 'v t -> 'v -> unit
+  val pop : 'v t -> 'v option
+  val size : 'v t -> int
+end
+
+(** Monomorphic (int-valued) views used by the generic test and benchmark
+    drivers, where first-class modules need concrete types. *)
+module type SET_OPS = sig
+  type t
+
+  val name : string
+  val create : ?capacity:int -> unit -> t
+  val search : t -> int -> int option
+  val insert : t -> int -> int -> bool
+  val delete : t -> int -> int option
+  val size : t -> int
+  val validate : t -> bool
+end
+
+module type QUEUE_OPS = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val enqueue : t -> int -> unit
+  val dequeue : t -> int option
+  val size : t -> int
+end
+
+module type STACK_OPS = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val size : t -> int
+end

@@ -1,0 +1,4 @@
+(* Re-export of {!Rt.Group}: unique cache-line packing group ids. *)
+
+let fresh = Rt.Group.fresh
+let stride = Rt.Group.stride

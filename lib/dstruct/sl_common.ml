@@ -1,0 +1,34 @@
+(* Shared skip-list machinery: level geometry and the deterministic
+   per-thread level generator. Levels follow the usual p = 1/2 geometric
+   distribution, capped at [max_level] (supports the paper's largest
+   experiment, 65536 elements, comfortably). The generator is a per-thread
+   xorshift so that simulator runs are deterministic. *)
+
+let max_level = 20
+
+let states = Array.init 128 (fun i -> ref ((0x9E3779B9 * (i + 1)) lxor 0x2545F491))
+
+let reset_states () =
+  Array.iteri
+    (fun i st -> st := (0x9E3779B9 * (i + 1)) lxor 0x2545F491)
+    states
+
+let xorshift st =
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  st := x;
+  x
+
+(* Toplevel index in [0, max_level - 1]: count leading 1-bits of a random
+   word (geometric, p = 1/2). *)
+let random_toplevel tid =
+  let x = xorshift states.(tid land 127) in
+  let rec count lvl x =
+    if lvl >= max_level - 1 then max_level - 1
+    else if x land 1 = 1 then count (lvl + 1) (x lsr 1)
+    else lvl
+  in
+  count 0 x

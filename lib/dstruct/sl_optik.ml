@@ -1,0 +1,346 @@
+(** The paper's new OPTIK-based skip list (§5.3) — "optik1" and "optik2"
+    in Figure 11.
+
+    Traversal keeps the OPTIK version of every per-level predecessor
+    (hand-over-hand version tracking, as in the OPTIK linked list).
+    Updates then lock each predecessor with [trylock_version]: a success
+    validates predecessor {e and} its next pointer in one CAS.
+
+    - {e Insertion is incremental/eager}: the new node is physically
+      linked level by level, each level under its own short-lived
+      predecessor lock. If a level's trylock fails, the operation
+      re-traverses and continues from the level that failed — levels
+      already linked are never re-acquired. A [fully_linked] flag keeps
+      partially inserted nodes from being deleted.
+    - {e Deletion} locks the victim itself (keeping it locked for the
+      whole unlink, so eager inserts cannot link behind it), sets its
+      [deleted] flag, then acquires all predecessor locks bottom-up and
+      unlinks top-down.
+
+    The two variants differ in how deletion handles a predecessor
+    trylock failure ([create ~variant:`Restart ()] = "optik2",
+    [`Validate] = "optik1"): [`Restart] releases everything and
+    re-traverses immediately; [`Validate] falls back to a blocking
+    [lock_version] plus Herlihy-style fine-grained validation, restarting
+    only if that fails too. *)
+
+module type RT = Rt.Rt_intf.RT
+
+module Backoff = Rt.Backoff
+
+module Make (Rt : RT) = struct
+  module B = Backoff.Make (Rt)
+  module OL = Optik.Versioned (Rt)
+  module Q = Mem.Qsbr.Make (Rt)
+
+  let max_level = Sl_common.max_level
+
+  type 'v node = {
+    key : int;
+    value : 'v;
+    lock : OL.t;
+    nexts : 'v node option Rt.atomic array;
+    deleted : bool Rt.atomic;
+    fully_linked : bool Rt.atomic;
+    toplevel : int;
+  }
+
+  type variant = [ `Restart | `Validate ]
+
+  type 'v t = { head : 'v node; variant : variant; qsbr : 'v node Q.t }
+
+  let name = "sl-optik"
+
+  let restarts = Rt.Counter.make "sl-optik.restarts"
+
+  (* A node's fields share one cache line, as in the C layout. *)
+  let mk_node key value toplevel =
+    let anchor = Rt.atomic None in
+    let nexts =
+      Array.init (toplevel + 1) (fun i ->
+          if i = 0 then anchor else Rt.atomic_with anchor None)
+    in
+    {
+      key;
+      value;
+      lock = Rt.atomic_with anchor 0;
+      nexts;
+      deleted = Rt.atomic_with anchor false;
+      fully_linked = Rt.atomic_with anchor false;
+      toplevel;
+    }
+
+  let create ?(variant : variant = `Restart) () =
+    let tail = mk_node max_int (Obj.magic 0) (max_level - 1) in
+    let head = mk_node min_int (Obj.magic 0) (max_level - 1) in
+    for l = 0 to max_level - 1 do
+      Rt.set head.nexts.(l) (Some tail)
+    done;
+    Rt.set head.fully_linked true;
+    Rt.set tail.fully_linked true;
+    { head; variant; qsbr = Q.create () }
+
+  let check_key k =
+    if k = min_int || k = max_int then invalid_arg "sl: key out of range"
+
+  let next_at node l =
+    match Rt.get node.nexts.(l) with
+    | Some n -> n
+    | None -> invalid_arg "sl: missing level link"
+
+  (* Deleted victims keep their OPTIK lock forever (as in the OPTIK
+     linked list, §4.2): a stale traversal that settles on an unlinked
+     node then sees a locked version and can never validate against it.
+     Consequently a {e blocking} acquire must watch the [deleted] flag or
+     it would spin on a dead node for good. Returns the acquired (free)
+     version, or [None] if the node is (or becomes) deleted. *)
+  let lock_unless_deleted node =
+    let s = B.spin () in
+    let rec loop () =
+      if Rt.get node.deleted then None
+      else
+        let v = OL.get_version node.lock in
+        if OL.is_locked v then (
+          B.spin_once s;
+          loop ())
+        else if OL.trylock_version node.lock v then Some v
+        else (
+          B.spin_once s;
+          loop ())
+    in
+    loop ()
+
+  (* Hand-over-hand version-tracking traversal: at each level record the
+     predecessor, its version (read before following the level link) and
+     the successor. *)
+  let find t key preds succs (predvs : OL.version array) =
+    let pred = ref t.head in
+    for l = max_level - 1 downto 0 do
+      let continue = ref true in
+      while !continue do
+        let v = OL.get_version !pred.lock in
+        let cur = next_at !pred l in
+        if cur.key < key then pred := cur
+        else (
+          preds.(l) <- !pred;
+          predvs.(l) <- v;
+          succs.(l) <- cur;
+          continue := false)
+      done
+    done
+
+  let search t key =
+    check_key key;
+    Q.op_begin t.qsbr;
+    let cur = ref t.head in
+    for l = max_level - 1 downto 0 do
+      let continue = ref true in
+      while !continue do
+        let nxt = next_at !cur l in
+        if nxt.key < key then cur := nxt else continue := false
+      done
+    done;
+    let f = next_at !cur 0 in
+    let res =
+      if f.key = key && Rt.get f.fully_linked && not (Rt.get f.deleted) then
+        Some f.value
+      else None
+    in
+    Q.op_end t.qsbr;
+    res
+
+  let insert t key value =
+    check_key key;
+    Q.op_begin t.qsbr;
+    let preds = Array.make max_level t.head in
+    let succs = Array.make max_level t.head in
+    let predvs = Array.make max_level 0 in
+    let toplevel = Sl_common.random_toplevel (Rt.tid ()) in
+    let newnode = mk_node key value toplevel in
+    let b = B.create () in
+    (* [linked_from] is the lowest level not yet linked; re-traversals
+       continue from there ("the locks for the already inserted levels
+       are not reacquired", §3.3). *)
+    let rec attempt linked_from =
+      find t key preds succs predvs;
+      let found = succs.(0) in
+      if linked_from = 0 && found.key = key && found != newnode then
+        if Rt.get found.deleted then (
+          (* Being removed: wait for the removal to finish. *)
+          Rt.Counter.incr restarts;
+          Rt.pause_n 16;
+          attempt 0)
+        else (
+          let s = B.spin () in
+          while not (Rt.get found.fully_linked) do
+            B.spin_once s
+          done;
+          false)
+      else
+        let rec link l =
+          if l > toplevel then (
+            Rt.set newnode.fully_linked true;
+            true)
+          else if OL.trylock_version preds.(l).lock predvs.(l) then (
+            (* Eager per-level insertion under a single short lock. *)
+            Rt.set newnode.nexts.(l) (Some succs.(l));
+            Rt.set preds.(l).nexts.(l) (Some newnode);
+            OL.unlock preds.(l).lock;
+            link (l + 1))
+          else (
+            Rt.Counter.incr restarts;
+            B.once b;
+            attempt l)
+        in
+        link linked_from
+    in
+    let res = attempt 0 in
+    Q.op_end t.qsbr;
+    res
+
+  (* Lock all distinct predecessors of levels [0..top] of [victim].
+     Returns the locked list, or [None] if the attempt must restart. *)
+  let lock_preds_for_delete t ~victim preds predvs =
+    let top = victim.toplevel in
+    let locked = ref [] in
+    let release_reverted () =
+      List.iter (fun p -> OL.revert p.lock) !locked;
+      locked := []
+    in
+    let rec go l =
+      if l > top then Some !locked
+      else
+        let pred = preds.(l) in
+        let same_as_prev =
+          match !locked with p :: _ -> p == pred | [] -> false
+        in
+        if same_as_prev then
+          (* Already hold this predecessor; check its link for this
+             level directly (we own the lock, the check is stable). *)
+          match Rt.get pred.nexts.(l) with
+          | Some n when n == victim -> go (l + 1)
+          | _ ->
+              release_reverted ();
+              None
+        else if OL.trylock_version pred.lock predvs.(l) then (
+          locked := pred :: !locked;
+          go (l + 1))
+        else
+          match t.variant with
+          | `Restart ->
+              release_reverted ();
+              None
+          | `Validate -> (
+              (* optik1: blocking (deleted-aware) lock; if the version
+                 moved, do the fine-grained validation instead. *)
+              match lock_unless_deleted pred with
+              | None ->
+                  release_reverted ();
+                  None
+              | Some acquired ->
+                  let same = OL.same_version acquired predvs.(l) in
+                  let still_ok =
+                    same
+                    ||
+                    match Rt.get pred.nexts.(l) with
+                    | Some n -> n == victim
+                    | None -> false
+                  in
+                  if still_ok then (
+                    locked := pred :: !locked;
+                    go (l + 1))
+                  else (
+                    OL.revert pred.lock;
+                    release_reverted ();
+                    None))
+    in
+    go 0
+
+  let delete t key =
+    check_key key;
+    Q.op_begin t.qsbr;
+    let preds = Array.make max_level t.head in
+    let succs = Array.make max_level t.head in
+    let predvs = Array.make max_level 0 in
+    (* Once we own and mark the victim, reattempts only redo the
+       predecessor phase. *)
+    let b = B.create () in
+    let rec unlink_phase victim =
+      match lock_preds_for_delete t ~victim preds predvs with
+      | None ->
+          Rt.Counter.incr restarts;
+          B.once b;
+          find t key preds succs predvs;
+          unlink_phase victim
+      | Some locked ->
+          for l = victim.toplevel downto 0 do
+            Rt.set preds.(l).nexts.(l) (Rt.get victim.nexts.(l))
+          done;
+          List.iter (fun p -> OL.unlock p.lock) locked;
+          (* The victim's lock is never released (§4.2): its permanently
+             locked version is what invalidates stale traversals that
+             still hold a reference to it. *)
+          Q.retire t.qsbr victim;
+          Some victim.value
+    in
+    let res =
+      find t key preds succs predvs;
+      let f = succs.(0) in
+      if f.key <> key then None
+      else if not (Rt.get f.fully_linked) then None
+      else if Rt.get f.deleted then None
+      else (
+        (* Lock the victim itself for the whole removal: eager inserts
+           that would link behind it are blocked, then fail validation. *)
+        match lock_unless_deleted f with
+        | None -> None
+        | Some _ ->
+            if Rt.get f.deleted then (
+              OL.revert f.lock;
+              None)
+            else (
+              Rt.set f.deleted true;
+              unlink_phase f))
+    in
+    Q.op_end t.qsbr;
+    res
+
+  let size t =
+    let n = ref 0 in
+    let cur = ref (next_at t.head 0) in
+    while !cur.key < max_int do
+      if Rt.get !cur.fully_linked && not (Rt.get !cur.deleted) then incr n;
+      cur := next_at !cur 0
+    done;
+    !n
+
+  let validate t =
+    let ok = ref true in
+    let cur = ref (next_at t.head 0) in
+    let prev_key = ref min_int in
+    while !cur.key < max_int do
+      if !cur.key <= !prev_key then ok := false;
+      if Rt.get !cur.deleted then ok := false;
+      if not (Rt.get !cur.fully_linked) then ok := false;
+      if OL.is_locked (OL.get_version !cur.lock) then ok := false;
+      prev_key := !cur.key;
+      cur := next_at !cur 0
+    done;
+    for l = 1 to max_level - 1 do
+      let keys_below = Hashtbl.create 64 in
+      let c = ref (next_at t.head (l - 1)) in
+      while !c.key < max_int do
+        Hashtbl.replace keys_below !c.key ();
+        c := next_at !c (l - 1)
+      done;
+      let c = ref (next_at t.head l) in
+      let pk = ref min_int in
+      while !c.key < max_int do
+        if !c.key <= !pk then ok := false;
+        if not (Hashtbl.mem keys_below !c.key) then ok := false;
+        pk := !c.key;
+        c := next_at !c l
+      done
+    done;
+    !ok
+end

@@ -1,0 +1,124 @@
+(** Plain-text rendering of figure data: throughput tables, ASCII line
+    charts (one row per series) and latency boxplot tables, echoing the
+    layout of the paper's figures. *)
+
+type series = {
+  label : string;
+  points : (int * Harness.Runner.measurement) list;  (** threads, result *)
+}
+
+type figure = {
+  id : string;
+  title : string;
+  series : series list;
+  latency_at : (int * series list) option;
+      (** thread count + data for the latency panel, if the paper has one *)
+  latency_classes : string array;
+  notes : string list;
+}
+
+let hrule out = Printf.ksprintf out "%s" (String.make 78 '-')
+
+let mops_table out (fig : figure) =
+  match fig.series with
+  | [] -> ()
+  | first :: _ ->
+      let threads = List.map fst first.points in
+      Printf.ksprintf out "%-12s %s" "threads"
+        (String.concat ""
+           (List.map (fun t -> Printf.sprintf "%8d" t) threads));
+      List.iter
+        (fun s ->
+          Printf.ksprintf out "%-12s %s" s.label
+            (String.concat ""
+               (List.map
+                  (fun (_, m) -> Printf.sprintf "%8.2f" m.Harness.Runner.mops)
+                  s.points)))
+        fig.series
+
+(* One sparkline row per series, each scaled to the figure-wide maximum,
+   so crossovers and collapses are visible at a glance. *)
+let spark_chars = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let sparklines out (fig : figure) =
+  let all =
+    List.concat_map
+      (fun s -> List.map (fun (_, m) -> m.Harness.Runner.mops) s.points)
+      fig.series
+  in
+  let maxv = List.fold_left max 1e-9 all in
+  List.iter
+    (fun s ->
+      let line =
+        String.concat ""
+          (List.map
+             (fun (_, m) ->
+               let f = m.Harness.Runner.mops /. maxv in
+               let i = int_of_float (f *. 9.) in
+               let i = if i > 9 then 9 else if i < 0 then 0 else i in
+               Printf.sprintf " %c" spark_chars.(i))
+             s.points)
+      in
+      Printf.ksprintf out "%-12s [%s ]  peak %.2f Mops/s" s.label line
+        (List.fold_left
+           (fun a (_, m) -> Float.max a m.Harness.Runner.mops)
+           0. s.points))
+    fig.series
+
+let latency_table out classes (at : int) (series : series list) =
+  Printf.ksprintf out "latency distribution at %d threads (virtual cycles):"
+    at;
+  Printf.ksprintf out "%-12s %-12s %10s %10s %10s %10s %10s %8s" "algorithm"
+    "op class" "p05" "p25" "p50" "p75" "p95" "n";
+  List.iter
+    (fun s ->
+      match s.points with
+      | [ (_, m) ] ->
+          Array.iteri
+            (fun i cls ->
+              let l = m.Harness.Runner.lat.(i) in
+              if l.Harness.Pstats.n > 0 then
+                Printf.ksprintf out "%-12s %-12s %10d %10d %10d %10d %10d %8d"
+                  s.label cls l.Harness.Pstats.p05 l.Harness.Pstats.p25
+                  l.Harness.Pstats.p50 l.Harness.Pstats.p75
+                  l.Harness.Pstats.p95 l.Harness.Pstats.n)
+            classes
+      | _ -> ())
+    series
+
+let figure out (fig : figure) =
+  out "";
+  hrule out;
+  Printf.ksprintf out "%s: %s" fig.id fig.title;
+  hrule out;
+  mops_table out fig;
+  out "";
+  sparklines out fig;
+  (match fig.latency_at with
+  | Some (at, ls) ->
+      out "";
+      latency_table out fig.latency_classes at ls
+  | None -> ());
+  List.iter (fun n -> Printf.ksprintf out "note: %s" n) fig.notes
+
+(* Claims: direction checks against the paper's reported results. *)
+type claim = {
+  claim_id : string;
+  description : string;
+  expected : string;
+  measured : string;
+  holds : bool;
+}
+
+let claims out (cs : claim list) =
+  out "";
+  hrule out;
+  out "Claims (paper vs measured; shape/direction checks)";
+  hrule out;
+  List.iter
+    (fun c ->
+      Printf.ksprintf out "[%s] %-10s %s" (if c.holds then "PASS" else "DIVERGES")
+        c.claim_id c.description;
+      Printf.ksprintf out "      paper: %s" c.expected;
+      Printf.ksprintf out "      here:  %s" c.measured)
+    cs

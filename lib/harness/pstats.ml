@@ -1,0 +1,69 @@
+(** Latency sample collection and percentile summaries.
+
+    Mirrors the paper's methodology (§5): each thread holds a bounded
+    array of samples (16K in the paper) that wraps around when full; at
+    the end of a run the per-thread arrays are merged and summarized as
+    5th / 25th / 50th / 75th / 95th percentiles (the boxplot values of
+    Figures 7 and 12). *)
+
+type t = {
+  samples : int array;
+  mutable n : int;  (** total recorded (may exceed capacity) *)
+}
+
+let capacity = 16_384
+
+let create () = { samples = Array.make capacity 0; n = 0 }
+
+let record t v =
+  t.samples.(t.n mod capacity) <- v;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+type summary = {
+  n : int;
+  p05 : int;
+  p25 : int;
+  p50 : int;
+  p75 : int;
+  p95 : int;
+  mean : float;
+}
+
+let empty_summary =
+  { n = 0; p05 = 0; p25 = 0; p50 = 0; p75 = 0; p95 = 0; mean = 0. }
+
+(* Merge several collectors and summarize. *)
+let summarize (ts : t list) =
+  let total = List.fold_left (fun a (t : t) -> a + min t.n capacity) 0 ts in
+  if total = 0 then empty_summary
+  else begin
+    let all = Array.make total 0 in
+    let off = ref 0 in
+    List.iter
+      (fun (t : t) ->
+        let k = min t.n capacity in
+        Array.blit t.samples 0 all !off k;
+        off := !off + k)
+      ts;
+    Array.sort compare all;
+    let pct p =
+      let idx = int_of_float (p *. float_of_int (total - 1)) in
+      all.(idx)
+    in
+    let sum = Array.fold_left ( + ) 0 all in
+    {
+      n = total;
+      p05 = pct 0.05;
+      p25 = pct 0.25;
+      p50 = pct 0.50;
+      p75 = pct 0.75;
+      p95 = pct 0.95;
+      mean = float_of_int sum /. float_of_int total;
+    }
+  end
+
+let pp fmt s =
+  Format.fprintf fmt "n=%d p05=%d p25=%d p50=%d p75=%d p95=%d mean=%.0f" s.n
+    s.p05 s.p25 s.p50 s.p75 s.p95 s.mean

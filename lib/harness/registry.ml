@@ -1,0 +1,508 @@
+(** Instantiation of every data structure for a given runtime backend,
+    wrapped into the monomorphic driver interfaces of
+    {!Dstruct.Dstruct_intf}, under the names used by the paper's figures.
+
+    {!Native} runs on real atomics and domains; {!Sim} runs under the
+    deterministic multicore simulator. *)
+
+module type SET_OPS = Dstruct.Dstruct_intf.SET_OPS
+module type QUEUE_OPS = Dstruct.Dstruct_intf.QUEUE_OPS
+module type STACK_OPS = Dstruct.Dstruct_intf.STACK_OPS
+
+module ForRt (Rt : Rt.Rt_intf.RT) = struct
+  module Map_lock = Dstruct.Maps.Lock_based (Rt)
+  module Map_optik = Dstruct.Maps.Optik_based (Rt)
+  module Ll_optik = Dstruct.Ll_optik.Make (Rt)
+  module Ll_gl_mcs = Dstruct.Ll_gl.Pessimistic (Rt) (Locks.Mcs (Rt))
+  module Ll_gl_tas = Dstruct.Ll_gl.Pessimistic (Rt) (Locks.Tas (Rt))
+  module Ll_optik_gl = Dstruct.Ll_gl.Optik_gl (Rt)
+  module Ll_lazy = Dstruct.Ll_lazy.Make (Rt)
+  module Ll_harris = Dstruct.Ll_harris.Make (Rt)
+  module Sl_herlihy = Dstruct.Sl_herlihy.Make (Rt)
+  module Sl_optik = Dstruct.Sl_optik.Make (Rt)
+  module Sl_fraser = Dstruct.Sl_fraser.Make (Rt)
+  module Queues = Dstruct.Queues.Make (Rt)
+  module Ht_java = Dstruct.Ht.Java (Rt)
+  module Ht_java_optik = Dstruct.Ht.Java_optik (Rt)
+  module Stacks = Dstruct.Stacks.Make (Rt)
+  module Bst_optik = Dstruct.Bst_optik.Make (Rt)
+  module Bst_gl = Dstruct.Bst_optik.Global_lock (Rt) (Locks.Mcs (Rt))
+
+  (* ---------------- maps (Figure 7) ---------------- *)
+
+  let map_mcs : (module SET_OPS) =
+    (module struct
+      type t = int Map_lock.t
+
+      let name = "mcs"
+      let create ?capacity () = Map_lock.create ?capacity ()
+      let search = Map_lock.search
+      let insert = Map_lock.insert
+      let delete = Map_lock.delete
+      let size = Map_lock.size
+      let validate = Map_lock.validate
+    end)
+
+  let map_optik : (module SET_OPS) =
+    (module struct
+      type t = int Map_optik.t
+
+      let name = "optik"
+      let create ?capacity () = Map_optik.create ?capacity ()
+      let search = Map_optik.search
+      let insert = Map_optik.insert
+      let delete = Map_optik.delete
+      let size = Map_optik.size
+      let validate = Map_optik.validate
+    end)
+
+  let maps = [ map_mcs; map_optik ]
+
+  (* ---------------- linked lists (Figure 9) ---------------- *)
+
+  let ll_harris : (module SET_OPS) =
+    (module struct
+      type t = int Ll_harris.t
+
+      let name = "harris"
+      let create ?capacity:_ () = Ll_harris.create ()
+      let search = Ll_harris.search
+      let insert = Ll_harris.insert
+      let delete = Ll_harris.delete
+      let size = Ll_harris.size
+      let validate = Ll_harris.validate
+    end)
+
+  let ll_lazy_ : (module SET_OPS) =
+    (module struct
+      type t = int Ll_lazy.t
+
+      let name = "lazy"
+      let create ?capacity:_ () = Ll_lazy.create ()
+      let search = Ll_lazy.search
+      let insert = Ll_lazy.insert
+      let delete = Ll_lazy.delete
+      let size = Ll_lazy.size
+      let validate = Ll_lazy.validate
+    end)
+
+  let ll_lazy_cache : (module SET_OPS) =
+    (module struct
+      type t = int Ll_lazy.t
+
+      let name = "lazy-cache"
+      let create ?capacity:_ () = Ll_lazy.create ~cache:true ()
+      let search = Ll_lazy.search
+      let insert = Ll_lazy.insert
+      let delete = Ll_lazy.delete
+      let size = Ll_lazy.size
+      let validate = Ll_lazy.validate
+    end)
+
+  let ll_mcs_gl_opt : (module SET_OPS) =
+    (module struct
+      type t = int Ll_gl_mcs.t
+
+      let name = "mcs-gl-opt"
+      let create ?capacity:_ () = Ll_gl_mcs.create ()
+      let search = Ll_gl_mcs.search
+      let insert = Ll_gl_mcs.insert
+      let delete = Ll_gl_mcs.delete
+      let size = Ll_gl_mcs.size
+      let validate = Ll_gl_mcs.validate
+    end)
+
+  let ll_optik_gl : (module SET_OPS) =
+    (module struct
+      type t = int Ll_optik_gl.t
+
+      let name = "optik-gl"
+      let create ?capacity:_ () = Ll_optik_gl.create ()
+      let search = Ll_optik_gl.search
+      let insert = Ll_optik_gl.insert
+      let delete = Ll_optik_gl.delete
+      let size = Ll_optik_gl.size
+      let validate = Ll_optik_gl.validate
+    end)
+
+  let ll_optik : (module SET_OPS) =
+    (module struct
+      type t = int Ll_optik.t
+
+      let name = "optik"
+      let create ?capacity:_ () = Ll_optik.create ()
+      let search = Ll_optik.search
+      let insert = Ll_optik.insert
+      let delete = Ll_optik.delete
+      let size = Ll_optik.size
+      let validate = Ll_optik.validate
+    end)
+
+  let ll_optik_cache : (module SET_OPS) =
+    (module struct
+      type t = int Ll_optik.t
+
+      let name = "optik-cache"
+      let create ?capacity:_ () = Ll_optik.create ~cache:true ()
+      let search = Ll_optik.search
+      let insert = Ll_optik.insert
+      let delete = Ll_optik.delete
+      let size = Ll_optik.size
+      let validate = Ll_optik.validate
+    end)
+
+  let lists =
+    [
+      ll_harris;
+      ll_lazy_;
+      ll_mcs_gl_opt;
+      ll_optik_gl;
+      ll_optik;
+      ll_optik_cache;
+      ll_lazy_cache;
+    ]
+
+  (* ---------------- hash tables (Figure 10) ---------------- *)
+
+  (* Per-bucket list capacities are small, so plain buckets suffice. *)
+  module Ht_lazy_gl = Dstruct.Ht.Of_bucket (struct
+    type 'v t = 'v Ll_gl_tas.t
+
+    let create () = Ll_gl_tas.create ()
+    let search = Ll_gl_tas.search
+    let insert = Ll_gl_tas.insert
+    let delete = Ll_gl_tas.delete
+    let size = Ll_gl_tas.size
+    let validate = Ll_gl_tas.validate
+  end)
+
+  module Ht_optik_gl = Dstruct.Ht.Of_bucket (struct
+    type 'v t = 'v Ll_optik_gl.t
+
+    let create () = Ll_optik_gl.create ()
+    let search = Ll_optik_gl.search
+    let insert = Ll_optik_gl.insert
+    let delete = Ll_optik_gl.delete
+    let size = Ll_optik_gl.size
+    let validate = Ll_optik_gl.validate
+  end)
+
+  module Ht_optik = Dstruct.Ht.Of_bucket (struct
+    type 'v t = 'v Ll_optik.t
+
+    let create () = Ll_optik.create ()
+    let search = Ll_optik.search
+    let insert = Ll_optik.insert
+    let delete = Ll_optik.delete
+    let size = Ll_optik.size
+    let validate = Ll_optik.validate
+  end)
+
+  module Ht_map_optik = Dstruct.Ht.Of_bucket (struct
+    type 'v t = 'v Map_optik.t
+
+    (* Bucket arrays of 8 slots; the paper sizes buckets at about one
+       element, leaving ample slack at range = 2x size. *)
+    let create () = Map_optik.create ~capacity:8 ()
+    let search = Map_optik.search
+    let insert = Map_optik.insert
+    let delete = Map_optik.delete
+    let size = Map_optik.size
+    let validate = Map_optik.validate
+  end)
+
+  let ht_lazy_gl : (module SET_OPS) =
+    (module struct
+      type t = int Ht_lazy_gl.t
+
+      let name = "lazy-gl"
+      let create ?capacity () = Ht_lazy_gl.create ?capacity ()
+      let search = Ht_lazy_gl.search
+      let insert = Ht_lazy_gl.insert
+      let delete = Ht_lazy_gl.delete
+      let size = Ht_lazy_gl.size
+      let validate = Ht_lazy_gl.validate
+    end)
+
+  let ht_java : (module SET_OPS) =
+    (module struct
+      type t = int Ht_java.t
+
+      let name = "java"
+      let create ?capacity () = Ht_java.create ?capacity ()
+      let search = Ht_java.search
+      let insert = Ht_java.insert
+      let delete = Ht_java.delete
+      let size = Ht_java.size
+      let validate = Ht_java.validate
+    end)
+
+  let ht_java_optik : (module SET_OPS) =
+    (module struct
+      type t = int Ht_java_optik.t
+
+      let name = "java-optik"
+      let create ?capacity () = Ht_java_optik.create ?capacity ()
+      let search = Ht_java_optik.search
+      let insert = Ht_java_optik.insert
+      let delete = Ht_java_optik.delete
+      let size = Ht_java_optik.size
+      let validate = Ht_java_optik.validate
+    end)
+
+  let ht_optik : (module SET_OPS) =
+    (module struct
+      type t = int Ht_optik.t
+
+      let name = "optik"
+      let create ?capacity () = Ht_optik.create ?capacity ()
+      let search = Ht_optik.search
+      let insert = Ht_optik.insert
+      let delete = Ht_optik.delete
+      let size = Ht_optik.size
+      let validate = Ht_optik.validate
+    end)
+
+  let ht_optik_gl : (module SET_OPS) =
+    (module struct
+      type t = int Ht_optik_gl.t
+
+      let name = "optik-gl"
+      let create ?capacity () = Ht_optik_gl.create ?capacity ()
+      let search = Ht_optik_gl.search
+      let insert = Ht_optik_gl.insert
+      let delete = Ht_optik_gl.delete
+      let size = Ht_optik_gl.size
+      let validate = Ht_optik_gl.validate
+    end)
+
+  let ht_map_optik : (module SET_OPS) =
+    (module struct
+      type t = int Ht_map_optik.t
+
+      let name = "optik-map"
+      let create ?capacity () = Ht_map_optik.create ?capacity ()
+      let search = Ht_map_optik.search
+      let insert = Ht_map_optik.insert
+      let delete = Ht_map_optik.delete
+      let size = Ht_map_optik.size
+      let validate = Ht_map_optik.validate
+    end)
+
+  let hashtables =
+    [ ht_lazy_gl; ht_java; ht_java_optik; ht_optik; ht_optik_gl; ht_map_optik ]
+
+  (* ---------------- skip lists (Figure 11) ---------------- *)
+
+  let sl_fraser : (module SET_OPS) =
+    (module struct
+      type t = int Sl_fraser.t
+
+      let name = "fraser"
+      let create ?capacity:_ () = Sl_fraser.create ()
+      let search = Sl_fraser.search
+      let insert = Sl_fraser.insert
+      let delete = Sl_fraser.delete
+      let size = Sl_fraser.size
+      let validate = Sl_fraser.validate
+    end)
+
+  let sl_herlihy : (module SET_OPS) =
+    (module struct
+      type t = int Sl_herlihy.t
+
+      let name = "herlihy"
+      let create ?capacity:_ () = Sl_herlihy.create ()
+      let search = Sl_herlihy.search
+      let insert = Sl_herlihy.insert
+      let delete = Sl_herlihy.delete
+      let size = Sl_herlihy.size
+      let validate = Sl_herlihy.validate
+    end)
+
+  let sl_herlihy_optik : (module SET_OPS) =
+    (module struct
+      type t = int Sl_herlihy.t
+
+      let name = "herl-optik"
+      let create ?capacity:_ () = Sl_herlihy.create ~optik:true ()
+      let search = Sl_herlihy.search
+      let insert = Sl_herlihy.insert
+      let delete = Sl_herlihy.delete
+      let size = Sl_herlihy.size
+      let validate = Sl_herlihy.validate
+    end)
+
+  let sl_optik1 : (module SET_OPS) =
+    (module struct
+      type t = int Sl_optik.t
+
+      let name = "optik1"
+      let create ?capacity:_ () = Sl_optik.create ~variant:`Validate ()
+      let search = Sl_optik.search
+      let insert = Sl_optik.insert
+      let delete = Sl_optik.delete
+      let size = Sl_optik.size
+      let validate = Sl_optik.validate
+    end)
+
+  let sl_optik2 : (module SET_OPS) =
+    (module struct
+      type t = int Sl_optik.t
+
+      let name = "optik2"
+      let create ?capacity:_ () = Sl_optik.create ~variant:`Restart ()
+      let search = Sl_optik.search
+      let insert = Sl_optik.insert
+      let delete = Sl_optik.delete
+      let size = Sl_optik.size
+      let validate = Sl_optik.validate
+    end)
+
+  let skiplists = [ sl_fraser; sl_herlihy; sl_herlihy_optik; sl_optik1; sl_optik2 ]
+
+  (* ---------------- queues (Figure 12) ---------------- *)
+
+  let q_ms_lf : (module QUEUE_OPS) =
+    (module struct
+      type t = int Queues.Ms_lf.t
+
+      let name = "ms-lf"
+      let create () = Queues.Ms_lf.create ()
+      let enqueue = Queues.Ms_lf.enqueue
+      let dequeue = Queues.Ms_lf.dequeue
+      let size = Queues.Ms_lf.size
+    end)
+
+  let q_ms_lb : (module QUEUE_OPS) =
+    (module struct
+      type t = int Queues.Ms_lb.t
+
+      let name = "ms-lb"
+      let create () = Queues.Ms_lb.create ()
+      let enqueue = Queues.Ms_lb.enqueue
+      let dequeue = Queues.Ms_lb.dequeue
+      let size = Queues.Ms_lb.size
+    end)
+
+  let q_optik0 : (module QUEUE_OPS) =
+    (module struct
+      type t = int Queues.Optik0.t
+
+      let name = "optik0"
+      let create () = Queues.Optik0.create ()
+      let enqueue = Queues.Optik0.enqueue
+      let dequeue = Queues.Optik0.dequeue
+      let size = Queues.Optik0.size
+    end)
+
+  let q_optik1 : (module QUEUE_OPS) =
+    (module struct
+      type t = int Queues.Optik1.t
+
+      let name = "optik1"
+      let create () = Queues.Optik1.create ()
+      let enqueue = Queues.Optik1.enqueue
+      let dequeue = Queues.Optik1.dequeue
+      let size = Queues.Optik1.size
+    end)
+
+  let q_optik2 : (module QUEUE_OPS) =
+    (module struct
+      type t = int Queues.Optik2.t
+
+      let name = "optik2"
+      let create () = Queues.Optik2.create ()
+      let enqueue = Queues.Optik2.enqueue
+      let dequeue = Queues.Optik2.dequeue
+      let size = Queues.Optik2.size
+    end)
+
+  let q_optik3 : (module QUEUE_OPS) =
+    (module struct
+      type t = int Queues.Optik3.t
+
+      let name = "optik3"
+      let create () = Queues.Optik3.create ()
+      let enqueue = Queues.Optik3.enqueue
+      let dequeue = Queues.Optik3.dequeue
+      let size = Queues.Optik3.size
+    end)
+
+  let queues = [ q_ms_lf; q_ms_lb; q_optik0; q_optik1; q_optik2; q_optik3 ]
+
+  (* ---------------- stacks (§5.5) ---------------- *)
+
+  let stack_treiber : (module STACK_OPS) =
+    (module struct
+      type t = int Stacks.Treiber.t
+
+      let name = "treiber"
+      let create () = Stacks.Treiber.create ()
+      let push = Stacks.Treiber.push
+      let pop = Stacks.Treiber.pop
+      let size = Stacks.Treiber.size
+    end)
+
+  let stack_optik : (module STACK_OPS) =
+    (module struct
+      type t = int Stacks.Optik_stack.t
+
+      let name = "optik"
+      let create () = Stacks.Optik_stack.create ()
+      let push = Stacks.Optik_stack.push
+      let pop = Stacks.Optik_stack.pop
+      let size = Stacks.Optik_stack.size
+    end)
+
+  let stack_elimination : (module STACK_OPS) =
+    (module struct
+      type t = int Stacks.Elimination.t
+
+      let name = "elimination"
+      let create () = Stacks.Elimination.create ()
+      let push = Stacks.Elimination.push
+      let pop = Stacks.Elimination.pop
+      let size = Stacks.Elimination.size
+    end)
+
+  let stacks = [ stack_treiber; stack_optik; stack_elimination ]
+
+  (* ---------------- binary search trees (extension; §6 / BST-TK) ---- *)
+
+  let bst_optik : (module SET_OPS) =
+    (module struct
+      type t = int Bst_optik.t
+
+      let name = "bst-optik"
+      let create ?capacity:_ () = Bst_optik.create ()
+      let search = Bst_optik.search
+      let insert = Bst_optik.insert
+      let delete = Bst_optik.delete
+      let size = Bst_optik.size
+      let validate = Bst_optik.validate
+    end)
+
+  let bst_gl : (module SET_OPS) =
+    (module struct
+      type t = int Bst_gl.t
+
+      let name = "bst-gl"
+      let create ?capacity:_ () = Bst_gl.create ()
+      let search = Bst_gl.search
+      let insert = Bst_gl.insert
+      let delete = Bst_gl.delete
+      let size = Bst_gl.size
+      let validate = Bst_gl.validate
+    end)
+
+  let bsts = [ bst_gl; bst_optik ]
+
+  let find_named list n =
+    List.find
+      (fun (module S : SET_OPS) -> String.equal S.name n)
+      list
+end
+
+module Native = ForRt (Rt.Native_rt)
+module Sim_backend = ForRt (Sim.Sim_rt)

@@ -1,0 +1,29 @@
+(** Small deterministic PRNG (xorshift64-star), one instance per thread.
+
+    The harness cannot use [Random]'s global state: simulator runs must be
+    bit-reproducible for a given seed, and native runs must not share
+    state across domains. *)
+
+type t = { mutable s : int }
+
+let create seed =
+  (* Avoid the all-zero state; mix the seed a little. *)
+  let s = (seed * 0x2545F4914F6CDD1D) lor 1 in
+  { s = s land max_int }
+
+let next t =
+  let x = t.s in
+  let x = x lxor (x lsr 12) in
+  let x = x lxor (x lsl 25) in
+  let x = x lxor (x lsr 27) in
+  let x = x land max_int in
+  t.s <- x;
+  (x * 0x2545F4914F6CDD1D) land max_int
+
+(* Uniform integer in [0, n). *)
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below";
+  next t mod n
+
+(* Uniform float in [0, 1). *)
+let float t = float_of_int (next t) /. float_of_int max_int

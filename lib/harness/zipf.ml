@@ -1,0 +1,38 @@
+(** Zipfian key distribution over [1 .. range].
+
+    The paper's skewed workloads use a zipfian distribution with
+    [a = 0.9] where {e the largest keys are the most popular} (§5): rank 0
+    (most popular) maps to key [range], rank 1 to [range - 1], and so on.
+
+    Sampling inverts a precomputed CDF by binary search; the table is
+    built once per workload, so per-sample cost is [O(log range)] of
+    thread-private work (no shared-memory traffic). *)
+
+type t = { cdf : float array; range : int }
+
+let create ~range ~alpha =
+  if range <= 0 then invalid_arg "Zipf.create: range must be positive";
+  let cdf = Array.make range 0. in
+  let acc = ref 0. in
+  for r = 0 to range - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (r + 1)) alpha);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to range - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  { cdf; range }
+
+(* Rank of a uniform draw [u] in [0,1): first index with cdf >= u. *)
+let rank_of t u =
+  let lo = ref 0 and hi = ref (t.range - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sample t rng =
+  let rank = rank_of t (Rng.float rng) in
+  t.range - rank

@@ -1,0 +1,193 @@
+(** A small linearizability checker (Wing & Gong style).
+
+    A {e history} is a set of completed operations, each with invocation
+    and response timestamps (virtual cycles from the simulator, whose
+    determinism makes failures reproducible). The checker searches for a
+    {e linearization}: a total order of the operations that (a) respects
+    real-time precedence — if [a] responded before [b] was invoked, [a]
+    must come first — and (b) replays correctly against a sequential
+    specification, matching every operation's observed output.
+
+    The search is exponential in the worst case, so it is meant for the
+    small, adversarial histories the property tests generate (a few
+    threads, a handful of operations each — where interleaving bugs
+    actually manifest). Pruning: only minimal (real-time-enabled)
+    operations are candidates at each step, and only those whose output
+    matches the specification's answer. *)
+
+module type SPEC = sig
+  type state
+  type input
+  type output
+
+  val init : state
+  (** Initial state; persistent values make backtracking free. *)
+
+  val apply : state -> input -> state * output
+  val equal_output : output -> output -> bool
+  val pp_input : Format.formatter -> input -> unit
+  val pp_output : Format.formatter -> output -> unit
+end
+
+module Make (Spec : SPEC) = struct
+  type event = {
+    tid : int;
+    inv : int;  (** invocation timestamp *)
+    res : int;  (** response timestamp *)
+    input : Spec.input;
+    output : Spec.output;
+  }
+
+  let pp_event fmt e =
+    Format.fprintf fmt "[t%d %d..%d] %a -> %a" e.tid e.inv e.res Spec.pp_input
+      e.input Spec.pp_output e.output
+
+  (* Check whether [history] is linearizable starting from [Spec.init].
+     Returns the witness linearization, or [None]. *)
+  let check ?(init = Spec.init) (history : event list) : event list option =
+    let ops = Array.of_list history in
+    let n = Array.length ops in
+    if n > 62 then invalid_arg "Lincheck.check: history too large";
+    (* Precompute precedence: [before.(i)] = bitmask of ops that must
+       linearize before op i (responded before i's invocation). *)
+    let before = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && ops.(j).res < ops.(i).inv then
+          before.(i) <- before.(i) lor (1 lsl j)
+      done
+    done;
+    let full = (1 lsl n) - 1 in
+    (* Memoize failed (chosen-set, state) pairs; the spec states here are
+       small persistent values, so polymorphic hashing is fine. *)
+    let failed : (int * Spec.state, unit) Hashtbl.t = Hashtbl.create 256 in
+    let rec search chosen state acc =
+      if chosen = full then Some (List.rev acc)
+      else if Hashtbl.mem failed (chosen, state) then None
+      else
+        let result = ref None in
+        let i = ref 0 in
+        while !result = None && !i < n do
+          let idx = !i in
+          incr i;
+          if
+            chosen land (1 lsl idx) = 0
+            && before.(idx) land lnot chosen = 0
+          then (
+            let state', out = Spec.apply state ops.(idx).input in
+            if Spec.equal_output out ops.(idx).output then
+              match
+                search (chosen lor (1 lsl idx)) state' (ops.(idx) :: acc)
+              with
+              | Some _ as w -> result := w
+              | None -> ())
+        done;
+        if !result = None then Hashtbl.replace failed (chosen, state) ();
+        !result
+    in
+    search 0 init []
+
+  let pp_history fmt history =
+    List.iter (fun e -> Format.fprintf fmt "  %a@." pp_event e) history
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sequential specifications for the library's data structures.        *)
+
+(** Search data structures (sets/maps with int keys and values). *)
+module Set_spec = struct
+  module M = Map.Make (Int)
+
+  type state = int M.t
+
+  type input = Search of int | Insert of int * int | Delete of int
+
+  type output = Found of int | Absent | Ok | Dup
+
+  let init = M.empty
+
+  let apply st = function
+    | Search k -> (
+        ( st,
+          match M.find_opt k st with
+          | Some v -> Found v
+          | None -> Absent ))
+    | Insert (k, v) ->
+        if M.mem k st then (st, Dup) else (M.add k v st, Ok)
+    | Delete k -> (
+        match M.find_opt k st with
+        | Some v -> (M.remove k st, Found v)
+        | None -> (st, Absent))
+
+  let equal_output (a : output) b = a = b
+
+  let pp_input fmt = function
+    | Search k -> Format.fprintf fmt "search %d" k
+    | Insert (k, v) -> Format.fprintf fmt "insert %d=%d" k v
+    | Delete k -> Format.fprintf fmt "delete %d" k
+
+  let pp_output fmt = function
+    | Found v -> Format.fprintf fmt "found %d" v
+    | Absent -> Format.fprintf fmt "absent"
+    | Ok -> Format.fprintf fmt "ok"
+    | Dup -> Format.fprintf fmt "dup"
+end
+
+(** FIFO queues. *)
+module Queue_spec = struct
+  type state = int list * int list  (** front, back (classic two-list) *)
+
+  type input = Enqueue of int | Dequeue
+
+  type output = Unit | Got of int | Empty
+
+  let init = ([], [])
+
+  let apply (front, back) = function
+    | Enqueue v -> ((front, v :: back), Unit)
+    | Dequeue -> (
+        match front with
+        | x :: rest -> (((rest, back) : state), Got x)
+        | [] -> (
+            match List.rev back with
+            | x :: rest -> ((rest, []), Got x)
+            | [] -> (([], []), Empty)))
+
+  let equal_output (a : output) b = a = b
+
+  let pp_input fmt = function
+    | Enqueue v -> Format.fprintf fmt "enq %d" v
+    | Dequeue -> Format.fprintf fmt "deq"
+
+  let pp_output fmt = function
+    | Unit -> Format.fprintf fmt "()"
+    | Got v -> Format.fprintf fmt "got %d" v
+    | Empty -> Format.fprintf fmt "empty"
+end
+
+(** LIFO stacks. *)
+module Stack_spec = struct
+  type state = int list
+
+  type input = Push of int | Pop
+
+  type output = Unit | Got of int | Empty
+
+  let init = []
+
+  let apply st = function
+    | Push v -> (v :: st, Unit)
+    | Pop -> (
+        match st with x :: rest -> (rest, Got x) | [] -> ([], Empty))
+
+  let equal_output (a : output) b = a = b
+
+  let pp_input fmt = function
+    | Push v -> Format.fprintf fmt "push %d" v
+    | Pop -> Format.fprintf fmt "pop"
+
+  let pp_output fmt = function
+    | Unit -> Format.fprintf fmt "()"
+    | Got v -> Format.fprintf fmt "got %d" v
+    | Empty -> Format.fprintf fmt "empty"
+end

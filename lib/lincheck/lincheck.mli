@@ -1,0 +1,77 @@
+(** Linearizability checking for small concurrent histories.
+
+    Pair with the simulator: record each operation's invocation/response
+    timestamps with [Sim.Sched.now ()] (use [~read_slack:0] for strict
+    timestamps) and feed the history to {!Make.check}. The checker
+    searches for a total order that respects real-time precedence and
+    replays correctly against a sequential specification. Intended for
+    the adversarial small histories property tests generate; the search
+    is exponential in the worst case. *)
+
+module type SPEC = sig
+  type state
+  type input
+  type output
+
+  val init : state
+  (** Initial state; persistent values make backtracking free. *)
+
+  val apply : state -> input -> state * output
+  val equal_output : output -> output -> bool
+  val pp_input : Format.formatter -> input -> unit
+  val pp_output : Format.formatter -> output -> unit
+end
+
+module Make (Spec : SPEC) : sig
+  type event = {
+    tid : int;
+    inv : int;  (** invocation timestamp *)
+    res : int;  (** response timestamp; must be [> inv] *)
+    input : Spec.input;
+    output : Spec.output;
+  }
+
+  val pp_event : Format.formatter -> event -> unit
+
+  val check : ?init:Spec.state -> event list -> event list option
+  (** [check history] returns a witness linearization, or [None] if the
+      history is not linearizable from [init] (default [Spec.init]).
+      Raises [Invalid_argument] for histories over 62 events. *)
+
+  val pp_history : Format.formatter -> event list -> unit
+end
+
+(** {1 Sequential specifications for this library's structures} *)
+
+(** Search structures: int keys and values; mirrors
+    {!Dstruct.Dstruct_intf.SET_OPS} results. *)
+module Set_spec : sig
+  module M : Map.S with type key = int
+
+  type state = int M.t
+  type input = Search of int | Insert of int * int | Delete of int
+  type output = Found of int | Absent | Ok | Dup
+
+  include
+    SPEC with type state := state and type input := input and type output := output
+end
+
+(** FIFO queues (two-list functional queue). *)
+module Queue_spec : sig
+  type state = int list * int list
+  type input = Enqueue of int | Dequeue
+  type output = Unit | Got of int | Empty
+
+  include
+    SPEC with type state := state and type input := input and type output := output
+end
+
+(** LIFO stacks. *)
+module Stack_spec : sig
+  type state = int list
+  type input = Push of int | Pop
+  type output = Unit | Got of int | Empty
+
+  include
+    SPEC with type state := state and type input := input and type output := output
+end

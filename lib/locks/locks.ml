@@ -1,0 +1,181 @@
+(** Classic spin-lock algorithms used as baselines by the paper.
+
+    The evaluation methodology (§5) uses test-and-set locks in the
+    non-OPTIK data structures, MCS queue locks where a lock is heavily
+    contended (global-lock structures, queues), and TTAS in the Figure-5
+    lock microbenchmark. All are functors over {!Rt.Rt_intf.RT} so they run
+    both natively and under the simulator. *)
+
+module type RT = Rt.Rt_intf.RT
+
+module Backoff = Rt.Backoff
+
+(** Test-and-set: the simplest spinlock. Every acquisition attempt is an
+    atomic exchange, i.e. a full coherence transaction even when the lock
+    is held — which is why it behaves terribly under contention. *)
+module Tas (Rt : RT) = struct
+  module B = Backoff.Make (Rt)
+
+  type t = bool Rt.atomic
+
+  let create () = Rt.atomic false
+
+  let trylock t = Rt.cas t false true
+
+  let lock t =
+    let b = B.create () in
+    while not (Rt.cas t false true) do
+      B.once b
+    done
+
+  let unlock t = Rt.set t false
+  let is_locked t = Rt.get t
+end
+
+(** Test-and-test-and-set: spin on a plain read (cache-local once the line
+    is shared) and only attempt the CAS when the lock is observed free. *)
+module Ttas (Rt : RT) = struct
+  module B = Backoff.Make (Rt)
+
+  type t = bool Rt.atomic
+
+  let create () = Rt.atomic false
+
+  let trylock t = (not (Rt.get t)) && Rt.cas t false true
+
+  let lock t =
+    let b = B.create () in
+    let rec loop () =
+      if Rt.get t then (
+        Rt.pause ();
+        loop ())
+      else if not (Rt.cas t false true) then (
+        B.once b;
+        loop ())
+    in
+    loop ()
+
+  let unlock t = Rt.set t false
+  let is_locked t = Rt.get t
+end
+
+(** Ticket lock: fair FIFO lock in a single word. The [next] (ticket
+    dispenser) and [curr] (now-serving) halves are packed into one OCaml
+    int — 31 bits each — mirroring the two [uint32] halves of the paper's
+    8-byte C struct, which share a cache line. Waiting uses backoff
+    proportional to the thread's distance from the head of the queue, one
+    of the ticket-lock properties §3.2 highlights. *)
+module Ticket (Rt : RT) = struct
+  type t = int Rt.atomic
+
+  let bits = 31
+  let mask = (1 lsl bits) - 1
+  let one_ticket = 1 lsl bits
+
+  let create () = Rt.atomic 0
+
+  let curr_of p = p land mask
+  let next_of p = (p lsr bits) land mask
+
+  let lock t =
+    let old = Rt.faa t one_ticket in
+    let my = next_of old in
+    let rec wait () =
+      let cur = curr_of (Rt.get t) in
+      if cur <> my then (
+        (* Proportional backoff: pause longer the further from the head. *)
+        let dist = (my - cur + mask + 1) land mask in
+        Rt.pause_n (if dist > 64 then 512 else dist * 8);
+        wait ())
+    in
+    wait ()
+
+  let trylock t =
+    let p = Rt.get t in
+    curr_of p = next_of p && Rt.cas t p (p + one_ticket)
+
+  (* Must be an atomic increment: the packed representation makes a
+     read-modify-write release race with concurrent [faa] ticket grabs
+     (in C the two halves are separate words and a plain store works). *)
+  let unlock t = ignore (Rt.faa t 1 : int)
+
+  let is_locked t =
+    let p = Rt.get t in
+    curr_of p <> next_of p
+
+  (* Number of threads queued behind the current holder (0 if free). *)
+  let num_queued t =
+    let p = Rt.get t in
+    let d = (next_of p - curr_of p + mask + 1) land mask in
+    if d = 0 then 0 else d - 1
+end
+
+(** MCS queue lock (Mellor-Crummey & Scott): each waiter spins on its own
+    node, so handoff causes exactly one line transfer and throughput stays
+    flat under contention — until oversubscription, where FIFO handoff to a
+    descheduled thread collapses it (visible in Figure 12 of the paper).
+
+    Queue nodes are allocated per acquisition and the holder's node is
+    remembered per thread id, supporting up to {!max_threads} threads. *)
+module Mcs (Rt : RT) = struct
+  module B = Backoff.Make (Rt)
+
+  type qnode = { locked : bool Rt.atomic; next : qnode option Rt.atomic }
+
+  let max_threads = 128
+
+  type t = { tail : qnode option Rt.atomic; mine : qnode option array }
+
+  let create () =
+    { tail = Rt.atomic None; mine = Array.make max_threads None }
+
+  (* [t.mine] keeps the exact [Some node] value that was stored into
+     [t.tail], because unlock's CAS compares physical identity. *)
+  let mk_qnode locked =
+    let l = Rt.atomic locked in
+    { locked = l; next = Rt.atomic_with l None }
+
+  let lock t =
+    let me = mk_qnode true in
+    let me_opt = Some me in
+    t.mine.(Rt.tid ()) <- me_opt;
+    match Rt.exchange t.tail me_opt with
+    | None -> ()
+    | Some pred ->
+        Rt.set pred.next me_opt;
+        (* Spin on our own node; escalate gently to keep handoff fast. *)
+        let s = B.spin ~max_pauses:16 () in
+        while Rt.get me.locked do
+          B.spin_once s
+        done
+
+  let trylock t =
+    let me = mk_qnode false in
+    let me_opt = Some me in
+    if Rt.cas t.tail None me_opt then (
+      t.mine.(Rt.tid ()) <- me_opt;
+      true)
+    else false
+
+  let unlock t =
+    let tid = Rt.tid () in
+    match t.mine.(tid) with
+    | None -> invalid_arg "Mcs.unlock: not the holder"
+    | Some me as me_opt -> (
+        t.mine.(tid) <- None;
+        match Rt.get me.next with
+        | Some succ -> Rt.set succ.locked false
+        | None ->
+            if not (Rt.cas t.tail me_opt None) then (
+              (* A successor is linking itself in; wait for it. *)
+              let rec wait () =
+                match Rt.get me.next with
+                | Some succ -> Rt.set succ.locked false
+                | None ->
+                    Rt.pause ();
+                    wait ()
+              in
+              wait ()))
+
+  let is_locked t = match Rt.get t.tail with None -> false | Some _ -> true
+end

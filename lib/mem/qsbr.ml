@@ -1,0 +1,152 @@
+(** Quiescent-state-based memory reclamation — the [ssmem] substitute.
+
+    The paper's data structures rely on ssmem, a memory allocator with
+    quiescent-state-based garbage collection (§3.3): a retired node may be
+    reused only after every thread has passed through a quiescent state
+    (an operation boundary) following its retirement. In OCaml the runtime
+    GC already guarantees memory safety, so reclamation here is {e logical}
+    — the point of this module is to reproduce ssmem's protocol and
+    statistics faithfully, because the paper's designs depend on its
+    semantics: e.g. node caches (§5.1) must never observe a recycled node,
+    and the fine-grained list (§4.2) leaves deleted nodes locked forever
+    precisely so that a reclaimer cannot hand them out again.
+
+    Protocol: each thread [i] owns an activity stamp [ts.(i)], incremented
+    when an operation begins (stamp becomes odd = inside an operation) and
+    when it ends (even = quiescent). Retired objects accumulate in
+    per-thread batches; a full batch is sealed with a snapshot of all
+    stamps. A sealed batch is reclaimed once every thread is either outside
+    any operation or has been observed with a stamp different from the
+    snapshot — i.e., every operation concurrent with the retirement has
+    finished. *)
+
+module type RT = Rt.Rt_intf.RT
+
+module Make (Rt : RT) = struct
+  type 'a batch = { snapshot : int array; items : 'a list }
+
+  type 'a slot = {
+    mutable current : 'a list;
+    mutable current_n : int;
+    mutable sealed : 'a batch list;  (** oldest last *)
+    mutable n_retired : int;
+    mutable n_freed : int;
+  }
+
+  type 'a t = {
+    ts : int Rt.atomic array;
+    slots : 'a slot array;
+    batch_size : int;
+    free_fn : 'a -> unit;
+    max_threads : int;
+  }
+
+  let default_batch = 64
+
+  let create ?(max_threads = 128) ?(batch_size = default_batch)
+      ?(free = fun _ -> ()) () =
+    {
+      ts = Array.init max_threads (fun _ -> Rt.atomic 0);
+      slots =
+        Array.init max_threads (fun _ ->
+            {
+              current = [];
+              current_n = 0;
+              sealed = [];
+              n_retired = 0;
+              n_freed = 0;
+            });
+      batch_size;
+      free_fn = free;
+      max_threads;
+    }
+
+  let in_op stamp = stamp land 1 = 1
+
+  (* Operation boundaries. The stamp is only ever written by its owner, so
+     a load + release store suffices (no RMW). *)
+  let op_begin t =
+    let i = Rt.tid () in
+    let s = Rt.get t.ts.(i) in
+    if in_op s then invalid_arg "Qsbr.op_begin: already inside an operation";
+    Rt.set t.ts.(i) (s + 1)
+
+  let op_end t =
+    let i = Rt.tid () in
+    let s = Rt.get t.ts.(i) in
+    if not (in_op s) then invalid_arg "Qsbr.op_end: not inside an operation";
+    Rt.set t.ts.(i) (s + 1)
+
+  (* A quiescent pass outside any bracketed operation. *)
+  let quiescent t =
+    let i = Rt.tid () in
+    let s = Rt.get t.ts.(i) in
+    if in_op s then invalid_arg "Qsbr.quiescent: inside an operation";
+    Rt.set t.ts.(i) (s + 2)
+
+  (* A sealed batch is safe once every thread that was inside an operation
+     at sealing time has moved on. *)
+  let batch_safe t (b : 'a batch) =
+    let ok = ref true in
+    let n = t.max_threads in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let snap = b.snapshot.(!i) in
+      if in_op snap && Rt.get t.ts.(!i) = snap then ok := false;
+      incr i
+    done;
+    !ok
+
+  (* Sealed batches age from list head (newest) to tail (oldest); walk the
+     oldest-first view and reclaim leading safe batches. Stopping at the
+     first unsafe batch keeps reclamation FIFO (conservative but simple —
+     a newer batch can only be safe if checked independently anyway). *)
+  let reclaim t slot =
+    let oldest_first = List.rev slot.sealed in
+    let rec take_safe = function
+      | b :: rest when batch_safe t b ->
+          List.iter t.free_fn b.items;
+          slot.n_freed <- slot.n_freed + List.length b.items;
+          take_safe rest
+      | rest -> rest
+    in
+    let remaining = take_safe oldest_first in
+    slot.sealed <- List.rev remaining
+
+  let seal t slot =
+    if slot.current_n > 0 then (
+      let snapshot = Array.init t.max_threads (fun i -> Rt.get t.ts.(i)) in
+      slot.sealed <- { snapshot; items = slot.current } :: slot.sealed;
+      slot.current <- [];
+      slot.current_n <- 0)
+
+  let retire t x =
+    let slot = t.slots.(Rt.tid ()) in
+    slot.current <- x :: slot.current;
+    slot.current_n <- slot.current_n + 1;
+    slot.n_retired <- slot.n_retired + 1;
+    if slot.current_n >= t.batch_size then (
+      seal t slot;
+      reclaim t slot)
+
+  (* Force-seal the calling thread's batch and reclaim what is safe. *)
+  let flush t =
+    let slot = t.slots.(Rt.tid ()) in
+    seal t slot;
+    reclaim t slot
+
+  type stats = { retired : int; freed : int; pending : int }
+
+  let stats t =
+    Array.fold_left
+      (fun acc slot ->
+        {
+          retired = acc.retired + slot.n_retired;
+          freed = acc.freed + slot.n_freed;
+          pending =
+            acc.pending + slot.current_n
+            + List.fold_left (fun a b -> a + List.length b.items) 0 slot.sealed;
+        })
+      { retired = 0; freed = 0; pending = 0 }
+      t.slots
+end

@@ -1,0 +1,47 @@
+(** Quiescent-state-based memory reclamation — the [ssmem] substitute
+    (§3.3 of the paper). See the implementation header for the protocol.
+
+    Usage contract per thread (identified by [Rt.tid ()]):
+    bracket every data-structure operation with {!Make.op_begin} /
+    {!Make.op_end} (or call {!Make.quiescent} at other quiescent points),
+    and {!Make.retire} unlinked nodes from inside the operation that
+    unlinked them. An object is passed to [free] only after every thread
+    that was inside an operation at retirement time has finished it. *)
+
+module Make (Rt : Rt.Rt_intf.RT) : sig
+  type 'a t
+
+  val create :
+    ?max_threads:int ->
+    ?batch_size:int ->
+    ?free:('a -> unit) ->
+    unit ->
+    'a t
+  (** [free] defaults to a no-op: in OCaml, reclamation is logical and
+      the GC does the physical freeing; the callback exists for free-list
+      recycling and for tests observing reclamation timing.
+      [batch_size] (default 64) is how many retirees accumulate before a
+      batch is sealed with a stamp snapshot. *)
+
+  val op_begin : 'a t -> unit
+  (** Enter an operation. Raises [Invalid_argument] if already inside
+      one (misuse detection). *)
+
+  val op_end : 'a t -> unit
+
+  val quiescent : 'a t -> unit
+  (** Announce a quiescent point outside any bracketed operation. *)
+
+  val retire : 'a t -> 'a -> unit
+  (** Hand an unlinked object to the reclaimer. Must be called by the
+      thread that unlinked it, inside the unlinking operation. *)
+
+  val flush : 'a t -> unit
+  (** Seal the calling thread's current batch and reclaim whatever is
+      safe. Useful at shutdown and in tests. *)
+
+  type stats = { retired : int; freed : int; pending : int }
+
+  val stats : 'a t -> stats
+  (** Aggregate across threads; [retired = freed + pending] always. *)
+end

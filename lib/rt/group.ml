@@ -1,0 +1,12 @@
+(* Unique base ids for cache-line packing groups (see
+   {!Rt_intf.RT.atomic_packed}). Each [fresh] call reserves a stride of
+   2^16 ids, so callers can address related lines as [base + offset].
+   Used both for arrays (slots per line) and for co-locating the fields
+   of one node on one line, the way a C struct would be laid out. *)
+
+let counter = ref 0
+let stride = 1 lsl 16
+
+let fresh () =
+  incr counter;
+  !counter * stride

@@ -1,0 +1,91 @@
+(** Native backend of {!Rt_intf.RT}: real atomics, real domains.
+
+    This is the backend applications should use. Thread identities are
+    assigned by {!set_tid} (called by the harness runner, or by user code
+    that spawns its own domains). *)
+
+let backend_name = "native"
+
+type 'a atomic = 'a Atomic.t
+
+let atomic v = Atomic.make v
+let atomic_packed ?streaming:_ ~group:_ v = Atomic.make v
+let atomic_with _other v = Atomic.make v
+let get = Atomic.get
+let set = Atomic.set
+let cas = Atomic.compare_and_set
+let faa = Atomic.fetch_and_add
+let exchange = Atomic.exchange
+
+let pause () = Domain.cpu_relax ()
+
+let pause_n n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+let yield () = Domain.cpu_relax ()
+
+(* Thread-private busy work: a data-independent spin the compiler cannot
+   remove entirely (result is observable through [work_sink]). *)
+let work_sink = ref 0
+
+let work n =
+  let acc = ref !work_sink in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  work_sink := !acc land 0xff
+
+let noise_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0x2545F491)
+
+let noise () =
+  let st = Domain.DLS.get noise_key in
+  let x = !st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  st := x;
+  x
+
+(* Thread identity via domain-local storage. [tid] is 0 outside of any
+   runner-managed thread, which makes single-threaded use (examples, unit
+   tests) work without ceremony. *)
+let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let nthreads_v = Atomic.make 1
+let set_tid t = Domain.DLS.set tid_key t
+let set_nthreads n = Atomic.set nthreads_v n
+let tid () = Domain.DLS.get tid_key
+let nthreads () = Atomic.get nthreads_v
+
+module Counter = struct
+  type t = { name : string; cell : int Atomic.t }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let registry_lock = Mutex.create ()
+
+  let make name =
+    Mutex.lock registry_lock;
+    let c =
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c
+    in
+    Mutex.unlock registry_lock;
+    c
+
+  let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+  let add c n = ignore (Atomic.fetch_and_add c.cell n)
+  let get c = Atomic.get c.cell
+  let reset c = Atomic.set c.cell 0
+  let name c = c.name
+
+  let reset_all () =
+    Mutex.lock registry_lock;
+    Hashtbl.iter (fun _ c -> reset c) registry;
+    Mutex.unlock registry_lock
+end

@@ -1,0 +1,138 @@
+(** Runtime abstraction for OPTIK algorithms.
+
+    Every lock and data structure in this library is a functor over {!RT}, a
+    small signature capturing the shared-memory operations concurrent
+    algorithms need. Two backends implement it:
+
+    - {!Native_rt}: the real thing, on top of [Stdlib.Atomic] and
+      [Stdlib.Domain]. Use this in applications.
+    - [Sim.Sim_rt]: a deterministic multicore simulator used to regenerate
+      the paper's scalability figures on a single-core host, and to drive
+      the linearizability checker over controlled schedules.
+
+    The abstraction deliberately mirrors what the paper's C code assumes of
+    x86: word-sized atomic loads/stores with acquire/release semantics,
+    compare-and-swap, and fetch-and-add. *)
+
+(** Counters are out-of-band statistics channels. They never perturb the
+    simulated clock, so algorithms can report events (operation restarts,
+    node-cache hits, validation failures) without affecting the measured
+    behaviour. On the native backend they are plain atomic counters. *)
+module type COUNTER = sig
+  type t
+
+  val make : string -> t
+  (** [make name] registers a fresh counter under [name]. Counters with the
+      same name share storage within a backend. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+module type RT = sig
+  val backend_name : string
+
+  (** {1 Atomic locations} *)
+
+  type 'a atomic
+  (** A shared mutable cell with sequentially-consistent atomic access. On
+      the simulator backend each cell occupies its own cache line unless
+      created with {!atomic_packed}. *)
+
+  val atomic : 'a -> 'a atomic
+  (** [atomic v] allocates a fresh atomic cell holding [v], on its own cache
+      line (the common case for lock words and node fields that are written
+      concurrently). *)
+
+  val atomic_packed : ?streaming:bool -> group:int -> 'a -> 'a atomic
+  (** [atomic_packed ~group v] allocates a cell that shares a cache line
+      with every other cell created with the same [group] id. Used to model
+      data that is contiguous in memory: the fields of one node (as a C
+      struct would pack them), the two halves of a ticket lock, or the
+      slots of the array map. [streaming] (default false) marks
+      array-like data whose cached reads pipeline (~1 cycle) rather than
+      paying the full load-to-use latency of pointer chasing. The native
+      backend ignores both. *)
+
+  val atomic_with : 'b atomic -> 'a -> 'a atomic
+  (** [atomic_with other v] allocates a cell on the {e same cache line}
+      as [other] — the layout a C struct gives the fields of one node.
+      Essential for modeling fidelity: a traversal that reads a node's
+      version and next pointer touches one line on real hardware, and
+      must cost one line access on the simulator too. The native backend
+      ignores the anchor. *)
+
+  val get : 'a atomic -> 'a
+  (** Atomic load with acquire semantics. *)
+
+  val set : 'a atomic -> 'a -> unit
+  (** Atomic store with release semantics. *)
+
+  val cas : 'a atomic -> 'a -> 'a -> bool
+  (** [cas r expected desired] atomically replaces the contents of [r] with
+      [desired] iff it is physically equal to [expected]; returns whether it
+      did. Failed CAS still costs a coherence transaction on the simulator,
+      which is essential to reproduce contention behaviour. *)
+
+  val faa : int atomic -> int -> int
+  (** [faa r n] atomically adds [n] and returns the previous value. *)
+
+  val exchange : 'a atomic -> 'a -> 'a
+  (** Atomic swap; returns the previous value. *)
+
+  (** {1 Execution} *)
+
+  val pause : unit -> unit
+  (** CPU relax: a polite busy-wait hint ([PAUSE] on x86). Charged a small
+      fixed cost on the simulator. *)
+
+  val pause_n : int -> unit
+  (** [pause_n n] relaxes for approximately [n] pause slots; building block
+      for backoff. *)
+
+  val yield : unit -> unit
+  (** Give up the processor; on the simulator this also ends the thread's
+      scheduling quantum, on the native backend it calls [Domain.cpu_relax]
+      (OCaml domains have no cooperative yield). *)
+
+  val work : int -> unit
+  (** [work n] burns [n] cycles of thread-private computation (no shared
+      memory traffic). Used by benchmarks to model the non-synchronized
+      sections between operations. *)
+
+  val noise : unit -> int
+  (** A small non-negative pseudo-random value for timing jitter in
+      backoff. On the simulator it is a pure function of the calling
+      thread's id and virtual clock, so runs stay bit-reproducible; on
+      the native backend it is a cheap thread-local xorshift. Timing
+      noise is what keeps contending threads from phase-locking into
+      deterministic starvation (see {!Backoff}). *)
+
+  (** {1 Thread identity} *)
+
+  val tid : unit -> int
+  (** Dense id of the calling thread, in [0 .. nthreads () - 1]. Valid only
+      inside a runner-managed thread. *)
+
+  val nthreads : unit -> int
+  (** Number of threads in the current run; 1 outside a run. *)
+
+  (** {1 Statistics} *)
+
+  module Counter : COUNTER
+end
+
+(** Interface of the classic (non-OPTIK) locks in [lib/locks], used by the
+    baseline data structures. *)
+module type LOCK = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+  val trylock : t -> bool
+  val is_locked : t -> bool
+end

@@ -1,0 +1,68 @@
+(** A binary min-heap of scheduler events, keyed by (time, sequence number).
+
+    The sequence number makes the pop order total and deterministic: two
+    events with the same virtual timestamp pop in insertion order. *)
+
+type 'a t = {
+  mutable arr : (int * int * 'a) array;  (** (time, seq, payload) *)
+  mutable len : int;
+  mutable seq : int;
+}
+
+let create () = { arr = Array.make 64 (0, 0, Obj.magic 0); len = 0; seq = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
+
+let grow t =
+  let arr' = Array.make (2 * Array.length t.arr) t.arr.(0) in
+  Array.blit t.arr 0 arr' 0 t.len;
+  t.arr <- arr'
+
+let push t time payload =
+  if t.len = Array.length t.arr then grow t;
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.arr.(!i) <- (time, seq, payload);
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt t.arr.(!i) t.arr.(parent) then (
+      let tmp = t.arr.(parent) in
+      t.arr.(parent) <- t.arr.(!i);
+      t.arr.(!i) <- tmp;
+      i := parent)
+    else continue := false
+  done
+
+(* Earliest pending timestamp; [max_int] when empty. Used by the
+   simulator's inline fast path to bound how far a thread may run ahead. *)
+let min_time t = if t.len = 0 then max_int else (fun (tm, _, _) -> tm) t.arr.(0)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Eheap.pop: empty";
+  let (time, _, payload) = t.arr.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then (
+    t.arr.(0) <- t.arr.(t.len);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && lt t.arr.(l) t.arr.(!smallest) then smallest := l;
+      if r < t.len && lt t.arr.(r) t.arr.(!smallest) then smallest := r;
+      if !smallest <> !i then (
+        let tmp = t.arr.(!smallest) in
+        t.arr.(!smallest) <- t.arr.(!i);
+        t.arr.(!i) <- tmp;
+        i := !smallest)
+      else continue := false
+    done);
+  (time, payload)

@@ -1,0 +1,618 @@
+(** Deterministic multicore simulator.
+
+    Virtual threads are OCaml-5 effect-handler coroutines scheduled by a
+    discrete-event loop over virtual cycle time. Shared-memory operations
+    ({!read}, {!write}, {!cas}, {!faa}, {!exchange}) are priced by a
+    cache-coherence cost model driven by a {!Topology.t}:
+
+    - every atomic location lives on a cache line with MESI-like state
+      (exclusive writer, sharer set);
+    - a line transfer costs more the further apart the two hardware
+      contexts are (SMT sibling < same die < same socket < cross-socket);
+    - atomic read-modify-writes serialize per line through a [busy_until]
+      timestamp — this is what makes contended CAS loops collapse, exactly
+      the effect Figure 5 of the paper measures;
+    - a {e failed} CAS costs a full coherence transaction, like on real
+      hardware.
+
+    When more threads run than the machine has hardware contexts, threads
+    sharing a context are time-sliced with a fixed quantum. A thread whose
+    turn it is not simply cannot start operations until its next window —
+    which reproduces the multiprogramming collapse of fair locks (MCS hands
+    the lock to a descheduled thread; §5.4 of the paper).
+
+    {b Performance.} A naive DES would pay an effect-handler round trip per
+    memory access; list traversals would then cost billions of scheduler
+    events. Instead, a thread may execute operations {e inline} (no effect,
+    no heap traffic) as long as the operation provably cannot interleave
+    with any other thread's pending event: the operation must finish
+    strictly before the earliest pending event timestamp and before the end
+    of the thread's scheduling window. This fast path is exact — it admits
+    only interleavings the slow path could also produce — and makes
+    traversal-heavy simulations run at memory speed. *)
+
+exception Timeout of string
+
+type line = {
+  mutable epoch : int;
+  mutable writer : int;  (** ctx holding the line exclusively; -1 if none *)
+  mutable sharers : int;  (** bitmask of ctxs sharing the line *)
+  mutable exclusive : bool;
+  mutable busy_until : int;  (** line serialization point for RMWs *)
+  streaming : bool;
+      (** packed/contiguous data (arrays): cached reads cost ~1 cycle —
+          independent loads pipeline — whereas pointer-chasing reads pay
+          the full L1 load-to-use latency *)
+}
+
+type 'a loc = { mutable v : 'a; line : line }
+
+type thread = {
+  t_id : int;
+  ctx : int;
+  rank : int;  (** position among threads sharing this context *)
+  mutable residents : int;  (** number of threads sharing this context *)
+  mutable clock : int;
+  mutable window_end : int;
+  mutable finished : bool;
+  mutable last_line : line;
+      (** the line this thread last accessed: back-to-back accesses to
+          one line (a node's fields) pipeline at ~1 cycle, like the
+          independent loads of a C struct's fields *)
+}
+
+type t = {
+  topo : Topology.t;
+  quantum : int;
+  threads : thread array;
+  q : (unit -> unit) Eheap.t;
+  mutable live : int;
+  mutable stop : bool;
+  mutable max_events : int;
+  mutable events : int;
+  mutable ops : int;
+  ops_target : int;
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_cas : int;
+  mutable n_cas_failed : int;
+  mutable n_faa : int;
+  mutable end_time : int;
+  read_slack : int;
+  max_inline_ops : int;
+  mutable inline_ops : int;
+      (** fast-path ops since run start; bounds runaway pure-inline spins
+          that would otherwise never hit the event-count timeout *)
+}
+
+(* The simulator is single-OS-threaded by construction; a pair of global
+   refs identifies the running virtual thread. [None] means "outside any
+   simulation": operations then apply directly with no cost, which lets
+   structures be built, inspected and unit-tested without a scheduler. *)
+let cur_sched : t option ref = ref None
+let cur_thread : thread option ref = ref None
+let epoch = ref 0
+
+type _ Effect.t +=
+  | Suspend : (thread -> ('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
+
+(* Run [f] with [th] installed as the current virtual thread. Every event
+   action is wrapped in this: thread code (resumed continuations) must see
+   itself as [th], and the scheduler loop itself runs with no thread. *)
+let dispatching th f () =
+  cur_thread := Some th;
+  Fun.protect ~finally:(fun () -> cur_thread := None) f
+
+(* ------------------------------------------------------------------ *)
+(* Locations                                                           *)
+
+let fresh_line ?(streaming = false) () =
+  {
+    epoch = !epoch;
+    writer = -1;
+    sharers = 0;
+    exclusive = false;
+    busy_until = 0;
+    streaming;
+  }
+
+let loc v = { v; line = fresh_line () }
+
+(* Allocate on the same line as an existing location: C-struct field
+   co-location (one node = one line). *)
+let loc_with (other : 'b loc) v = { v; line = other.line }
+
+let packed_lines : (int, line) Hashtbl.t = Hashtbl.create 64
+
+(* Locations created with the same [group] share a cache line, modeling
+   contiguous allocation: one node's fields, ticket-lock halves,
+   array-map slots. [streaming] marks array-like data (pipelined reads);
+   the first creator of a group decides. *)
+let loc_packed ?(streaming = false) ~group v =
+  let line =
+    match Hashtbl.find_opt packed_lines group with
+    | Some l -> l
+    | None ->
+        let l = fresh_line ~streaming () in
+        Hashtbl.add packed_lines group l;
+        l
+  in
+  { v; line }
+
+let fresh_group =
+  let c = ref 0 in
+  fun () ->
+    decr c;
+    !c
+
+(* Reset stale coherence state when a line created in an earlier run is
+   touched again: it is cold in every cache. *)
+let refresh line =
+  if line.epoch <> !epoch then (
+    line.epoch <- !epoch;
+    line.writer <- -1;
+    line.sharers <- 0;
+    line.exclusive <- false;
+    line.busy_until <- 0)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling windows (multiprogramming)                               *)
+
+let window_ready th s t =
+  if th.residents <= 1 then t
+  else
+    let q = s.quantum in
+    let slot = t / q in
+    let m = th.residents in
+    if slot mod m = th.rank then t
+    else
+      let off = (th.rank - (slot mod m) + m) mod m in
+      (slot + off) * q
+
+let window_end_of th s t =
+  if th.residents <= 1 then max_int else (((t / s.quantum) + 1) * s.quantum)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+
+let read_cost s th line =
+  let topo = s.topo in
+  let me = th.ctx in
+  let hit =
+    if line.streaming || line == th.last_line then 1 else topo.Topology.c_hit
+  in
+  if line.exclusive && line.writer = me then hit
+  else if (not line.exclusive) && line.sharers land (1 lsl me) <> 0 then hit
+  else
+    let src = if line.writer >= 0 then line.writer else -1 in
+    Topology.transfer topo ~src ~dst:me
+
+let apply_read th line =
+  th.last_line <- line;
+  let me = th.ctx in
+  if line.exclusive && line.writer = me then ()
+  else (
+    (* A read of a modified line downgrades it to shared. *)
+    if line.exclusive && line.writer >= 0 then
+      line.sharers <- line.sharers lor (1 lsl line.writer);
+    line.exclusive <- false;
+    line.sharers <- line.sharers lor (1 lsl me))
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
+
+let own_cost s th line ~rmw =
+  let topo = s.topo in
+  let me = th.ctx in
+  let base =
+    if line.exclusive && line.writer = me then topo.Topology.c_store
+    else
+      let transfer = Topology.transfer topo ~src:line.writer ~dst:me in
+      let others =
+        let mask = line.sharers land lnot (1 lsl me) in
+        popcount mask
+      in
+      transfer + (others * topo.Topology.c_inv_per_sharer)
+  in
+  if rmw then base + topo.Topology.c_rmw else base
+
+let apply_own th line =
+  th.last_line <- line;
+  line.exclusive <- true;
+  line.writer <- th.ctx;
+  line.sharers <- 1 lsl th.ctx
+
+(* ------------------------------------------------------------------ *)
+(* Operation engine                                                    *)
+
+(* Execute an operation for thread [th]: wait for the line if needed,
+   charge [cost], apply [sem]. Returns the operation's result. *)
+let exec_now s th line cost ~serialize sem =
+  s.inline_ops <- s.inline_ops + 1;
+  if s.inline_ops > s.max_inline_ops then
+    raise (Timeout "simulation exceeded the inline-operation budget");
+  let start =
+    match line with
+    | Some l when l.busy_until > th.clock -> l.busy_until
+    | _ -> th.clock
+  in
+  let fin = start + cost in
+  (match line with
+  | Some l when serialize -> l.busy_until <- fin
+  | _ -> ());
+  th.clock <- fin;
+  if fin > s.end_time then s.end_time <- fin;
+  sem ()
+
+(* The inline fast path: run the op without touching the scheduler iff it
+   finishes before the earliest pending event and before the end of the
+   thread's scheduling window.
+
+   State-changing operations (stores, RMWs — [serialize = true]) are
+   strict: they may only run inline while no other thread has a pending
+   event that could interleave, so the global interleaving of writes is
+   exactly what the event queue would have produced.
+
+   Reads (and thread-private [work]) get {e bounded slack}: they may run
+   up to [s.read_slack] cycles past the earliest pending event. A read
+   applied early returns a value that is stale by at most the slack
+   window — indistinguishable from ordinary cache latency — and never
+   mutates shared state, so every execution remains a legal concurrent
+   history. This is what lets traversal-heavy workloads (large linked
+   lists) simulate at memory speed instead of one scheduler event per
+   node. *)
+let can_inline s th line cost ~serialize =
+  let start =
+    match line with
+    | Some l when l.busy_until > th.clock -> l.busy_until
+    | _ -> th.clock
+  in
+  let fin = start + cost in
+  fin <= th.window_end
+  &&
+  let bound = Eheap.min_time s.q in
+  (* [bound] is [max_int] when the heap is empty: this thread is the
+     only runnable one, so any interleaving question is moot — always
+     inline. (Runaway pure-inline spins are caught by the inline-op
+     budget in [exec_now].) *)
+  bound = max_int
+  || if serialize then fin < bound else fin <= bound + s.read_slack
+
+(* Slow path: suspend the thread; the scheduler pops the event, re-prices
+   the operation (line state may have changed) and resumes. *)
+let suspend_op (type a) s th (price : t -> thread -> line option * int * bool)
+    (sem : unit -> a) : a =
+  ignore th;
+  Effect.perform
+    (Suspend
+       (fun th k ->
+         Eheap.push s.q th.clock
+           (dispatching th (fun () ->
+                let ready = window_ready th s th.clock in
+                th.clock <- ready;
+                th.window_end <- window_end_of th s ready;
+                let line, cost, serialize = price s th in
+                let v = exec_now s th line cost ~serialize sem in
+                Effect.Deep.continue k v))))
+
+let op (type a) s th price (sem : unit -> a) : a =
+  let line, cost, serialize = price s th in
+  if can_inline s th line cost ~serialize then
+    exec_now s th line cost ~serialize sem
+  else suspend_op s th price sem
+
+(* ------------------------------------------------------------------ *)
+(* Public memory operations                                            *)
+
+let read (l : 'a loc) : 'a =
+  match !cur_thread with
+  | None -> l.v
+  | Some th ->
+      let s = match !cur_sched with Some s -> s | None -> assert false in
+      refresh l.line;
+      s.n_reads <- s.n_reads + 1;
+      op s th
+        (fun s th -> (Some l.line, read_cost s th l.line, false))
+        (fun () ->
+          apply_read th l.line;
+          l.v)
+
+let write (l : 'a loc) (v : 'a) : unit =
+  match !cur_thread with
+  | None -> l.v <- v
+  | Some th ->
+      let s = match !cur_sched with Some s -> s | None -> assert false in
+      refresh l.line;
+      s.n_writes <- s.n_writes + 1;
+      op s th
+        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:false, true))
+        (fun () ->
+          apply_own th l.line;
+          l.v <- v)
+
+let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
+  match !cur_thread with
+  | None ->
+      if l.v == expected then (
+        l.v <- desired;
+        true)
+      else false
+  | Some th ->
+      let s = match !cur_sched with Some s -> s | None -> assert false in
+      refresh l.line;
+      s.n_cas <- s.n_cas + 1;
+      op s th
+        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
+        (fun () ->
+          apply_own th l.line;
+          if l.v == expected then (
+            l.v <- desired;
+            true)
+          else (
+            s.n_cas_failed <- s.n_cas_failed + 1;
+            false))
+
+let faa (l : int loc) (n : int) : int =
+  match !cur_thread with
+  | None ->
+      let old = l.v in
+      l.v <- old + n;
+      old
+  | Some th ->
+      let s = match !cur_sched with Some s -> s | None -> assert false in
+      refresh l.line;
+      s.n_faa <- s.n_faa + 1;
+      op s th
+        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
+        (fun () ->
+          apply_own th l.line;
+          let old = l.v in
+          l.v <- old + n;
+          old)
+
+let exchange (l : 'a loc) (v : 'a) : 'a =
+  match !cur_thread with
+  | None ->
+      let old = l.v in
+      l.v <- v;
+      old
+  | Some th ->
+      let s = match !cur_sched with Some s -> s | None -> assert false in
+      refresh l.line;
+      s.n_cas <- s.n_cas + 1;
+      op s th
+        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
+        (fun () ->
+          apply_own th l.line;
+          let old = l.v in
+          l.v <- v;
+          old)
+
+let work (n : int) : unit =
+  if n > 0 then
+    match !cur_thread with
+    | None -> ()
+    | Some th ->
+        let s = match !cur_sched with Some s -> s | None -> assert false in
+        op s th (fun _ _ -> (None, n, false)) (fun () -> ())
+
+let pause_cost = 8
+
+let pause () = work pause_cost
+let pause_n n = work (pause_cost * n)
+
+(* Yield gives up the rest of the scheduling window (when oversubscribed)
+   or acts as a pause (when not). *)
+let yield () =
+  match !cur_thread with
+  | None -> ()
+  | Some th ->
+      if th.residents <= 1 then pause ()
+      else
+        let s = match !cur_sched with Some s -> s | None -> assert false in
+        Effect.perform
+          (Suspend
+             (fun th k ->
+               let q = s.quantum in
+               let m = th.residents in
+               let slot = th.clock / q in
+               let off = (th.rank - (slot mod m) + m) mod m in
+               let off = if off = 0 then m else off in
+               let t' = (slot + off) * q in
+               Eheap.push s.q t'
+                 (dispatching th (fun () ->
+                      th.clock <- max th.clock t';
+                      if th.clock > s.end_time then s.end_time <- th.clock;
+                      th.window_end <- window_end_of th s th.clock;
+                      Effect.Deep.continue k ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Run-control helpers exposed to harness code                         *)
+
+let now () = match !cur_thread with None -> 0 | Some th -> th.clock
+
+let stop_requested () =
+  match !cur_sched with None -> false | Some s -> s.stop
+
+let tick () =
+  match !cur_sched with
+  | None -> ()
+  | Some s ->
+      s.ops <- s.ops + 1;
+      if s.ops_target > 0 && s.ops >= s.ops_target then s.stop <- true
+
+let request_stop () =
+  match !cur_sched with None -> () | Some s -> s.stop <- true
+
+let tid () = match !cur_thread with None -> 0 | Some th -> th.t_id
+
+(* Deterministic timing noise: a pure hash of (thread id, virtual clock).
+   Identical schedules yield identical noise, preserving run-to-run
+   reproducibility, while co-scheduled threads see decorrelated values. *)
+let noise () =
+  match !cur_thread with
+  | None -> 0
+  | Some th ->
+      let x = (th.clock * 0x9E3779B1) lxor ((th.t_id + 1) * 0x85EBCA77) in
+      let x = x lxor (x lsr 13) in
+      let x = (x * 0xC2B2AE35) land max_int in
+      x lxor (x lsr 16)
+
+let nthreads () =
+  match !cur_sched with None -> 1 | Some s -> Array.length s.threads
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+
+type stats = {
+  wall_cycles : int;
+  ops : int;
+  reads : int;
+  writes : int;
+  cas : int;
+  cas_failed : int;
+  faa : int;
+  events : int;
+}
+
+(* Throughput in million operations per second at the topology's clock. *)
+let mops topo (st : stats) =
+  if st.wall_cycles = 0 then 0.
+  else
+    let seconds = float_of_int st.wall_cycles /. (topo.Topology.ghz *. 1e9) in
+    float_of_int st.ops /. seconds /. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* The run loop                                                        *)
+
+let default_quantum = 1_000_000
+let default_max_events = 400_000_000
+let default_read_slack = 1_000
+let default_max_inline_ops = 40_000_000_000
+
+let run ?(quantum = default_quantum) ?(ops_target = 0)
+    ?(max_events = default_max_events) ?(read_slack = default_read_slack)
+    ?(max_inline_ops = default_max_inline_ops) ~topology ~nthreads:n body =
+  if n <= 0 then invalid_arg "Sched.run: nthreads must be positive";
+  if !cur_sched <> None then invalid_arg "Sched.run: nested simulations";
+  incr epoch;
+  let nctx = Topology.n_contexts topology in
+  let per_ctx = Array.make nctx 0 in
+  let threads =
+    Array.init n (fun i ->
+        let ctx = i mod nctx in
+        let rank = per_ctx.(ctx) in
+        per_ctx.(ctx) <- rank + 1;
+        {
+          t_id = i;
+          ctx;
+          rank;
+          residents = 0 (* patched below *);
+          clock = 0;
+          window_end = 0;
+          finished = false;
+          last_line = fresh_line ();
+        })
+  in
+  Array.iter
+    (fun th ->
+      th.residents <- per_ctx.(th.ctx);
+      th.window_end <- max_int)
+    threads;
+  let s =
+    {
+      topo = topology;
+      quantum;
+      threads;
+      q = Eheap.create ();
+      live = n;
+      stop = false;
+      max_events;
+      events = 0;
+      ops = 0;
+      ops_target;
+      n_reads = 0;
+      n_writes = 0;
+      n_cas = 0;
+      n_cas_failed = 0;
+      n_faa = 0;
+      end_time = 0;
+      read_slack;
+      max_inline_ops;
+      inline_ops = 0;
+    }
+  in
+  cur_sched := Some s;
+  let start_thread th =
+    Effect.Deep.match_with
+      (fun () -> body th.t_id)
+      ()
+      {
+        retc =
+          (fun () ->
+            th.finished <- true;
+            s.live <- s.live - 1);
+        exnc =
+          (fun e ->
+            cur_sched := None;
+            cur_thread := None;
+            raise e);
+        effc =
+          (fun (type a) (e : a Effect.t) ->
+            match e with
+            | Suspend f ->
+                Some (fun (k : (a, unit) Effect.Deep.continuation) -> f th k)
+            | _ -> None);
+      }
+  in
+  (* Seed the heap with thread starts, staggered by their first window. *)
+  Array.iter
+    (fun th ->
+      let t0 = window_ready th s 0 in
+      Eheap.push s.q t0
+        (dispatching th (fun () ->
+             th.clock <- t0;
+             th.window_end <- window_end_of th s t0;
+             start_thread th)))
+    threads;
+  let finalize () =
+    cur_sched := None;
+    cur_thread := None
+  in
+  (try
+     while s.live > 0 && not (Eheap.is_empty s.q) do
+       let _, action = Eheap.pop s.q in
+       s.events <- s.events + 1;
+       if s.events > s.max_events then (
+         let dump =
+           Printf.sprintf "ops=%d " s.ops
+           ^ (Array.to_list s.threads
+             |> List.map (fun th ->
+                    Printf.sprintf "t%d@%d%s" th.t_id th.clock
+                      (if th.finished then "(done)" else ""))
+             |> String.concat " ")
+         in
+         finalize ();
+         raise
+           (Timeout
+              (Printf.sprintf "simulation exceeded %d events; threads: %s"
+                 s.max_events dump)));
+       action ()
+     done
+   with e ->
+     finalize ();
+     raise e);
+  finalize ();
+  if s.live > 0 then
+    raise (Timeout "simulation ended with runnable threads (deadlock?)");
+  {
+    wall_cycles = s.end_time;
+    ops = s.ops;
+    reads = s.n_reads;
+    writes = s.n_writes;
+    cas = s.n_cas;
+    cas_failed = s.n_cas_failed;
+    faa = s.n_faa;
+    events = s.events;
+  }

@@ -1,0 +1,118 @@
+(** Deterministic multicore simulator: discrete-event scheduling of
+    effect-handler virtual threads over a cache-coherence cost model.
+
+    See the implementation header and DESIGN.md ("Simulator techniques")
+    for the model: per-cache-line MESI-like state, NUMA-priced line
+    transfers, per-line serialization of atomic read-modify-writes,
+    scheduling quanta for oversubscription, and the inline fast path with
+    bounded read slack.
+
+    Typical use goes through {!Sim_rt} (the {!Rt.Rt_intf.RT} backend) and
+    {!run}; the raw location operations here are what {!Sim_rt} delegates
+    to. Outside of a {!run}, all operations apply directly with zero
+    simulated cost, which is how benchmark prefills and unit tests build
+    structures cheaply. *)
+
+exception Timeout of string
+(** Raised when a run exceeds its event or inline-operation budget — the
+    backstop against livelocked or runaway simulations. The payload
+    includes per-thread virtual clocks for diagnosis. *)
+
+(** {1 Locations} *)
+
+type 'a loc
+(** A simulated shared-memory cell. Every cell lives on a cache line;
+    {!loc} gives it a private line, {!loc_packed} and {!loc_with} model
+    C-style contiguity. *)
+
+val loc : 'a -> 'a loc
+
+val loc_packed : ?streaming:bool -> group:int -> 'a -> 'a loc
+(** Same line as every other cell of [group]. [streaming] marks
+    array-like data whose cached reads pipeline at ~1 cycle. *)
+
+val loc_with : 'b loc -> 'a -> 'a loc
+(** Same line as an existing cell — one node, one line. *)
+
+val fresh_group : unit -> int
+(** A fresh packing-group id (distinct from {!Rt.Group.fresh}'s space;
+    either works, they must just not collide). *)
+
+(** {1 Memory operations}
+
+    Atomic, sequentially consistent; priced by the coherence model when
+    executed inside a {!run}. [cas] and [exchange] compare/return by
+    physical equality, like [Stdlib.Atomic]. *)
+
+val read : 'a loc -> 'a
+val write : 'a loc -> 'a -> unit
+val cas : 'a loc -> 'a -> 'a -> bool
+val faa : int loc -> int -> int
+val exchange : 'a loc -> 'a -> 'a
+
+(** {1 Thread-local execution} *)
+
+val work : int -> unit
+(** Burn [n] cycles of private computation. *)
+
+val pause : unit -> unit
+val pause_n : int -> unit
+val yield : unit -> unit
+
+(** {1 Run control (callable from inside a run)} *)
+
+val now : unit -> int
+(** The calling virtual thread's clock, in cycles; 0 outside a run. *)
+
+val tick : unit -> unit
+(** Count one completed benchmark operation toward [ops_target]. *)
+
+val noise : unit -> int
+(** Deterministic timing noise: a pure hash of the calling thread's id
+    and clock (0 outside a run). *)
+
+val stop_requested : unit -> bool
+val request_stop : unit -> unit
+val tid : unit -> int
+val nthreads : unit -> int
+
+(** {1 Results} *)
+
+type stats = {
+  wall_cycles : int;  (** virtual time when the last thread finished *)
+  ops : int;  (** operations counted via {!tick} *)
+  reads : int;
+  writes : int;
+  cas : int;
+  cas_failed : int;
+  faa : int;
+  events : int;  (** scheduler (slow-path) events processed *)
+}
+
+val mops : Topology.t -> stats -> float
+(** Throughput in million operations per second at the topology's clock
+    frequency. *)
+
+(** {1 Running} *)
+
+val default_quantum : int
+val default_max_events : int
+val default_read_slack : int
+val default_max_inline_ops : int
+
+val run :
+  ?quantum:int ->
+  ?ops_target:int ->
+  ?max_events:int ->
+  ?read_slack:int ->
+  ?max_inline_ops:int ->
+  topology:Topology.t ->
+  nthreads:int ->
+  (int -> unit) ->
+  stats
+(** [run ~topology ~nthreads body] executes [body tid] as [nthreads]
+    virtual threads until they all return (or [ops_target] operations
+    have been {!tick}ed, observed via {!stop_requested}). Deterministic:
+    identical inputs give identical results. Raises {!Timeout} on budget
+    exhaustion, [Invalid_argument] on nesting, and re-raises any
+    exception escaping a thread body. *)

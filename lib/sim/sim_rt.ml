@@ -1,0 +1,48 @@
+(** Simulator backend of {!Rt.Rt_intf.RT}.
+
+    Instantiate any algorithm functor with this module and run its
+    operations inside {!Sched.run} to execute it on the simulated
+    multicore. Outside a simulation the operations apply directly with no
+    cost, so the same instantiation also works in plain unit tests. *)
+
+let backend_name = "sim"
+
+type 'a atomic = 'a Sched.loc
+
+let atomic v = Sched.loc v
+let atomic_packed ?streaming ~group v = Sched.loc_packed ?streaming ~group v
+let atomic_with other v = Sched.loc_with other v
+let get = Sched.read
+let set = Sched.write
+let cas = Sched.cas
+let faa = Sched.faa
+let exchange = Sched.exchange
+let pause = Sched.pause
+let pause_n = Sched.pause_n
+let yield = Sched.yield
+let work = Sched.work
+let tid = Sched.tid
+let noise = Sched.noise
+let nthreads = Sched.nthreads
+
+module Counter = struct
+  (* Zero-cost statistics channel: never touches the simulated clock. *)
+  type t = { name : string; cell : int ref }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; cell = ref 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  let incr c = Stdlib.incr c.cell
+  let add c n = c.cell := !(c.cell) + n
+  let get c = !(c.cell)
+  let reset c = c.cell := 0
+  let name c = c.name
+  let reset_all () = Hashtbl.iter (fun _ c -> reset c) registry
+end

@@ -1,0 +1,122 @@
+(** Machine models for the multicore simulator.
+
+    The paper evaluates on two machines (§5):
+
+    - {e Xeon}: 2-socket Intel Xeon E5-2680 v2 (Ivy Bridge), 10 cores and 20
+      hyper-threads per socket (40 hardware contexts total), 2.8 GHz.
+    - {e Opteron}: 4-socket AMD Opteron 6172, each a multi-chip module of two
+      6-core dies — 8 NUMA nodes, 48 hardware contexts, 2.1 GHz.
+
+    A topology assigns each hardware context to a core / die / socket and
+    prices cache-line transfers between contexts. The numbers are
+    order-of-magnitude cycle costs from the authors' own measurement study
+    (David, Guerraoui, Trigonakis, SOSP'13): intra-die cache-to-cache
+    transfers cost tens of cycles, cross-socket transfers hundreds, and the
+    Opteron's 8-node HyperTransport fabric is markedly more expensive than
+    the Xeon's 2-socket QPI. Absolute values are not calibrated to the
+    original hardware — the simulator reproduces performance {e shapes}, not
+    absolute numbers. *)
+
+type ctx = { core : int; die : int; socket : int }
+
+type t = {
+  name : string;
+  ghz : float;  (** model frequency, to convert virtual cycles to seconds *)
+  contexts : ctx array;  (** hardware contexts in OS-enumeration order *)
+  c_hit : int;  (** L1 hit *)
+  c_mem : int;  (** cold miss served from DRAM *)
+  c_same_core : int;  (** transfer between SMT siblings *)
+  c_same_die : int;  (** cache-to-cache within a die *)
+  c_same_socket : int;  (** within a socket, across dies (Opteron MCM) *)
+  c_cross : int;  (** across sockets *)
+  c_rmw : int;  (** extra latency of an atomic RMW over a plain store *)
+  c_store : int;  (** local store to an owned line *)
+  c_inv_per_sharer : int;  (** per-sharer invalidation broadcast cost *)
+}
+
+let n_contexts t = Array.length t.contexts
+
+(* Cost of moving a line from the cache of [src] into [dst].
+   [src = -1] means the line is not in any cache (cold). *)
+let transfer t ~src ~dst =
+  if src < 0 then t.c_mem
+  else
+    let a = t.contexts.(src) and b = t.contexts.(dst) in
+    if a.core = b.core then t.c_same_core
+    else if a.die = b.die then t.c_same_die
+    else if a.socket = b.socket then t.c_same_socket
+    else t.c_cross
+
+(* OS enumeration without pinning tends to spread runnable threads across
+   sockets first (the paper does not pin threads, §5). We therefore
+   enumerate contexts round-robin over sockets: distinct physical cores
+   first, SMT siblings last. *)
+
+let xeon =
+  let sockets = 2 and cores_per = 10 and smt = 2 in
+  let n = sockets * cores_per * smt in
+  let contexts =
+    Array.init n (fun i ->
+        let slot = i mod (sockets * cores_per) in
+        let socket = slot mod sockets in
+        let core_in_socket = slot / sockets in
+        let core = (socket * cores_per) + core_in_socket in
+        { core; die = socket; socket })
+  in
+  {
+    name = "xeon";
+    ghz = 2.8;
+    contexts;
+    c_hit = 4;
+    c_mem = 180;
+    c_same_core = 12;
+    c_same_die = 45;
+    c_same_socket = 45;
+    c_cross = 240;
+    c_rmw = 18;
+    c_store = 6;
+    c_inv_per_sharer = 8;
+  }
+
+let opteron =
+  let dies = 8 and cores_per = 6 in
+  let n = dies * cores_per in
+  let contexts =
+    Array.init n (fun i ->
+        let die = i mod dies in
+        let core_in_die = i / dies in
+        let core = (die * cores_per) + core_in_die in
+        { core; die; socket = die / 2 })
+  in
+  {
+    name = "opteron";
+    ghz = 2.1;
+    contexts;
+    c_hit = 3;
+    c_mem = 220;
+    c_same_core = 10;
+    c_same_die = 45;
+    c_same_socket = 140;
+    c_cross = 380;
+    c_rmw = 25;
+    c_store = 7;
+    c_inv_per_sharer = 14;
+  }
+
+(* A small flat machine for tests: [n] identical contexts, uniform costs.
+   Keeps unit-test schedules short and easy to reason about. *)
+let uniform ?(n = 4) () =
+  {
+    name = Printf.sprintf "uniform-%d" n;
+    ghz = 1.0;
+    contexts = Array.init n (fun i -> { core = i; die = 0; socket = 0 });
+    c_hit = 1;
+    c_mem = 10;
+    c_same_core = 2;
+    c_same_die = 5;
+    c_same_socket = 5;
+    c_cross = 5;
+    c_rmw = 3;
+    c_store = 1;
+    c_inv_per_sharer = 1;
+  }

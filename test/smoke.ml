@@ -1,0 +1,91 @@
+(* Quick manual smoke test; superseded by the alcotest suites but kept
+   runnable via [dune exec test/smoke.exe]. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let module R = Harness.Registry.Sim_backend in
+  let w = Harness.Runner.uniform_workload ~init_size:1024 ~update_pct:40 () in
+  List.iter
+    (fun (module S : Harness.Registry.SET_OPS) ->
+      let (m : Harness.Runner.measurement), secs =
+        time (fun () ->
+            Harness.Runner.run_set_sim ~topology:Sim.Topology.xeon ~nthreads:10
+              ~ops:20_000
+              (module S)
+              w)
+      in
+      Printf.printf
+        "%-12s thr=%2d mops=%7.2f eff-upd=%4.1f%% size=%d valid=%b cas=%d \
+         casf=%d [%.2fs host]\n%!"
+        m.name m.threads m.mops m.eff_update_pct m.final_size m.valid m.cas
+        m.cas_failed secs)
+    R.lists;
+  print_newline ();
+  List.iter
+    (fun (module Qu : Harness.Registry.QUEUE_OPS) ->
+      let m, secs =
+        time (fun () ->
+            Harness.Runner.run_queue_sim ~topology:Sim.Topology.xeon
+              ~nthreads:10 ~ops:20_000 ~init:4096 ~enqueue_pct:50
+              (module Qu))
+      in
+      Printf.printf "%-12s thr=%2d mops=%7.2f size=%d [%.2fs host]\n%!" m.name
+        m.threads m.mops m.final_size secs)
+    R.queues;
+  print_newline ();
+  (* maps and skip lists and hash tables, one workload each *)
+  let wmap =
+    {
+      (Harness.Runner.uniform_workload ~init_size:1024 ~update_pct:20 ()) with
+      Harness.Runner.capacity = Some 1024;
+      init_size = 512;
+    }
+  in
+  List.iter
+    (fun (module S : Harness.Registry.SET_OPS) ->
+      let m, secs =
+        time (fun () ->
+            Harness.Runner.run_set_sim ~topology:Sim.Topology.xeon ~nthreads:10
+              ~ops:50_000
+              (module S)
+              wmap)
+      in
+      Printf.printf "map %-8s mops=%7.2f size=%d valid=%b [%.2fs host]\n%!"
+        m.name m.mops m.final_size m.valid secs)
+    R.maps;
+  let wsl = Harness.Runner.skewed_workload ~init_size:1024 ~update_pct:40 () in
+  List.iter
+    (fun (module S : Harness.Registry.SET_OPS) ->
+      let m, secs =
+        time (fun () ->
+            Harness.Runner.run_set_sim ~topology:Sim.Topology.xeon ~nthreads:10
+              ~ops:20_000
+              (module S)
+              wsl)
+      in
+      Printf.printf "sl  %-10s mops=%7.2f size=%d valid=%b [%.2fs host]\n%!"
+        m.name m.mops m.final_size m.valid secs)
+    R.skiplists;
+  let wht =
+    {
+      (Harness.Runner.uniform_workload ~init_size:8192 ~update_pct:40 ()) with
+      Harness.Runner.capacity = Some 8192;
+    }
+  in
+  List.iter
+    (fun (module S : Harness.Registry.SET_OPS) ->
+      let m, secs =
+        time (fun () ->
+            Harness.Runner.run_set_sim ~topology:Sim.Topology.xeon ~nthreads:10
+              ~ops:50_000
+              (module S)
+              wht)
+      in
+      Printf.printf "ht  %-10s mops=%7.2f size=%d valid=%b [%.2fs host]\n%!"
+        m.name m.mops m.final_size m.valid secs)
+    R.hashtables;
+  print_endline "smoke OK"

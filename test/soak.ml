@@ -1,0 +1,83 @@
+(* Randomized soak test: hammers every structure with randomized
+   workloads, topologies, thread counts and seeds, checking conservation
+   and structural invariants after every run. Not part of `dune runtest`
+   (unbounded); run manually:
+
+     dune exec test/soak.exe -- [minutes] [base-seed]
+
+   Defaults: 2 minutes, seed from the clock. Every failure prints the
+   exact (structure, topology, threads, ops, seed) tuple — simulator runs
+   are deterministic, so any failure is replayable. *)
+
+let minutes =
+  if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 2.
+
+let base_seed =
+  if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
+  else int_of_float (Unix.gettimeofday ()) land 0xFFFFFF
+
+module R = Harness.Registry
+
+let topologies =
+  [ Sim.Topology.xeon; Sim.Topology.opteron; Sim.Topology.uniform ~n:4 () ]
+
+let all_sets =
+  let module S = Harness.Registry.Sim_backend in
+  S.maps @ S.lists @ S.hashtables @ S.skiplists @ S.bsts
+
+let () =
+  Printf.printf "soak: %.1f minutes, base seed %d\n%!" minutes base_seed;
+  let rng = Harness.Rng.create base_seed in
+  let deadline = Unix.gettimeofday () +. (minutes *. 60.) in
+  let runs = ref 0 and failures = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    incr runs;
+    let seed = Harness.Rng.next rng land 0xFFFFFF in
+    let topo = List.nth topologies (Harness.Rng.below rng 3) in
+    let nthreads = 1 + Harness.Rng.below rng 64 in
+    let size = 4 lsl Harness.Rng.below rng 9 (* 4 .. 1024 *) in
+    let updates = 10 + Harness.Rng.below rng 80 in
+    let skewed = Harness.Rng.below rng 2 = 0 in
+    let ops = 2_000 + Harness.Rng.below rng 8_000 in
+    let (module S : R.SET_OPS) =
+      List.nth all_sets (Harness.Rng.below rng (List.length all_sets))
+    in
+    let w =
+      let base =
+        if skewed then
+          Harness.Runner.skewed_workload ~init_size:size ~update_pct:updates ()
+        else
+          Harness.Runner.uniform_workload ~init_size:size ~update_pct:updates
+            ()
+      in
+      (* maps need headroom; hash tables take the size as bucket count *)
+      { base with Harness.Runner.capacity = Some (2 * size) }
+    in
+    Dstruct.Sl_common.reset_states ();
+    let describe () =
+      Printf.sprintf "%s topo=%s thr=%d size=%d upd=%d%% skew=%b ops=%d seed=%d"
+        S.name topo.Sim.Topology.name nthreads size updates skewed ops seed
+    in
+    (try
+       let m =
+         Harness.Runner.run_set_sim ~topology:topo ~nthreads ~ops ~seed
+           (module S)
+           w
+       in
+       if not m.Harness.Runner.valid then (
+         incr failures;
+         Printf.printf "INVALID STRUCTURE: %s\n%!" (describe ()))
+     with
+    | Sim.Sched.Timeout msg ->
+        incr failures;
+        Printf.printf "TIMEOUT: %s\n  %s\n%!" (describe ())
+          (String.sub msg 0 (min 120 (String.length msg)))
+    | e ->
+        incr failures;
+        Printf.printf "EXCEPTION %s: %s\n%!" (Printexc.to_string e)
+          (describe ()));
+    if !runs mod 25 = 0 then
+      Printf.printf "  ... %d runs, %d failures\n%!" !runs !failures
+  done;
+  Printf.printf "soak finished: %d runs, %d failures\n" !runs !failures;
+  exit (if !failures > 0 then 1 else 0)

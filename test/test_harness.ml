@@ -1,0 +1,185 @@
+(* Tests for the harness substrate: RNG, zipf distribution, latency
+   percentiles, workload accounting, and the runners themselves. *)
+
+let test_rng_deterministic () =
+  let a = Harness.Rng.create 42 and b = Harness.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Harness.Rng.next a)
+      (Harness.Rng.next b)
+  done;
+  let c = Harness.Rng.create 43 in
+  Alcotest.(check bool) "different seed, different stream" false
+    (Harness.Rng.next a = Harness.Rng.next c
+    && Harness.Rng.next a = Harness.Rng.next c)
+
+let test_rng_below_range () =
+  let r = Harness.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Harness.Rng.below r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_zipf_largest_most_popular () =
+  let z = Harness.Zipf.create ~range:100 ~alpha:0.9 in
+  let r = Harness.Rng.create 3 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 50_000 do
+    let k = Harness.Zipf.sample z r in
+    if k < 1 || k > 100 then Alcotest.failf "zipf out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* the paper's convention: the largest key is the most popular *)
+  let max_idx = ref 0 in
+  Array.iteri (fun i c -> if c > counts.(!max_idx) then max_idx := i) counts;
+  Alcotest.(check int) "key 100 most popular" 100 !max_idx;
+  Alcotest.(check bool) "popular key takes a disproportionate share" true
+    (float_of_int counts.(100) /. 50_000. > 0.05)
+
+let test_zipf_cdf_monotone () =
+  let z = Harness.Zipf.create ~range:50 ~alpha:0.9 in
+  (* sample ranks across the u range must be monotone *)
+  let prev = ref (-1) in
+  for i = 0 to 100 do
+    let u = float_of_int i /. 100. in
+    let rank = Harness.Zipf.rank_of z u in
+    if rank < !prev then Alcotest.fail "rank not monotone in u";
+    prev := rank
+  done
+
+let test_pstats_percentiles () =
+  let p = Harness.Pstats.create () in
+  for i = 1 to 100 do
+    Harness.Pstats.record p i
+  done;
+  let s = Harness.Pstats.summarize [ p ] in
+  Alcotest.(check int) "n" 100 s.Harness.Pstats.n;
+  Alcotest.(check int) "p50" 50 s.Harness.Pstats.p50;
+  Alcotest.(check int) "p05" 5 s.Harness.Pstats.p05;
+  Alcotest.(check int) "p95" 95 s.Harness.Pstats.p95;
+  Alcotest.(check (float 0.6)) "mean" 50.5 s.Harness.Pstats.mean
+
+let test_pstats_ring_overflow () =
+  let p = Harness.Pstats.create () in
+  for i = 1 to Harness.Pstats.capacity + 500 do
+    Harness.Pstats.record p i
+  done;
+  Alcotest.(check int) "count tracks all" (Harness.Pstats.capacity + 500)
+    (Harness.Pstats.count p);
+  let s = Harness.Pstats.summarize [ p ] in
+  Alcotest.(check int) "summary capped at capacity" Harness.Pstats.capacity
+    s.Harness.Pstats.n
+
+let test_pstats_merge () =
+  let a = Harness.Pstats.create () and b = Harness.Pstats.create () in
+  for i = 1 to 10 do
+    Harness.Pstats.record a i;
+    Harness.Pstats.record b (90 + i)
+  done;
+  let s = Harness.Pstats.summarize [ a; b ] in
+  Alcotest.(check int) "merged n" 20 s.Harness.Pstats.n;
+  Alcotest.(check int) "p05 low" 1 s.Harness.Pstats.p05;
+  Alcotest.(check int) "p95 high" 99 s.Harness.Pstats.p95;
+  Alcotest.(check bool) "p50 between the groups" true
+    (s.Harness.Pstats.p50 >= 10 && s.Harness.Pstats.p50 <= 91)
+
+(* End-to-end: the sim runner measures an effective update rate near the
+   configured one, and latency classes are populated. *)
+let test_runner_effective_updates () =
+  let (module S : Harness.Registry.SET_OPS) =
+    Harness.Registry.Sim_backend.ll_optik
+  in
+  let w = Harness.Runner.uniform_workload ~init_size:64 ~update_pct:40 () in
+  let m =
+    Harness.Runner.run_set_sim ~topology:Tutil.uniform4 ~nthreads:4
+      ~ops:10_000
+      (module S)
+      w
+  in
+  (* range = 2x size: about half the attempted updates succeed -> ~20% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "effective updates ~20%% (%.1f)" m.Harness.Runner.eff_update_pct)
+    true
+    (m.Harness.Runner.eff_update_pct > 12.
+    && m.Harness.Runner.eff_update_pct < 28.);
+  Alcotest.(check bool) "throughput positive" true (m.Harness.Runner.mops > 0.);
+  Alcotest.(check bool) "structure valid" true m.Harness.Runner.valid;
+  let srch_suc = m.Harness.Runner.lat.(0) in
+  Alcotest.(check bool) "latencies collected" true
+    (srch_suc.Harness.Pstats.n > 0);
+  Alcotest.(check bool) "p95 >= p50" true
+    (srch_suc.Harness.Pstats.p95 >= srch_suc.Harness.Pstats.p50)
+
+let test_runner_deterministic () =
+  let (module S : Harness.Registry.SET_OPS) =
+    Harness.Registry.Sim_backend.ll_lazy_
+  in
+  let w = Harness.Runner.uniform_workload ~init_size:32 ~update_pct:20 () in
+  let run () =
+    let m =
+      Harness.Runner.run_set_sim ~topology:Tutil.uniform4 ~nthreads:4
+        ~ops:3_000 ~seed:9
+        (module S)
+        w
+    in
+    (m.Harness.Runner.mops, m.Harness.Runner.ops, m.Harness.Runner.cas)
+  in
+  Alcotest.(check bool) "same measurement twice" true (run () = run ())
+
+let test_native_runner_works () =
+  let (module S : Harness.Registry.SET_OPS) =
+    Harness.Registry.Native.ll_harris
+  in
+  let w = Harness.Runner.uniform_workload ~init_size:32 ~update_pct:20 () in
+  let m =
+    Harness.Runner.run_set_native ~nthreads:2 ~ops_per_thread:2_000
+      (module S)
+      w
+  in
+  Alcotest.(check bool) "valid" true m.Harness.Runner.valid;
+  Alcotest.(check int) "ops" 4_000 m.Harness.Runner.ops;
+  Alcotest.(check bool) "throughput positive" true (m.Harness.Runner.mops > 0.)
+
+let test_queue_runner () =
+  let (module Q : Harness.Registry.QUEUE_OPS) =
+    Harness.Registry.Sim_backend.q_ms_lf
+  in
+  let m =
+    Harness.Runner.run_queue_sim ~topology:Tutil.uniform4 ~nthreads:4
+      ~ops:5_000 ~init:1_000 ~enqueue_pct:60
+      (module Q)
+  in
+  (* 60/40 enqueue mix grows the queue *)
+  Alcotest.(check bool)
+    (Printf.sprintf "queue grew (%d)" m.Harness.Runner.final_size)
+    true
+    (m.Harness.Runner.final_size > 1_000)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "below range" `Quick test_rng_below_range;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "largest most popular" `Quick
+            test_zipf_largest_most_popular;
+          Alcotest.test_case "cdf monotone" `Quick test_zipf_cdf_monotone;
+        ] );
+      ( "pstats",
+        [
+          Alcotest.test_case "percentiles" `Quick test_pstats_percentiles;
+          Alcotest.test_case "ring overflow" `Quick test_pstats_ring_overflow;
+          Alcotest.test_case "merge" `Quick test_pstats_merge;
+        ] );
+      ( "runners",
+        [
+          Alcotest.test_case "effective updates" `Quick
+            test_runner_effective_updates;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "native runner" `Slow test_native_runner_works;
+          Alcotest.test_case "queue runner" `Quick test_queue_runner;
+        ] );
+    ]

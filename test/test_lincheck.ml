@@ -1,0 +1,182 @@
+(* Tests for the linearizability checker itself: accept known-good
+   histories, reject known violations, respect real-time precedence. *)
+
+module LS = Lincheck.Make (Lincheck.Set_spec)
+module LQ = Lincheck.Make (Lincheck.Queue_spec)
+open Lincheck.Set_spec
+open Lincheck.Queue_spec
+
+let ev tid inv res input output = { LS.tid; inv; res; input; output }
+let qev tid inv res input output = { LQ.tid; inv; res; input; output }
+
+let accepts name history =
+  Alcotest.test_case name `Quick (fun () ->
+      match LS.check history with
+      | Some _ -> ()
+      | None -> Alcotest.fail "expected linearizable")
+
+let rejects name history =
+  Alcotest.test_case name `Quick (fun () ->
+      match LS.check history with
+      | Some _ -> Alcotest.fail "expected violation"
+      | None -> ())
+
+let set_cases =
+  [
+    accepts "empty history" [];
+    accepts "sequential insert then search"
+      [
+        ev 0 0 10 (Insert (1, 5)) Ok;
+        ev 0 20 30 (Search 1) (Found 5);
+      ];
+    rejects "search sees value never inserted"
+      [ ev 0 0 10 (Search 1) (Found 5) ];
+    accepts "concurrent insert/search may miss"
+      [
+        ev 0 0 100 (Insert (1, 5)) Ok;
+        ev 1 50 60 (Search 1) Absent (* overlaps the insert: fine *);
+      ];
+    rejects "search after completed insert must not miss"
+      [
+        ev 0 0 10 (Insert (1, 5)) Ok;
+        ev 1 20 30 (Search 1) Absent;
+      ];
+    accepts "two concurrent inserts, one dup"
+      [
+        ev 0 0 100 (Insert (1, 5)) Ok;
+        ev 1 10 90 (Insert (1, 6)) Dup;
+      ];
+    rejects "both concurrent same-key inserts succeed"
+      [
+        ev 0 0 100 (Insert (1, 5)) Ok;
+        ev 1 10 90 (Insert (1, 6)) Ok;
+      ];
+    rejects "delete returns value of later insert"
+      [
+        ev 0 0 10 (Insert (1, 5)) Ok;
+        ev 0 20 30 (Delete 1) (Found 7);
+      ];
+    accepts "delete of concurrent insert"
+      [
+        ev 0 0 100 (Insert (1, 5)) Ok;
+        ev 1 50 150 (Delete 1) (Found 5);
+      ];
+    rejects "two deletes both observe one insert"
+      [
+        ev 0 0 10 (Insert (1, 5)) Ok;
+        ev 1 20 40 (Delete 1) (Found 5);
+        ev 2 22 45 (Delete 1) (Found 5);
+      ];
+    accepts "interleaved three threads"
+      [
+        ev 0 0 30 (Insert (1, 1)) Ok;
+        ev 1 10 40 (Insert (2, 2)) Ok;
+        ev 2 20 60 (Search 1) (Found 1);
+        ev 0 50 80 (Delete 2) (Found 2);
+        ev 1 70 90 (Search 2) Absent;
+      ];
+  ]
+
+let q_accepts name history =
+  Alcotest.test_case name `Quick (fun () ->
+      match LQ.check history with
+      | Some _ -> ()
+      | None -> Alcotest.fail "expected linearizable")
+
+let q_rejects name history =
+  Alcotest.test_case name `Quick (fun () ->
+      match LQ.check history with
+      | Some _ -> Alcotest.fail "expected violation"
+      | None -> ())
+
+let queue_cases =
+  [
+    q_accepts "fifo pair"
+      [
+        qev 0 0 10 (Enqueue 1) Unit;
+        qev 0 20 30 (Enqueue 2) Unit;
+        qev 1 40 50 Dequeue (Got 1);
+        qev 1 60 70 Dequeue (Got 2);
+      ];
+    q_rejects "lifo order rejected"
+      [
+        qev 0 0 10 (Enqueue 1) Unit;
+        qev 0 20 30 (Enqueue 2) Unit;
+        qev 1 40 50 Dequeue (Got 2);
+        qev 1 60 70 Dequeue (Got 1);
+      ];
+    q_accepts "concurrent enqueues, either order"
+      [
+        qev 0 0 100 (Enqueue 1) Unit;
+        qev 1 10 90 (Enqueue 2) Unit;
+        qev 2 200 210 Dequeue (Got 2);
+        qev 2 220 230 Dequeue (Got 1);
+      ];
+    q_rejects "dequeue of nothing"
+      [ qev 0 0 10 Dequeue (Got 9) ];
+    q_accepts "empty answer while concurrent enqueue"
+      [
+        qev 0 0 100 (Enqueue 1) Unit;
+        qev 1 10 20 Dequeue Empty;
+      ];
+    q_rejects "empty answer after completed enqueue"
+      [
+        qev 0 0 10 (Enqueue 1) Unit;
+        qev 1 20 30 Dequeue Empty;
+      ];
+    q_rejects "element dequeued twice"
+      [
+        qev 0 0 10 (Enqueue 1) Unit;
+        qev 1 20 30 Dequeue (Got 1);
+        qev 2 22 35 Dequeue (Got 1);
+      ];
+  ]
+
+(* Initial-state support. *)
+let init_cases =
+  [
+    Alcotest.test_case "init state respected" `Quick (fun () ->
+        let init = Lincheck.Set_spec.M.add 7 70 Lincheck.Set_spec.M.empty in
+        (match LS.check ~init [ ev 0 0 10 (Search 7) (Found 70) ] with
+        | Some _ -> ()
+        | None -> Alcotest.fail "should see initial contents");
+        match LS.check ~init [ ev 0 0 10 (Search 7) Absent ] with
+        | Some _ -> Alcotest.fail "must see initial contents"
+        | None -> ());
+  ]
+
+(* Bigger pseudo-random linearizable histories: generate by simulating a
+   true sequential execution and then widening the intervals so the ops
+   overlap — must always be accepted. *)
+let widened_random =
+  Tutil.qcheck_case ~count:50 "widened sequential histories accepted"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Harness.Rng.create seed in
+      let state = ref Lincheck.Set_spec.M.empty in
+      let history = ref [] in
+      for i = 0 to 11 do
+        let k = 1 + Harness.Rng.below rng 4 in
+        let input =
+          match Harness.Rng.below rng 3 with
+          | 0 -> Search k
+          | 1 -> Insert (k, i)
+          | _ -> Delete k
+        in
+        let st', out = Lincheck.Set_spec.apply !state input in
+        state := st';
+        let base = i * 10 in
+        let widen = Harness.Rng.below rng 15 in
+        history :=
+          ev (i mod 3) base (base + 5 + widen) input out :: !history
+      done;
+      LS.check !history <> None)
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ("set histories", set_cases);
+      ("queue histories", queue_cases);
+      ("initial state", init_cases);
+      ("property", [ widened_random ]);
+    ]

@@ -1,0 +1,118 @@
+(* Tests for the skip-list priority queue (extension; the Sundell-Tsigas
+   construction of the paper's §6 lineage over our OPTIK skip list). *)
+
+module Pq = Dstruct.Pq_optik.Make (Rt.Native_rt)
+module PqS = Dstruct.Pq_optik.Make (Sim.Sim_rt)
+
+let test_ordering () =
+  Dstruct.Sl_common.reset_states ();
+  let q = Pq.create () in
+  Alcotest.(check bool) "empty" true (Pq.is_empty q);
+  List.iter (fun p -> Pq.insert q ~prio:p (p * 10)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check int) "size" 5 (Pq.size q);
+  let order = List.init 5 (fun _ -> Pq.extract_min q) in
+  Alcotest.(check (list (option (pair int int))))
+    "ascending priority order"
+    [ Some (1, 10); Some (3, 30); Some (5, 50); Some (7, 70); Some (9, 90) ]
+    order;
+  Alcotest.(check (option (pair int int))) "drained" None (Pq.extract_min q)
+
+let test_equal_priorities () =
+  Dstruct.Sl_common.reset_states ();
+  let q = Pq.create () in
+  for i = 1 to 20 do
+    Pq.insert q ~prio:7 i
+  done;
+  Alcotest.(check int) "all admitted" 20 (Pq.size q);
+  (* same-priority items come out in insertion order (fresh instance) *)
+  for i = 1 to 20 do
+    match Pq.extract_min q with
+    | Some (7, v) -> Alcotest.(check int) "fifo among equals" i v
+    | other ->
+        Alcotest.failf "unexpected extract: %s"
+          (match other with
+          | None -> "None"
+          | Some (p, v) -> Printf.sprintf "(%d,%d)" p v)
+  done
+
+let test_peek () =
+  Dstruct.Sl_common.reset_states ();
+  let q = Pq.create () in
+  Pq.insert q ~prio:4 44;
+  Pq.insert q ~prio:2 22;
+  Alcotest.(check (option (pair int int))) "peek" (Some (2, 22))
+    (Pq.peek_min q);
+  Alcotest.(check int) "peek does not remove" 2 (Pq.size q)
+
+let test_prio_range () =
+  let q = Pq.create () in
+  match Pq.insert q ~prio:(-1) 0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_concurrent_heap_property () =
+  (* With concurrent inserts of arbitrary priorities, per-extractor
+     monotonicity is NOT a valid property (a later extract can
+     legitimately return a freshly inserted smaller priority). What must
+     hold: conservation, exactly-once extraction, and — once quiescent —
+     a strictly ordered drain. *)
+  Dstruct.Sl_common.reset_states ();
+  let q = PqS.create () in
+  for i = 1 to 64 do
+    PqS.insert q ~prio:(1000 + i) (900_000 + i)
+  done;
+  let extracted = Array.make 8 [] in
+  let inserted = Sim.Sched.loc 64 in
+  ignore
+    (Sim.Sched.run ~topology:Tutil.uniform4 ~nthreads:8 (fun tid ->
+         let rng = Harness.Rng.create (tid + 55) in
+         for i = 1 to 200 do
+           if Harness.Rng.below rng 2 = 0 then (
+             PqS.insert q ~prio:(Harness.Rng.below rng 5000) ((tid * 1000) + i);
+             ignore (Sim.Sched.faa inserted 1 : int))
+           else
+             match PqS.extract_min q with
+             | Some (p, v) -> extracted.(tid) <- (p, v) :: extracted.(tid)
+             | None -> ()
+         done));
+  let n_extracted =
+    Array.fold_left (fun a l -> a + List.length l) 0 extracted
+  in
+  Alcotest.(check int) "conservation"
+    (Sim.Sched.read inserted - n_extracted)
+    (PqS.size q);
+  (* exactly-once: values are globally unique by construction *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (List.iter (fun (_, v) ->
+         if Hashtbl.mem seen v then
+           Alcotest.failf "value %d extracted twice" v;
+         Hashtbl.add seen v ()))
+    extracted;
+  (* quiescent drain must be non-decreasing in priority *)
+  let prev = ref min_int in
+  let rec drain () =
+    match PqS.extract_min q with
+    | Some (p, _) ->
+        if p < !prev then
+          Alcotest.failf "quiescent drain out of order (%d after %d)" p !prev;
+        prev := p;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "fully drained" 0 (PqS.size q)
+
+let () =
+  Alcotest.run "pq"
+    [
+      ( "priority queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "equal priorities" `Quick test_equal_priorities;
+          Alcotest.test_case "peek" `Quick test_peek;
+          Alcotest.test_case "priority range" `Quick test_prio_range;
+          Alcotest.test_case "concurrent heap property" `Quick
+            test_concurrent_heap_property;
+        ] );
+    ]
