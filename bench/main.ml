@@ -92,7 +92,9 @@ let run_bechamel () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let fullmode = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  (* [--quick] is accepted (and is the default) so CI invocations can be
+     explicit about the mode they expect. *)
+  let args = List.filter (fun a -> a <> "--full" && a <> "--quick") args in
   let mode = if fullmode then Figures.Experiments.full else Figures.Experiments.quick in
   let bech_only = args = [ "bechamel" ] in
   let ids =

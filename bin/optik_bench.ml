@@ -106,7 +106,16 @@ let run_cmd =
   let ops =
     Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"N" ~doc:"Total operations.")
   in
-  let run family structure threads size updates skewed machine ops =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "RNG seed: same seed, same workload, same simulated schedule, \
+             same result. The effective seed is always printed so any run \
+             can be replayed.")
+  in
+  let run family structure threads size updates skewed machine ops seed =
     let topology =
       match machine with
       | "xeon" -> Sim.Topology.xeon
@@ -145,12 +154,20 @@ let run_cmd =
       | _ -> base
     in
     let m =
-      Harness.Runner.run_set_sim ~topology ~nthreads:threads ~ops (module S) w
+      Harness.Runner.run_set_sim ~topology ~nthreads:threads ~ops ~seed
+        (module S) w
     in
     Printf.printf
-      "%s/%s on %s, %d threads, size %d, %d%% attempted updates%s\n" family
-      structure machine threads size updates
-      (if skewed then " (zipf 0.9)" else "");
+      "%s/%s on %s, %d threads, size %d, %d%% attempted updates%s, seed %d\n"
+      family structure machine threads size updates
+      (if skewed then " (zipf 0.9)" else "")
+      seed;
+    (match m.Harness.Runner.outcome with
+    | Harness.Runner.Complete -> ()
+    | Harness.Runner.Aborted r ->
+        Printf.printf "  ABORTED: %s\n"
+          (Format.asprintf "%a" Sim.Sched.pp_verdict r.Sim.Sched.r_verdict);
+        Format.printf "%a@?" Sim.Sched.pp_report r);
     Printf.printf "  throughput      %.2f Mops/s\n" m.Harness.Runner.mops;
     Printf.printf "  effective upd   %.1f%%\n" m.Harness.Runner.eff_update_pct;
     Printf.printf "  CAS total/failed %d/%d\n" m.Harness.Runner.cas
@@ -172,7 +189,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload against one structure.")
     Term.(
       const run $ family $ structure $ threads $ size $ updates $ skewed
-      $ machine $ ops)
+      $ machine $ ops $ seed)
 
 (* ---------------- list ---------------- *)
 

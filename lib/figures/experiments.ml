@@ -231,6 +231,7 @@ let fig5_point impl ~topology ~nthreads ~ops =
     counters = [];
     final_size = 0;
     valid = true;
+    outcome = Runner.Complete;
   }
 
 let fig5 mode =
@@ -897,6 +898,7 @@ let stack_experiment mode =
                     counters = [];
                     final_size = S.size t;
                     valid = true;
+                    outcome = Runner.Complete;
                   } ))
               (mode.threads_of xeon);
         })
@@ -1071,11 +1073,232 @@ let sim_validation mode =
     ] )
 
 (* ------------------------------------------------------------------ *)
+(* FAULT: fault injection vs the lock-free/blocking divide (§2 of the
+   paper frames optimistic concurrency against blocking designs; this
+   experiment makes the classic argument measurable: crash a thread
+   inside its critical section and see who keeps going).
+
+   For each structure family we pick one blocking and one lock-free
+   representative and sweep two faults over each:
+   - crash: thread 0 dies at a checkpoint and never runs again, locks
+     still held. The lock-free rep must keep completing operations; the
+     blocking rep must be flagged Starved by the liveness watchdog, with
+     the dead lock holder named in the report.
+   - stall: thread 0 disappears for a while (shorter than the starvation
+     threshold) and resumes; both reps must complete.
+
+   Everything is deterministic: same seed => same schedule, same fault
+   times, same results. *)
+
+type fault_row = {
+  fr_family : string;
+  fr_kind : string;  (** ["blocking"] or ["lock-free"] *)
+  fr_fault : string;  (** ["crash"] or ["stall"] *)
+  fr_meas : Runner.measurement;
+  fr_events : Sim.Fault.event list;
+}
+
+let fault_experiment mode =
+  let seed = 42 in
+  let nthreads = 10 in
+  let watchdog = { Sched.check_events = 10_000; starve_cycles = 2_000_000 } in
+  let max_events = 80_000_000 in
+  let ops = max 200 (scaled mode 4_000) in
+  let stall_cycles = 500_000 (* well under starve_cycles: must recover *) in
+  let crash_plan point = Sim.Fault.plan ~seed [ Sim.Fault.crash ~tid:0 point ] in
+  let stall_plan point =
+    Sim.Fault.plan ~seed [ Sim.Fault.stall ~tid:0 stall_cycles point ]
+  in
+  (* Blocking reps take faults at [Critical_enter] — just after acquiring
+     a lock, so a crash dies holding it. Lock-free reps take faults at
+     [Before_cas] — mid-operation, the worst spot available to them. *)
+  let row family kind fault run =
+    let fr_meas = run () in
+    { fr_family = family; fr_kind = kind; fr_fault = fault; fr_meas;
+      fr_events = Sim.Fault.events () }
+  in
+  let set_rows family ~blocking ~lockfree workload =
+    let go ?(ops = ops) faults (module S : Harness.Registry.SET_OPS) () =
+      Runner.run_set_sim ~topology:xeon ~nthreads ~ops ~seed ~faults ~watchdog
+        ~max_events (module S) workload
+    in
+    [
+      (* ops_target 0: run until the watchdog calls the verdict *)
+      row family "blocking" "crash"
+        (go ~ops:0 (crash_plan Rt.Rt_intf.Critical_enter) blocking);
+      row family "lock-free" "crash"
+        (go (crash_plan Rt.Rt_intf.Before_cas) lockfree);
+      row family "blocking" "stall"
+        (go (stall_plan Rt.Rt_intf.Critical_enter) blocking);
+      row family "lock-free" "stall"
+        (go (stall_plan Rt.Rt_intf.Before_cas) lockfree);
+    ]
+  in
+  let queue_rows () =
+    let go ?(ops = ops) faults (module Q : Harness.Registry.QUEUE_OPS) () =
+      Runner.run_queue_sim ~topology:xeon ~nthreads ~ops ~seed ~init:1_024
+        ~faults ~watchdog ~max_events ~enqueue_pct:50
+        (module Q)
+    in
+    [
+      row "queue" "blocking" "crash"
+        (go ~ops:0 (crash_plan Rt.Rt_intf.Critical_enter) R.q_ms_lb);
+      row "queue" "lock-free" "crash"
+        (go (crash_plan Rt.Rt_intf.Before_cas) R.q_ms_lf);
+      row "queue" "blocking" "stall"
+        (go (stall_plan Rt.Rt_intf.Critical_enter) R.q_ms_lb);
+      row "queue" "lock-free" "stall"
+        (go (stall_plan Rt.Rt_intf.Before_cas) R.q_ms_lf);
+    ]
+  in
+  let stack_rows () =
+    let go ?(ops = ops) faults (module St : Harness.Registry.STACK_OPS) () =
+      Runner.run_stack_sim ~topology:xeon ~nthreads ~ops ~seed ~init:1_024
+        ~faults ~watchdog ~max_events ~push_pct:50
+        (module St)
+    in
+    [
+      row "stack" "blocking" "crash"
+        (go ~ops:0 (crash_plan Rt.Rt_intf.Critical_enter) R.stack_optik);
+      row "stack" "lock-free" "crash"
+        (go (crash_plan Rt.Rt_intf.Before_cas) R.stack_treiber);
+      row "stack" "blocking" "stall"
+        (go (stall_plan Rt.Rt_intf.Critical_enter) R.stack_optik);
+      row "stack" "lock-free" "stall"
+        (go (stall_plan Rt.Rt_intf.Before_cas) R.stack_treiber);
+    ]
+  in
+  let rows =
+    set_rows "ll" ~blocking:R.ll_optik_gl ~lockfree:R.ll_harris
+      (Runner.uniform_workload ~init_size:512 ~update_pct:50 ())
+    @ set_rows "ht" ~blocking:R.ht_optik_gl ~lockfree:R.ht_harris
+        (Runner.uniform_workload ~capacity:4 ~init_size:256 ~update_pct:50 ())
+    @ set_rows "sl" ~blocking:R.sl_herlihy ~lockfree:R.sl_fraser
+        (Runner.skewed_workload ~init_size:128 ~update_pct:50 ())
+    @ queue_rows () @ stack_rows ()
+  in
+  (* Operations completed by the survivors after the (first) crash. *)
+  let ops_after_crash r =
+    match r.fr_events with
+    | e :: _ -> r.fr_meas.Runner.ops - e.Sim.Fault.e_ops
+    | [] -> 0
+  in
+  let row_note r =
+    let fired =
+      match r.fr_events with
+      | [] -> "fault never fired"
+      | e :: _ ->
+          Printf.sprintf "%s t%d at op %d"
+            (Sim.Fault.action_name e.Sim.Fault.e_spec.Sim.Fault.f_action)
+            e.Sim.Fault.e_tid e.Sim.Fault.e_ops
+    in
+    let outcome =
+      match r.fr_meas.Runner.outcome with
+      | Runner.Complete ->
+          Printf.sprintf "completed %d ops (%d after the fault)"
+            r.fr_meas.Runner.ops (ops_after_crash r)
+      | Runner.Aborted rep ->
+          Printf.sprintf "%s after %d ops%s"
+            (Format.asprintf "%a" Sched.pp_verdict rep.Sched.r_verdict)
+            r.fr_meas.Runner.ops
+            (match rep.Sched.r_dead_holders with
+            | [] -> ""
+            | ts ->
+                "; dead lock holder(s): "
+                ^ String.concat ", "
+                    (List.map (fun t -> Printf.sprintf "t%d" t) ts))
+    in
+    Printf.sprintf "%-5s %-9s %-10s %-6s  %s -> %s" r.fr_family r.fr_kind
+      r.fr_meas.Runner.name r.fr_fault fired outcome
+  in
+  let crash_rows k = List.filter (fun r -> r.fr_fault = "crash" && r.fr_kind = k) rows in
+  let stall_rows = List.filter (fun r -> r.fr_fault = "stall") rows in
+  let lf_survive =
+    List.for_all
+      (fun r ->
+        (not (Runner.aborted r.fr_meas))
+        && r.fr_events <> [] && ops_after_crash r > 0)
+      (crash_rows "lock-free")
+  in
+  let blocking_starve =
+    List.for_all
+      (fun r ->
+        match r.fr_meas.Runner.outcome with
+        | Runner.Aborted rep -> (
+            List.mem 0 rep.Sched.r_dead_holders
+            && match rep.Sched.r_verdict with
+               | Sched.Starved _ -> true
+               | Sched.Progress | Sched.Livelocked -> false)
+        | Runner.Complete -> false)
+      (crash_rows "blocking")
+  in
+  let stalls_recover =
+    List.for_all
+      (fun r -> (not (Runner.aborted r.fr_meas)) && r.fr_events <> [])
+      stall_rows
+  in
+  let notes =
+    Printf.sprintf
+      "seed %d; %d threads; watchdog: check every %d events, starve after %d    cycles; stall = %d cycles"
+      seed nthreads watchdog.Sched.check_events watchdog.Sched.starve_cycles
+      stall_cycles
+    :: List.map row_note rows
+  in
+  ( [
+      {
+        Render.id = "FAULT";
+        title =
+          "Fault injection: crash/stall inside critical sections vs lock-free            progress (xeon)";
+        series = [];
+        latency_at = None;
+        latency_classes = [||];
+        notes;
+      };
+    ],
+    [
+      claim "FAULT.a"
+        "lock-free structures tolerate a thread crashing mid-operation"
+        ~expected:"survivors keep completing ops after the crash"
+        ~measured:
+          (String.concat "; "
+             (List.map
+                (fun r ->
+                  Printf.sprintf "%s +%d ops" r.fr_meas.Runner.name
+                    (ops_after_crash r))
+                (crash_rows "lock-free")))
+        lf_survive;
+      claim "FAULT.b"
+        "blocking structures starve when a lock holder crashes, and the          watchdog names the culprit"
+        ~expected:"every blocking rep reported Starved with t0 as dead holder"
+        ~measured:
+          (String.concat "; "
+             (List.map
+                (fun r ->
+                  Printf.sprintf "%s %s" r.fr_meas.Runner.name
+                    (match r.fr_meas.Runner.outcome with
+                    | Runner.Complete -> "completed?!"
+                    | Runner.Aborted rep ->
+                        Format.asprintf "%a" Sched.pp_verdict
+                          rep.Sched.r_verdict))
+                (crash_rows "blocking")))
+        blocking_starve;
+      claim "FAULT.c"
+        "a bounded stall (below the starvation threshold) is survivable          everywhere"
+        ~expected:"all stall rows complete"
+        ~measured:
+          (Printf.sprintf "%d/%d completed"
+             (List.length
+                (List.filter (fun r -> not (Runner.aborted r.fr_meas)) stall_rows))
+             (List.length stall_rows))
+        stalls_recover;
+    ] )
+
+(* ------------------------------------------------------------------ *)
 
 let all_ids =
   [ "fig5"; "fig7"; "fig9"; "fig10"; "fig11"; "fig12";
     "ablation-backend"; "ablation-cache"; "ablation-victim";
-    "ablation-search"; "stack"; "bst"; "sim-validate" ]
+    "ablation-search"; "stack"; "bst"; "sim-validate"; "fault" ]
 
 let run_id mode = function
   | "fig5" -> fig5 mode
@@ -1091,4 +1314,5 @@ let run_id mode = function
   | "stack" -> stack_experiment mode
   | "bst" -> bst_experiment mode
   | "sim-validate" -> sim_validation mode
+  | "fault" -> fault_experiment mode
   | id -> invalid_arg ("unknown experiment id: " ^ id)

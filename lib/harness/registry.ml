@@ -198,6 +198,21 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
     let validate = Ll_optik.validate
   end)
 
+  (* Lock-free hash table: Harris lists as buckets. Not part of the
+     Figure-10 lineup (the paper doesn't include it there); it exists as
+     the lock-free hash-table representative for the fault-injection
+     experiment. *)
+  module Ht_harris = Dstruct.Ht.Of_bucket (struct
+    type 'v t = 'v Ll_harris.t
+
+    let create () = Ll_harris.create ()
+    let search = Ll_harris.search
+    let insert = Ll_harris.insert
+    let delete = Ll_harris.delete
+    let size = Ll_harris.size
+    let validate = Ll_harris.validate
+  end)
+
   module Ht_map_optik = Dstruct.Ht.Of_bucket (struct
     type 'v t = 'v Map_optik.t
 
@@ -289,6 +304,21 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
       let validate = Ht_map_optik.validate
     end)
 
+  let ht_harris : (module SET_OPS) =
+    (module struct
+      type t = int Ht_harris.t
+
+      let name = "harris-ht"
+      let create ?capacity () = Ht_harris.create ?capacity ()
+      let search = Ht_harris.search
+      let insert = Ht_harris.insert
+      let delete = Ht_harris.delete
+      let size = Ht_harris.size
+      let validate = Ht_harris.validate
+    end)
+
+  (* [ht_harris] is deliberately not in this list: Figure 10 reproduces
+     the paper's hash-table lineup, which has no Harris-bucket table. *)
   let hashtables =
     [ ht_lazy_gl; ht_java; ht_java_optik; ht_optik; ht_optik_gl; ht_map_optik ]
 

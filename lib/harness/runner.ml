@@ -36,6 +36,12 @@ let n_classes = 6
 let class_names =
   [| "srch-suc"; "srch-fal"; "insr-suc"; "insr-fal"; "delt-suc"; "delt-fal" |]
 
+(** How the measured run ended. [Aborted] carries the scheduler's stall
+    report — verdict, per-thread progress, dead lock holders, partial
+    stats — so fault-injection and watchdog experiments get structured
+    results instead of escaped exceptions. *)
+type outcome = Complete | Aborted of Sim.Sched.report
+
 type measurement = {
   name : string;
   threads : int;
@@ -51,7 +57,10 @@ type measurement = {
   counters : (string * int) list;
   final_size : int;
   valid : bool;
+  outcome : outcome;
 }
+
+let aborted m = match m.outcome with Aborted _ -> true | Complete -> false
 
 let sampler w seed =
   match w.dist with
@@ -102,8 +111,57 @@ let collect_sim_counters () =
       if v > 0 then (name, v) :: acc else acc)
     Sim.Sim_rt.Counter.registry []
 
-let run_set_sim ~topology ~nthreads ~ops ?(seed = 42)
-    (module S : Registry.SET_OPS) (w : set_workload) : measurement =
+(* When [Timeout] predates the structured reports (or the abort happened
+   before a report was built), synthesize an empty one so [Aborted] always
+   carries something printable. *)
+let synthetic_report reason : Sim.Sched.report =
+  {
+    Sim.Sched.r_verdict = Sim.Sched.Progress;
+    r_reason = reason;
+    r_stats =
+      {
+        Sim.Sched.wall_cycles = 0;
+        ops = 0;
+        reads = 0;
+        writes = 0;
+        cas = 0;
+        cas_failed = 0;
+        faa = 0;
+        events = 0;
+      };
+    r_threads = [];
+    r_dead_holders = [];
+    r_waiters = [];
+    r_hot_lines = [];
+  }
+
+(* Run a simulation to a structured ([stats], [outcome]) pair: watchdog
+   verdicts and budget exhaustion become [Aborted] with partial stats,
+   never an escaped exception. [faults] installs a fault plan for the
+   duration of the run. *)
+let run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
+    ~ops_target body : Sim.Sched.stats * outcome =
+  let go () =
+    Sim.Sched.run ?watchdog ?max_events ~topology ~nthreads ~ops_target body
+  in
+  let go =
+    match faults with
+    | None -> go
+    | Some plan -> fun () -> Sim.Fault.with_plan plan go
+  in
+  match go () with
+  | st -> (st, Complete)
+  | exception Sim.Sched.Stalled r -> (r.Sim.Sched.r_stats, Aborted r)
+  | exception Sim.Sched.Timeout msg ->
+      let r =
+        match Sim.Sched.last_abort_report () with
+        | Some r -> r
+        | None -> synthetic_report msg
+      in
+      (r.Sim.Sched.r_stats, Aborted r)
+
+let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
+    ?max_events (module S : Registry.SET_OPS) (w : set_workload) : measurement =
   let t =
     match w.capacity with
     | Some capacity -> S.create ~capacity ()
@@ -118,8 +176,9 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42)
   let lat = Array.init nthreads (fun _ -> Array.init n_classes (fun _ -> Pstats.create ())) in
   let effective = Array.make nthreads 0 in
   let myops = Array.make nthreads 0 in
-  let stats =
-    Sim.Sched.run ~topology ~nthreads ~ops_target:ops (fun tid ->
+  let stats, outcome =
+    run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
+      ~ops_target:ops (fun tid ->
         let rng = Rng.create ((seed * 65_599) + tid) in
         while not (Sim.Sched.stop_requested ()) do
           let t0 = Sim.Sched.now () in
@@ -157,6 +216,7 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42)
     counters = collect_sim_counters ();
     final_size = S.size t;
     valid = S.validate t;
+    outcome;
   }
 
 (* Queue workloads (Figure 12): enqueue percentage picks between
@@ -170,7 +230,8 @@ type queue_measurement = measurement
 let queue_class_names = [| "enqueue"; "dequeue-suc"; "dequeue-fal" |]
 
 let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size)
-    ~enqueue_pct (module Qu : Registry.QUEUE_OPS) : queue_measurement =
+    ?faults ?watchdog ?max_events ~enqueue_pct
+    (module Qu : Registry.QUEUE_OPS) : queue_measurement =
   let q = Qu.create () in
   let rng0 = Rng.create (seed + 13) in
   for _ = 1 to init do
@@ -179,8 +240,9 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
   Sim.Sim_rt.Counter.reset_all ();
   let lat = Array.init nthreads (fun _ -> Array.init 3 (fun _ -> Pstats.create ())) in
   let myops = Array.make nthreads 0 in
-  let stats =
-    Sim.Sched.run ~topology ~nthreads ~ops_target:ops (fun tid ->
+  let stats, outcome =
+    run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
+      ~ops_target:ops (fun tid ->
         let rng = Rng.create ((seed * 65_599) + tid) in
         while not (Sim.Sched.stop_requested ()) do
           let t0 = Sim.Sched.now () in
@@ -216,6 +278,62 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
     counters = collect_sim_counters ();
     final_size = Qu.size q;
     valid = true;
+    outcome;
+  }
+
+(* Stack workloads (§5.5): push percentage plays the role enqueue_pct
+   plays for queues. Latency classes: 0 = push, 1 = pop-nonempty,
+   2 = pop-empty. *)
+let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
+    ?faults ?watchdog ?max_events ~push_pct
+    (module St : Registry.STACK_OPS) : measurement =
+  let st = St.create () in
+  let rng0 = Rng.create (seed + 13) in
+  for _ = 1 to init do
+    St.push st (Rng.below rng0 1_000_000)
+  done;
+  Sim.Sim_rt.Counter.reset_all ();
+  let lat = Array.init nthreads (fun _ -> Array.init 3 (fun _ -> Pstats.create ())) in
+  let myops = Array.make nthreads 0 in
+  let stats, outcome =
+    run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
+      ~ops_target:ops (fun tid ->
+        let rng = Rng.create ((seed * 65_599) + tid) in
+        while not (Sim.Sched.stop_requested ()) do
+          let t0 = Sim.Sched.now () in
+          let cls =
+            if Rng.below rng 100 < push_pct then (
+              St.push st (Rng.below rng 1_000_000);
+              0)
+            else match St.pop st with Some _ -> 1 | None -> 2
+          in
+          let t1 = Sim.Sched.now () in
+          Pstats.record lat.(tid).(cls) (t1 - t0);
+          myops.(tid) <- myops.(tid) + 1;
+          Sim.Sched.tick ();
+          Sim.Sched.work (64 + Rng.below rng 64)
+        done)
+  in
+  let total_ops = Array.fold_left ( + ) 0 myops in
+  {
+    name = St.name;
+    threads = nthreads;
+    mops = Sim.Sched.mops topology stats;
+    ops = total_ops;
+    wall_s =
+      float_of_int stats.wall_cycles /. (topology.Sim.Topology.ghz *. 1e9);
+    eff_update_pct = 100.;
+    reads = stats.reads;
+    writes = stats.writes;
+    cas = stats.cas;
+    cas_failed = stats.cas_failed;
+    lat =
+      Array.init 3 (fun c ->
+          Pstats.summarize (Array.to_list (Array.map (fun l -> l.(c)) lat)));
+    counters = collect_sim_counters ();
+    final_size = St.size st;
+    valid = true;
+    outcome;
   }
 
 (* --------------------------------------------------------------- *)
@@ -290,6 +408,7 @@ let run_set_native ~nthreads ~ops_per_thread ?(seed = 42)
     counters = [];
     final_size = S.size t;
     valid = S.validate t;
+    outcome = Complete;
   }
 
 let run_queue_native ~nthreads ~ops_per_thread ?(seed = 42) ?(init = 4096)
@@ -339,4 +458,5 @@ let run_queue_native ~nthreads ~ops_per_thread ?(seed = 42) ?(init = 4096)
     counters = [];
     final_size = Qu.size q;
     valid = true;
+    outcome = Complete;
   }

@@ -10,6 +10,12 @@ module type RT = Rt.Rt_intf.RT
 
 module Backoff = Rt.Backoff
 
+(* Alias taken before the functor parameters shadow [Rt]: every lock
+   reports fault/liveness checkpoints ([Fp.Critical_enter] right after an
+   acquisition, [Fp.Critical_exit] just before the releasing store,
+   [Fp.Lock_wait] once per wait-loop probe) through [Rt.on_fault]. *)
+module Fp = Rt.Rt_intf
+
 (** Test-and-set: the simplest spinlock. Every acquisition attempt is an
     atomic exchange, i.e. a full coherence transaction even when the lock
     is held — which is why it behaves terribly under contention. *)
@@ -20,15 +26,23 @@ module Tas (Rt : RT) = struct
 
   let create () = Rt.atomic false
 
-  let trylock t = Rt.cas t false true
+  let trylock t =
+    let ok = Rt.cas t false true in
+    if ok then Rt.on_fault Fp.Critical_enter;
+    ok
 
   let lock t =
     let b = B.create () in
     while not (Rt.cas t false true) do
+      Rt.on_fault Fp.Lock_wait;
       B.once b
-    done
+    done;
+    Rt.on_fault Fp.Critical_enter
 
-  let unlock t = Rt.set t false
+  let unlock t =
+    Rt.on_fault Fp.Critical_exit;
+    Rt.set t false
+
   let is_locked t = Rt.get t
 end
 
@@ -41,21 +55,30 @@ module Ttas (Rt : RT) = struct
 
   let create () = Rt.atomic false
 
-  let trylock t = (not (Rt.get t)) && Rt.cas t false true
+  let trylock t =
+    let ok = (not (Rt.get t)) && Rt.cas t false true in
+    if ok then Rt.on_fault Fp.Critical_enter;
+    ok
 
   let lock t =
     let b = B.create () in
     let rec loop () =
       if Rt.get t then (
+        Rt.on_fault Fp.Lock_wait;
         Rt.pause ();
         loop ())
       else if not (Rt.cas t false true) then (
+        Rt.on_fault Fp.Lock_wait;
         B.once b;
         loop ())
     in
-    loop ()
+    loop ();
+    Rt.on_fault Fp.Critical_enter
 
-  let unlock t = Rt.set t false
+  let unlock t =
+    Rt.on_fault Fp.Critical_exit;
+    Rt.set t false
+
   let is_locked t = Rt.get t
 end
 
@@ -83,21 +106,27 @@ module Ticket (Rt : RT) = struct
     let rec wait () =
       let cur = curr_of (Rt.get t) in
       if cur <> my then (
+        Rt.on_fault Fp.Lock_wait;
         (* Proportional backoff: pause longer the further from the head. *)
         let dist = (my - cur + mask + 1) land mask in
         Rt.pause_n (if dist > 64 then 512 else dist * 8);
         wait ())
     in
-    wait ()
+    wait ();
+    Rt.on_fault Fp.Critical_enter
 
   let trylock t =
     let p = Rt.get t in
-    curr_of p = next_of p && Rt.cas t p (p + one_ticket)
+    let ok = curr_of p = next_of p && Rt.cas t p (p + one_ticket) in
+    if ok then Rt.on_fault Fp.Critical_enter;
+    ok
 
   (* Must be an atomic increment: the packed representation makes a
      read-modify-write release race with concurrent [faa] ticket grabs
      (in C the two halves are separate words and a plain store works). *)
-  let unlock t = ignore (Rt.faa t 1 : int)
+  let unlock t =
+    Rt.on_fault Fp.Critical_exit;
+    ignore (Rt.faa t 1 : int)
 
   let is_locked t =
     let p = Rt.get t in
@@ -139,21 +168,24 @@ module Mcs (Rt : RT) = struct
     let me = mk_qnode true in
     let me_opt = Some me in
     t.mine.(Rt.tid ()) <- me_opt;
-    match Rt.exchange t.tail me_opt with
+    (match Rt.exchange t.tail me_opt with
     | None -> ()
     | Some pred ->
         Rt.set pred.next me_opt;
         (* Spin on our own node; escalate gently to keep handoff fast. *)
         let s = B.spin ~max_pauses:16 () in
         while Rt.get me.locked do
+          Rt.on_fault Fp.Lock_wait;
           B.spin_once s
-        done
+        done);
+    Rt.on_fault Fp.Critical_enter
 
   let trylock t =
     let me = mk_qnode false in
     let me_opt = Some me in
     if Rt.cas t.tail None me_opt then (
       t.mine.(Rt.tid ()) <- me_opt;
+      Rt.on_fault Fp.Critical_enter;
       true)
     else false
 
@@ -162,6 +194,7 @@ module Mcs (Rt : RT) = struct
     match t.mine.(tid) with
     | None -> invalid_arg "Mcs.unlock: not the holder"
     | Some me as me_opt -> (
+        Rt.on_fault Fp.Critical_exit;
         t.mine.(tid) <- None;
         match Rt.get me.next with
         | Some succ -> Rt.set succ.locked false

@@ -39,12 +39,26 @@ module Make (Rt : RT) = struct
     batch_size : int;
     free_fn : 'a -> unit;
     max_threads : int;
+    (* Epoch-stall detection: a thread that crashes or stalls inside an
+       operation never advances its stamp again and would otherwise block
+       reclamation forever, growing [pending] without bound. Each reclaim
+       attempt that finds the oldest batch blocked by thread [i] with an
+       {e unchanged} stamp counts one observation against [i]; at
+       [stall_obs] consecutive observations (0 = never) the thread is
+       declared dead and no longer consulted. Logical reclamation makes
+       this safe in OCaml — a wrongly-declared thread that resumes reads
+       nodes the GC still keeps alive — whereas a real allocator would
+       need the declaration to be conservative. *)
+    stall_obs : int;
+    obs : int array;  (** consecutive blocked-with-same-stamp observations *)
+    obs_stamp : int array;  (** stamp at the last observation of [i] *)
+    dead : bool array;
   }
 
   let default_batch = 64
 
   let create ?(max_threads = 128) ?(batch_size = default_batch)
-      ?(free = fun _ -> ()) () =
+      ?(stall_obs = 0) ?(free = fun _ -> ()) () =
     {
       ts = Array.init max_threads (fun _ -> Rt.atomic 0);
       slots =
@@ -59,6 +73,10 @@ module Make (Rt : RT) = struct
       batch_size;
       free_fn = free;
       max_threads;
+      stall_obs;
+      obs = Array.make max_threads 0;
+      obs_stamp = Array.make max_threads 0;
+      dead = Array.make max_threads false;
     }
 
   let in_op stamp = stamp land 1 = 1
@@ -85,33 +103,78 @@ module Make (Rt : RT) = struct
     Rt.set t.ts.(i) (s + 2)
 
   (* A sealed batch is safe once every thread that was inside an operation
-     at sealing time has moved on. *)
+     at sealing time has moved on (threads declared dead don't count). *)
   let batch_safe t (b : 'a batch) =
     let ok = ref true in
     let n = t.max_threads in
     let i = ref 0 in
     while !ok && !i < n do
       let snap = b.snapshot.(!i) in
-      if in_op snap && Rt.get t.ts.(!i) = snap then ok := false;
+      if (not t.dead.(!i)) && in_op snap && Rt.get t.ts.(!i) = snap then
+        ok := false;
       incr i
     done;
     !ok
 
+  (* Count one stall observation against every thread blocking batch [b]
+     with an unchanged stamp; returns whether any crossed [stall_obs] and
+     was declared dead (so the caller should retry reclamation). *)
+  let note_stalled t (b : 'a batch) =
+    let newly_dead = ref false in
+    for i = 0 to t.max_threads - 1 do
+      let snap = b.snapshot.(i) in
+      if (not t.dead.(i)) && in_op snap then
+        let cur = Rt.get t.ts.(i) in
+        if cur = snap then (
+          if t.obs_stamp.(i) = snap then t.obs.(i) <- t.obs.(i) + 1
+          else (
+            t.obs_stamp.(i) <- snap;
+            t.obs.(i) <- 1);
+          if t.stall_obs > 0 && t.obs.(i) >= t.stall_obs then (
+            t.dead.(i) <- true;
+            newly_dead := true))
+        else if t.obs_stamp.(i) = snap then (
+          (* moved on since we last looked: progressing, not stalled *)
+          t.obs.(i) <- 0;
+          t.obs_stamp.(i) <- cur)
+    done;
+    !newly_dead
+
   (* Sealed batches age from list head (newest) to tail (oldest); walk the
      oldest-first view and reclaim leading safe batches. Stopping at the
      first unsafe batch keeps reclamation FIFO (conservative but simple —
-     a newer batch can only be safe if checked independently anyway). *)
+     a newer batch can only be safe if checked independently anyway). The
+     first unsafe batch also feeds stall detection: if that declares a
+     blocker dead, retry, so a dead thread frees everything it blocked. *)
   let reclaim t slot =
-    let oldest_first = List.rev slot.sealed in
-    let rec take_safe = function
-      | b :: rest when batch_safe t b ->
-          List.iter t.free_fn b.items;
-          slot.n_freed <- slot.n_freed + List.length b.items;
-          take_safe rest
-      | rest -> rest
+    let rec go oldest_first =
+      let rec take_safe = function
+        | b :: rest when batch_safe t b ->
+            List.iter t.free_fn b.items;
+            slot.n_freed <- slot.n_freed + List.length b.items;
+            take_safe rest
+        | rest -> rest
+      in
+      match take_safe oldest_first with
+      | [] -> []
+      | b :: _ as remaining -> if note_stalled t b then go remaining else remaining
     in
-    let remaining = take_safe oldest_first in
-    slot.sealed <- List.rev remaining
+    slot.sealed <- List.rev (go (List.rev slot.sealed))
+
+  let declare_dead t i =
+    if i < 0 || i >= t.max_threads then
+      invalid_arg "Qsbr.declare_dead: bad thread id";
+    t.dead.(i) <- true
+
+  (* Threads the reclaimer currently believes are stuck: declared dead, or
+     observed blocking the reclamation frontier with an unchanged stamp on
+     at least two consecutive attempts. *)
+  let stalled t =
+    let acc = ref [] in
+    for i = t.max_threads - 1 downto 0 do
+      if t.dead.(i) || t.obs.(i) >= 2 then acc := i :: !acc
+    done;
+    !acc
 
   let seal t slot =
     if slot.current_n > 0 then (

@@ -14,6 +14,7 @@ module Make (Rt : Rt.Rt_intf.RT) : sig
   val create :
     ?max_threads:int ->
     ?batch_size:int ->
+    ?stall_obs:int ->
     ?free:('a -> unit) ->
     unit ->
     'a t
@@ -21,7 +22,13 @@ module Make (Rt : Rt.Rt_intf.RT) : sig
       the GC does the physical freeing; the callback exists for free-list
       recycling and for tests observing reclamation timing.
       [batch_size] (default 64) is how many retirees accumulate before a
-      batch is sealed with a stamp snapshot. *)
+      batch is sealed with a stamp snapshot.
+      [stall_obs] (default 0 = off) bounds the damage of a crashed or
+      stalled thread that never quiesces: after that many consecutive
+      reclaim attempts observe the same thread blocking the oldest batch
+      with an unchanged stamp, the thread is declared dead and its stamp
+      no longer blocks reclamation. Safe here because reclamation is
+      logical (see the implementation header). *)
 
   val op_begin : 'a t -> unit
   (** Enter an operation. Raises [Invalid_argument] if already inside
@@ -40,8 +47,23 @@ module Make (Rt : Rt.Rt_intf.RT) : sig
   (** Seal the calling thread's current batch and reclaim whatever is
       safe. Useful at shutdown and in tests. *)
 
+  val declare_dead : 'a t -> int -> unit
+  (** [declare_dead t i] tells the reclaimer thread [i] will never
+      advance its stamp again (crashed, or known descheduled forever):
+      its stamp stops blocking reclamation, and batches it blocked become
+      reclaimable on the next attempt. Harnesses call this with the
+      watchdog's crash reports; [stall_obs] is the automatic variant. *)
+
+  val stalled : 'a t -> int list
+  (** Threads the reclaimer currently believes are stuck: declared dead
+      (manually or via [stall_obs]), or observed blocking the reclamation
+      frontier with an unchanged stamp on at least two consecutive
+      reclaim attempts. *)
+
   type stats = { retired : int; freed : int; pending : int }
 
   val stats : 'a t -> stats
-  (** Aggregate across threads; [retired = freed + pending] always. *)
+  (** Aggregate across threads; [retired = freed + pending] always —
+      including after stall declarations, whose forced frees count into
+      [freed]. *)
 end

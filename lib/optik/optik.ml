@@ -93,6 +93,13 @@ module type RT = Rt.Rt_intf.RT
 
 module Backoff = Rt.Backoff
 
+(* Alias taken before the functor parameters shadow [Rt]: like the classic
+   locks, OPTIK locks report fault/liveness checkpoints — [Critical_enter]
+   right after any successful acquisition, [Critical_exit] just before the
+   releasing store in [unlock]/[revert], [Lock_wait] once per wait-loop
+   probe — through [Rt.on_fault]. *)
+module Fp = Rt.Rt_intf
+
 (** OPTIK lock over a versioned lock (Figure 4 of the paper). *)
 module Versioned (Rt : RT) = struct
   module B = Backoff.Make (Rt)
@@ -115,6 +122,7 @@ module Versioned (Rt : RT) = struct
     let rec loop () =
       let v = Rt.get l in
       if is_locked v then (
+        Rt.on_fault Fp.Lock_wait;
         B.spin_once s;
         loop ())
       else v
@@ -126,21 +134,27 @@ module Versioned (Rt : RT) = struct
      to even); the equality check merely avoids doomed CAS attempts. *)
   let trylock_version l targetv =
     if is_locked targetv || Rt.get l <> targetv then false
-    else Rt.cas l targetv (targetv + 1)
+    else
+      let ok = Rt.cas l targetv (targetv + 1) in
+      if ok then Rt.on_fault Fp.Critical_enter;
+      ok
 
   let lock_version l targetv =
     let s = B.spin () in
     let rec loop () =
       let cur = Rt.get l in
       if is_locked cur then (
+        Rt.on_fault Fp.Lock_wait;
         B.spin_once s;
         loop ())
       else if Rt.cas l cur (cur + 1) then cur
       else (
+        Rt.on_fault Fp.Lock_wait;
         B.spin_once s;
         loop ())
     in
     let acquired = loop () in
+    Rt.on_fault Fp.Critical_enter;
     acquired = targetv
 
   let lock l = ignore (lock_version l 0 : bool)
@@ -150,17 +164,25 @@ module Versioned (Rt : RT) = struct
     let rec loop () =
       let cur = Rt.get l in
       if is_locked cur then (
+        Rt.on_fault Fp.Lock_wait;
         B.once b;
         loop ())
       else if not (Rt.cas l cur (cur + 1)) then (
+        Rt.on_fault Fp.Lock_wait;
         B.once b;
         loop ())
     in
-    loop ()
+    loop ();
+    Rt.on_fault Fp.Critical_enter
 
   (* Holder-only updates: plain load + release store, like the C [*lock++]. *)
-  let unlock l = Rt.set l (Rt.get l + 1)
-  let revert l = Rt.set l (Rt.get l - 1)
+  let unlock l =
+    Rt.on_fault Fp.Critical_exit;
+    Rt.set l (Rt.get l + 1)
+
+  let revert l =
+    Rt.on_fault Fp.Critical_exit;
+    Rt.set l (Rt.get l - 1)
 
   let num_queued _ = 0
 
@@ -210,6 +232,7 @@ module Ticket (Rt : RT) = struct
     let rec loop () =
       let p = Rt.get l in
       if is_locked p then (
+        Rt.on_fault Fp.Lock_wait;
         B.spin_once s;
         loop ())
       else p
@@ -221,7 +244,12 @@ module Ticket (Rt : RT) = struct
     else
       let v = curr_of targetv in
       let expected = pack ~curr:v ~next:v in
-      Rt.get l = expected && Rt.cas l expected (pack ~curr:v ~next:v + one_ticket)
+      let ok =
+        Rt.get l = expected
+        && Rt.cas l expected (pack ~curr:v ~next:v + one_ticket)
+      in
+      if ok then Rt.on_fault Fp.Critical_enter;
+      ok
 
   let lock_version l targetv =
     let old = Rt.faa l one_ticket in
@@ -229,12 +257,14 @@ module Ticket (Rt : RT) = struct
     let rec wait () =
       let cur = curr_of (Rt.get l) in
       if cur <> my then (
+        Rt.on_fault Fp.Lock_wait;
         (* Backoff proportional to the distance from the queue head. *)
         let dist = (my - cur + mask + 1) land mask in
         Rt.pause_n (if dist > 64 then 512 else dist * 8);
         wait ())
     in
     wait ();
+    Rt.on_fault Fp.Critical_enter;
     my = curr_of targetv
 
   let lock l = ignore (lock_version l 0 : bool)
@@ -246,16 +276,21 @@ module Ticket (Rt : RT) = struct
      half. With both halves packed into one OCaml int, a read-modify-write
      release would race with concurrent ticket grabs (lost update), so
      the release must be an atomic increment of the packed word. *)
-  let unlock l = ignore (Rt.faa l 1 : int)
+  let unlock l =
+    Rt.on_fault Fp.Critical_exit;
+    ignore (Rt.faa l 1 : int)
 
   let revert l =
+    (* One [Critical_exit] regardless of which release path runs below —
+       the fallback inlines the unlock so the checkpoint fires once. *)
+    Rt.on_fault Fp.Critical_exit;
     let p = Rt.get l in
     let v = curr_of p in
     (* Free the lock keeping the version, unless someone queued behind. *)
     if
       next_of p <> v + 1
       || not (Rt.cas l p (pack ~curr:v ~next:v))
-    then unlock l
+    then ignore (Rt.faa l 1 : int)
 
   let num_queued l =
     let p = Rt.get l in

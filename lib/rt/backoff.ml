@@ -29,6 +29,10 @@ module Make (Rt : Rt_intf.RT) = struct
   (* One backoff episode: pause for the current budget (plus jitter),
      then double it, saturating at [t.max]. *)
   let once t =
+    (* [once] is the canonical "my optimistic attempt failed, retrying"
+       signal, so it doubles as the watchdog's restart counter and as a
+       fault-injection point. *)
+    Rt.on_fault Rt_intf.Restart;
     let base = t.cur / 32 in
     Rt.pause_n (base + jitter (base + 2));
     let next = t.cur * 2 in

@@ -59,6 +59,10 @@ let set_nthreads n = Atomic.set nthreads_v n
 let tid () = Domain.DLS.get tid_key
 let nthreads () = Atomic.get nthreads_v
 
+(* Fault checkpoints are a simulator facility; native runs real code on
+   real cores and cannot crash or stall a domain from the inside. *)
+let on_fault (_ : Rt_intf.fault_point) = ()
+
 module Counter = struct
   type t = { name : string; cell : int Atomic.t }
 

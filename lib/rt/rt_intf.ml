@@ -32,6 +32,22 @@ module type COUNTER = sig
   val name : t -> string
 end
 
+(** Instrumentation checkpoints reported by locks, backoff and the
+    memory operations themselves. They serve two purposes at once: a
+    fault-injection layer can act at a checkpoint (crash / stall /
+    storm-preempt the calling thread — see [Sim.Fault]), and a liveness
+    watchdog uses them to track which threads hold locks, which are
+    spinning behind one, and which keep restarting. The native backend
+    ignores them entirely. *)
+type fault_point =
+  | Before_cas  (** about to issue a CAS (reported by the simulator) *)
+  | After_cas  (** a CAS (successful or not) just completed *)
+  | Critical_enter  (** a lock was just acquired (any lock module) *)
+  | Critical_exit  (** a lock is about to be released *)
+  | Lock_wait  (** one probe iteration spent waiting behind a lock *)
+  | Restart  (** one optimistic-retry backoff episode ({!Backoff.once}) *)
+  | Op_boundary  (** a benchmark operation completed (scheduler tick) *)
+
 module type RT = sig
   val backend_name : string
 
@@ -119,6 +135,16 @@ module type RT = sig
 
   val nthreads : unit -> int
   (** Number of threads in the current run; 1 outside a run. *)
+
+  (** {1 Fault / liveness instrumentation} *)
+
+  val on_fault : fault_point -> unit
+  (** [on_fault p] reports that the calling thread reached checkpoint [p].
+      On the simulator this feeds the liveness watchdog and gives the
+      fault-injection layer a chance to crash or stall the thread (so the
+      call may raise, or may suspend for a long virtual time). The native
+      backend makes it a no-op. Locks and backoff call this; algorithm
+      code normally does not need to. *)
 
   (** {1 Statistics} *)
 

@@ -1,0 +1,165 @@
+(** Deterministic fault injection for the simulator.
+
+    A {!plan} is a seeded list of {!spec}s: at a given checkpoint
+    ({!Rt.Rt_intf.fault_point}), optionally restricted to one thread,
+    after a given number of hits, perform an {!action}:
+
+    - {!Crash}: the thread never runs again. Locks it holds stay held —
+      the adversary the lock-free vs blocking comparison is about.
+    - {!Stall}: the thread disappears for N virtual cycles (page fault,
+      preemption spike) and then resumes.
+    - {!Storm}: opens a preemption-storm window; until it closes, the
+      victim threads lose [duration] cycles at every checkpoint they
+      reach — burst descheduling beyond the scheduler's fair
+      multiprogramming model.
+
+    Determinism: specs fire on checkpoint {e counts}, not wall time, and
+    the only randomness is derived from the plan's [seed] by a pure hash
+    (used when a spec leaves [hits = 0]). Two runs with the same plan,
+    topology and workload produce identical schedules, identical fault
+    times and identical results.
+
+    Handlers run in the faulting thread's own context via the scheduler's
+    fault hook, so a [Stall] burns that thread's virtual time and a
+    [Crash] unwinds only that thread's fiber. *)
+
+type point = Rt.Rt_intf.fault_point
+
+type action =
+  | Crash
+  | Stall of int  (** disappear for N cycles, then resume *)
+  | Storm of { victims : int list; duration : int }
+      (** open a window of [duration] cycles during which every listed
+          thread ([[]] = every thread) stalls to the end of the window at
+          each checkpoint it reaches *)
+
+type spec = {
+  f_tid : int option;  (** restrict to one thread; [None] = any thread *)
+  f_point : point;
+  f_hits : int;
+      (** fire on the Nth matching checkpoint; 0 = derive a small count
+          (1..48) deterministically from the plan seed *)
+  f_action : action;
+}
+
+type plan = { seed : int; specs : spec list }
+
+let crash ?tid ?(hits = 0) point =
+  { f_tid = tid; f_point = point; f_hits = hits; f_action = Crash }
+
+let stall ?tid ?(hits = 0) cycles point =
+  { f_tid = tid; f_point = point; f_hits = hits; f_action = Stall cycles }
+
+let storm ?tid ?(hits = 0) ?(victims = []) duration point =
+  {
+    f_tid = tid;
+    f_point = point;
+    f_hits = hits;
+    f_action = Storm { victims; duration };
+  }
+
+let plan ~seed specs = { seed; specs }
+
+(** One fired injection, for post-run assertions and reports: which
+    thread, at what virtual time, after how many global ops. *)
+type event = { e_tid : int; e_clock : int; e_ops : int; e_spec : spec }
+
+(* ------------------------------------------------------------------ *)
+
+type armed = { spec : spec; mutable remaining : int; mutable fired : bool }
+
+let active : armed array ref = ref [||]
+let storm_window : (int * int list) option ref = ref None
+let fired_log : event list ref = ref []
+
+(* Pure splitmix-style hash of (seed, spec index): the default hit count
+   for specs that leave [f_hits = 0]. Small (1..48) so the fault lands
+   early in any realistic run. *)
+let derived_hits seed i =
+  let x = ((seed + 1) * 0x9E3779B1) lxor ((i + 1) * 0x85EBCA77) in
+  let x = x lxor (x lsr 13) in
+  let x = x * 0xC2B2AE35 land max_int in
+  1 + ((x lxor (x lsr 16)) mod 48)
+
+let handler p =
+  let tid = Sched.tid () in
+  (* A storm in progress stalls its victims at whatever checkpoint they
+     reach next, until the window closes. *)
+  (match !storm_window with
+  | Some (t_end, victims) ->
+      let c = Sched.now () in
+      if c >= t_end then storm_window := None
+      else if victims = [] || List.mem tid victims then Sched.work (t_end - c)
+  | None -> ());
+  Array.iter
+    (fun a ->
+      if
+        (not a.fired)
+        && a.spec.f_point = p
+        && match a.spec.f_tid with None -> true | Some t -> t = tid
+      then (
+        a.remaining <- a.remaining - 1;
+        if a.remaining <= 0 then (
+          a.fired <- true;
+          fired_log :=
+            {
+              e_tid = tid;
+              e_clock = Sched.now ();
+              e_ops = Sched.ops_so_far ();
+              e_spec = a.spec;
+            }
+            :: !fired_log;
+          match a.spec.f_action with
+          | Crash -> raise Sched.Crashed
+          | Stall n -> Sched.work n
+          | Storm { victims; duration } ->
+              storm_window := Some (Sched.now () + duration, victims))))
+    !active
+
+let install p =
+  fired_log := [];
+  storm_window := None;
+  active :=
+    Array.of_list
+      (List.mapi
+         (fun i sp ->
+           let hits =
+             if sp.f_hits > 0 then sp.f_hits else derived_hits p.seed i
+           in
+           { spec = sp; remaining = hits; fired = false })
+         p.specs);
+  Sched.set_fault_hook (Some handler)
+
+let clear () =
+  Sched.set_fault_hook None;
+  active := [||];
+  storm_window := None
+
+(* [events] stays readable after [clear] (until the next [install]) so a
+   harness can assert on what fired after the run returns. *)
+let with_plan p f =
+  install p;
+  Fun.protect ~finally:clear f
+
+let events () = List.rev !fired_log
+
+let point_name : point -> string = function
+  | Rt.Rt_intf.Before_cas -> "before-cas"
+  | After_cas -> "after-cas"
+  | Critical_enter -> "critical-enter"
+  | Critical_exit -> "critical-exit"
+  | Lock_wait -> "lock-wait"
+  | Restart -> "restart"
+  | Op_boundary -> "op-boundary"
+
+let action_name = function
+  | Crash -> "crash"
+  | Stall n -> Printf.sprintf "stall(%d)" n
+  | Storm { duration; _ } -> Printf.sprintf "storm(%d)" duration
+
+let pp_event ppf e =
+  Format.fprintf ppf "%s t%d at %s (clock=%d, op=%d)"
+    (action_name e.e_spec.f_action)
+    e.e_tid
+    (point_name e.e_spec.f_point)
+    e.e_clock e.e_ops

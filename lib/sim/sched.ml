@@ -33,7 +33,21 @@
 
 exception Timeout of string
 
+exception Crashed
+(* Raised at a fault checkpoint to kill the current virtual thread. The
+   run-loop handler marks the thread dead without unwinding shared state:
+   whatever locks it held stay held, exactly like a thread that dies (or
+   is descheduled forever) inside its critical section on real hardware. *)
+
+exception Budget of string
+(* Internal marker: a budget was exhausted mid-operation. The run loop
+   catches it, classifies the run's liveness, and re-raises as either
+   [Timeout] (threads were progressing) or [Stalled] (they were not). *)
+
+module Fp = Rt.Rt_intf
+
 type line = {
+  id : int;  (** stable identity for stall reports ("hot lines") *)
   mutable epoch : int;
   mutable writer : int;  (** ctx holding the line exclusively; -1 if none *)
   mutable sharers : int;  (** bitmask of ctxs sharing the line *)
@@ -47,6 +61,20 @@ type line = {
 
 type 'a loc = { mutable v : 'a; line : line }
 
+(** Liveness-watchdog configuration. The watchdog classifies a run from
+    per-thread progress counters; [check_events = 0] (the default) only
+    classifies when a budget is exhausted, a positive value additionally
+    checks every that-many scheduler events so genuinely stuck runs abort
+    long before [max_events]. *)
+type watchdog = {
+  check_events : int;
+  starve_cycles : int;
+      (** an unfinished thread that has not completed an operation within
+          this many cycles of the global frontier counts as starved *)
+}
+
+let default_watchdog = { check_events = 0; starve_cycles = 8_000_000 }
+
 type thread = {
   t_id : int;
   ctx : int;
@@ -59,6 +87,18 @@ type thread = {
       (** the line this thread last accessed: back-to-back accesses to
           one line (a node's fields) pipeline at ~1 cycle, like the
           independent loads of a C struct's fields *)
+  (* Liveness bookkeeping, maintained by [tick] and [fault_point]. The
+     "since last completed op" counters reset at every tick: an operation
+     boundary is by construction a point where the thread holds no locks
+     on its own behalf (structures that intentionally leak a dead node's
+     lock — OPTIK victim locks — must not count as holding). *)
+  mutable ops_done : int;
+  mutable last_op_clock : int;
+  mutable restarts : int;  (** backoff episodes since last completed op *)
+  mutable crit_depth : int;
+      (** locks acquired minus released since last completed op *)
+  mutable waiting : bool;  (** probed a held lock since last completed op *)
+  mutable crashed : bool;  (** killed by fault injection; locks stay held *)
 }
 
 type t = {
@@ -83,6 +123,10 @@ type t = {
   mutable inline_ops : int;
       (** fast-path ops since run start; bounds runaway pure-inline spins
           that would otherwise never hit the event-count timeout *)
+  wd : watchdog;
+  hot : (int, int) Hashtbl.t;
+      (** line id -> number of serialized ops that stalled behind the
+          line's [busy_until]; the stall report's "hot lines" *)
 }
 
 (* The simulator is single-OS-threaded by construction; a pair of global
@@ -106,8 +150,12 @@ let dispatching th f () =
 (* ------------------------------------------------------------------ *)
 (* Locations                                                           *)
 
+let line_counter = ref 0
+
 let fresh_line ?(streaming = false) () =
+  incr line_counter;
   {
+    id = !line_counter;
     epoch = !epoch;
     writer = -1;
     sharers = 0;
@@ -154,6 +202,38 @@ let refresh line =
     line.sharers <- 0;
     line.exclusive <- false;
     line.busy_until <- 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fault checkpoints                                                   *)
+
+(* The fault-injection layer (Fault) installs a handler here; it runs in
+   the reporting thread's own context, so it may burn virtual time
+   ([work]) or raise [Crashed]. The indirection keeps the scheduler free
+   of injection policy while letting lock/backoff code report through a
+   single entry point. *)
+let fault_hook : (Fp.fault_point -> unit) option ref = ref None
+let set_fault_hook h = fault_hook := h
+
+let fault_point (p : Fp.fault_point) =
+  match !cur_thread with
+  | None -> ()
+  | Some th ->
+      (match p with
+      | Fp.Critical_enter ->
+          th.crit_depth <- th.crit_depth + 1;
+          th.waiting <- false
+      | Fp.Lock_wait -> th.waiting <- true
+      | Fp.Restart -> th.restarts <- th.restarts + 1
+      | Fp.Critical_exit | Fp.Before_cas | Fp.After_cas | Fp.Op_boundary ->
+          ());
+      (match !fault_hook with None -> () | Some f -> f p);
+      (* The depth decrement happens only after the hook ran: locks report
+         [Critical_exit] before the releasing store, so a thread crashed at
+         this checkpoint still holds the lock and must still count. *)
+      (match p with
+      | Fp.Critical_exit ->
+          if th.crit_depth > 0 then th.crit_depth <- th.crit_depth - 1
+      | _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling windows (multiprogramming)                               *)
@@ -231,10 +311,14 @@ let apply_own th line =
 let exec_now s th line cost ~serialize sem =
   s.inline_ops <- s.inline_ops + 1;
   if s.inline_ops > s.max_inline_ops then
-    raise (Timeout "simulation exceeded the inline-operation budget");
+    raise (Budget "simulation exceeded the inline-operation budget");
   let start =
     match line with
-    | Some l when l.busy_until > th.clock -> l.busy_until
+    | Some l when l.busy_until > th.clock ->
+        if serialize then
+          Hashtbl.replace s.hot l.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt s.hot l.id));
+        l.busy_until
     | _ -> th.clock
   in
   let fin = start + cost in
@@ -340,18 +424,23 @@ let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
       else false
   | Some th ->
       let s = match !cur_sched with Some s -> s | None -> assert false in
+      fault_point Fp.Before_cas;
       refresh l.line;
       s.n_cas <- s.n_cas + 1;
-      op s th
-        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
-        (fun () ->
-          apply_own th l.line;
-          if l.v == expected then (
-            l.v <- desired;
-            true)
-          else (
-            s.n_cas_failed <- s.n_cas_failed + 1;
-            false))
+      let ok =
+        op s th
+          (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
+          (fun () ->
+            apply_own th l.line;
+            if l.v == expected then (
+              l.v <- desired;
+              true)
+            else (
+              s.n_cas_failed <- s.n_cas_failed + 1;
+              false))
+      in
+      fault_point Fp.After_cas;
+      ok
 
 let faa (l : int loc) (n : int) : int =
   match !cur_thread with
@@ -440,7 +529,16 @@ let tick () =
   | None -> ()
   | Some s ->
       s.ops <- s.ops + 1;
-      if s.ops_target > 0 && s.ops >= s.ops_target then s.stop <- true
+      if s.ops_target > 0 && s.ops >= s.ops_target then s.stop <- true;
+      (match !cur_thread with
+      | None -> ()
+      | Some th ->
+          th.ops_done <- th.ops_done + 1;
+          th.last_op_clock <- th.clock;
+          th.restarts <- 0;
+          th.waiting <- false;
+          th.crit_depth <- 0;
+          fault_point Fp.Op_boundary)
 
 let request_stop () =
   match !cur_sched with None -> () | Some s -> s.stop <- true
@@ -450,9 +548,18 @@ let tid () = match !cur_thread with None -> 0 | Some th -> th.t_id
 (* Deterministic timing noise: a pure hash of (thread id, virtual clock).
    Identical schedules yield identical noise, preserving run-to-run
    reproducibility, while co-scheduled threads see decorrelated values. *)
+let noise_enabled = ref true
+
+(* Disabling noise removes the timing jitter that keeps contending
+   threads from phase-locking (see Backoff). Exposed so the liveness
+   watchdog's starvation tests can deterministically reproduce the
+   phase-locked-handoff incident; restore to [true] afterwards. *)
+let set_noise b = noise_enabled := b
+
 let noise () =
   match !cur_thread with
   | None -> 0
+  | Some _ when not !noise_enabled -> 0
   | Some th ->
       let x = (th.clock * 0x9E3779B1) lxor ((th.t_id + 1) * 0x85EBCA77) in
       let x = x lxor (x lsr 13) in
@@ -483,6 +590,163 @@ let mops topo (st : stats) =
     let seconds = float_of_int st.wall_cycles /. (topo.Topology.ghz *. 1e9) in
     float_of_int st.ops /. seconds /. 1e6
 
+let stats_of s =
+  {
+    wall_cycles = s.end_time;
+    ops = s.ops;
+    reads = s.n_reads;
+    writes = s.n_writes;
+    cas = s.n_cas;
+    cas_failed = s.n_cas_failed;
+    faa = s.n_faa;
+    events = s.events;
+  }
+
+let ops_so_far () = match !cur_sched with None -> 0 | Some s -> s.ops
+
+(* ------------------------------------------------------------------ *)
+(* Liveness watchdog                                                   *)
+
+type verdict =
+  | Progress  (** every unfinished thread completed an op recently *)
+  | Starved of int list
+      (** the listed threads are stuck while others progress, or threads
+          are queued behind a lock whose holder crashed *)
+  | Livelocked
+      (** every surviving thread is stuck and no dead holder explains it:
+          they are burning cycles without completing operations *)
+
+type thread_progress = {
+  tp_tid : int;
+  tp_ops : int;  (** operations completed *)
+  tp_clock : int;  (** the thread's virtual clock *)
+  tp_last_op_clock : int;  (** clock at its last completed op *)
+  tp_restarts : int;  (** backoff episodes since last completed op *)
+  tp_crit_depth : int;  (** locks held since last completed op *)
+  tp_waiting : bool;  (** probed a held lock since last completed op *)
+  tp_crashed : bool;
+  tp_finished : bool;
+}
+
+type report = {
+  r_verdict : verdict;
+  r_reason : string;  (** which check aborted the run *)
+  r_stats : stats;  (** partial statistics at abort time *)
+  r_threads : thread_progress list;
+  r_dead_holders : int list;
+      (** crashed threads that still hold at least one lock *)
+  r_waiters : int list;  (** alive threads last seen probing a held lock *)
+  r_hot_lines : (int * int) list;
+      (** (line id, serialized ops that stalled on it), most contended
+          first, capped at eight lines *)
+}
+
+exception Stalled of report
+
+let classify s =
+  let alive =
+    Array.to_list s.threads |> List.filter (fun th -> not th.finished)
+  in
+  let starved =
+    List.filter
+      (fun th -> s.end_time - th.last_op_clock > s.wd.starve_cycles)
+      alive
+  in
+  let dead_holders =
+    Array.to_list s.threads
+    |> List.filter (fun th -> th.crashed && th.crit_depth > 0)
+  in
+  match starved with
+  | [] -> Progress
+  | _ when dead_holders <> [] || List.length starved < List.length alive ->
+      Starved (List.map (fun th -> th.t_id) starved)
+  | _ -> Livelocked
+
+let build_report s verdict reason =
+  let progress th =
+    {
+      tp_tid = th.t_id;
+      tp_ops = th.ops_done;
+      tp_clock = th.clock;
+      tp_last_op_clock = th.last_op_clock;
+      tp_restarts = th.restarts;
+      tp_crit_depth = th.crit_depth;
+      tp_waiting = th.waiting;
+      tp_crashed = th.crashed;
+      tp_finished = th.finished && not th.crashed;
+    }
+  in
+  let hot =
+    Hashtbl.fold (fun id n acc -> (id, n) :: acc) s.hot []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.filteri (fun i _ -> i < 8)
+  in
+  {
+    r_verdict = verdict;
+    r_reason = reason;
+    r_stats = stats_of s;
+    r_threads = Array.to_list s.threads |> List.map progress;
+    r_dead_holders =
+      Array.to_list s.threads
+      |> List.filter (fun th -> th.crashed && th.crit_depth > 0)
+      |> List.map (fun th -> th.t_id);
+    r_waiters =
+      Array.to_list s.threads
+      |> List.filter (fun th -> (not th.finished) && th.waiting)
+      |> List.map (fun th -> th.t_id);
+    r_hot_lines = hot;
+  }
+
+let pp_verdict ppf = function
+  | Progress -> Format.pp_print_string ppf "progress"
+  | Starved tids ->
+      Format.fprintf ppf "starved[%s]"
+        (String.concat "," (List.map string_of_int tids))
+  | Livelocked -> Format.pp_print_string ppf "livelocked"
+
+let pp_report ppf r =
+  let ids l = String.concat "," (List.map string_of_int l) in
+  Format.fprintf ppf "verdict: %a (%s)@\n" pp_verdict r.r_verdict r.r_reason;
+  Format.fprintf ppf "partial stats: ops=%d events=%d wall=%d cycles@\n"
+    r.r_stats.ops r.r_stats.events r.r_stats.wall_cycles;
+  if r.r_dead_holders <> [] then
+    Format.fprintf ppf "dead lock holders: t[%s]@\n" (ids r.r_dead_holders);
+  if r.r_waiters <> [] then
+    Format.fprintf ppf "queued waiters: t[%s]@\n" (ids r.r_waiters);
+  if r.r_hot_lines <> [] then
+    Format.fprintf ppf "hot lines: %s@\n"
+      (String.concat " "
+         (List.map
+            (fun (id, n) -> Printf.sprintf "line%d(%d stalls)" id n)
+            r.r_hot_lines));
+  List.iter
+    (fun tp ->
+      Format.fprintf ppf
+        "  t%d: ops=%d last-op@%d clock=%d restarts=%d crit-depth=%d%s%s%s@\n"
+        tp.tp_tid tp.tp_ops tp.tp_last_op_clock tp.tp_clock tp.tp_restarts
+        tp.tp_crit_depth
+        (if tp.tp_waiting then " waiting" else "")
+        (if tp.tp_crashed then " CRASHED" else "")
+        (if tp.tp_finished then " done" else ""))
+    r.r_threads
+
+(* The most recent abort's report, kept so a harness catching [Timeout]
+   (whose payload is just a string) can still recover partial stats and
+   per-thread progress. *)
+let last_report : report option ref = ref None
+let last_abort_report () = !last_report
+
+(* Classify the aborting run and build the exception to raise: genuinely
+   progressing runs keep the historical [Timeout], stuck ones get the
+   structured [Stalled]. *)
+let abort_exn s reason =
+  let v = classify s in
+  let r = build_report s v reason in
+  last_report := Some r;
+  match v with
+  | Progress -> Timeout reason
+  | Starved _ | Livelocked -> Stalled r
+
 (* ------------------------------------------------------------------ *)
 (* The run loop                                                        *)
 
@@ -493,9 +757,11 @@ let default_max_inline_ops = 40_000_000_000
 
 let run ?(quantum = default_quantum) ?(ops_target = 0)
     ?(max_events = default_max_events) ?(read_slack = default_read_slack)
-    ?(max_inline_ops = default_max_inline_ops) ~topology ~nthreads:n body =
+    ?(max_inline_ops = default_max_inline_ops) ?(watchdog = default_watchdog)
+    ~topology ~nthreads:n body =
   if n <= 0 then invalid_arg "Sched.run: nthreads must be positive";
   if !cur_sched <> None then invalid_arg "Sched.run: nested simulations";
+  last_report := None;
   incr epoch;
   let nctx = Topology.n_contexts topology in
   let per_ctx = Array.make nctx 0 in
@@ -513,6 +779,12 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
           window_end = 0;
           finished = false;
           last_line = fresh_line ();
+          ops_done = 0;
+          last_op_clock = 0;
+          restarts = 0;
+          crit_depth = 0;
+          waiting = false;
+          crashed = false;
         })
   in
   Array.iter
@@ -541,6 +813,8 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
       read_slack;
       max_inline_ops;
       inline_ops = 0;
+      wd = watchdog;
+      hot = Hashtbl.create 64;
     }
   in
   cur_sched := Some s;
@@ -555,9 +829,18 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
             s.live <- s.live - 1);
         exnc =
           (fun e ->
-            cur_sched := None;
-            cur_thread := None;
-            raise e);
+            match e with
+            | Crashed ->
+                (* Killed by fault injection: the thread is gone but the
+                   simulation is not. Shared state is left exactly as the
+                   thread last wrote it — held locks stay held. *)
+                th.crashed <- true;
+                th.finished <- true;
+                s.live <- s.live - 1
+            | e ->
+                cur_sched := None;
+                cur_thread := None;
+                raise e);
         effc =
           (fun (type a) (e : a Effect.t) ->
             match e with
@@ -593,26 +876,35 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
                       (if th.finished then "(done)" else ""))
              |> String.concat " ")
          in
-         finalize ();
          raise
-           (Timeout
+           (abort_exn s
               (Printf.sprintf "simulation exceeded %d events; threads: %s"
                  s.max_events dump)));
+       (* Periodic liveness check (opt-in): classify long before the event
+          budget burns. Skipped while the run is winding down — once the
+          ops target is hit, lagging threads are exiting, not starving. *)
+       if
+         s.wd.check_events > 0
+         && (not s.stop)
+         && s.events mod s.wd.check_events = 0
+       then (
+         match classify s with
+         | Progress -> ()
+         | v -> raise (Stalled (build_report s v "liveness watchdog")));
        action ()
      done
-   with e ->
-     finalize ();
-     raise e);
+   with
+   | Budget reason ->
+       finalize ();
+       raise (abort_exn s reason)
+   | Stalled r ->
+       last_report := Some r;
+       finalize ();
+       raise (Stalled r)
+   | e ->
+       finalize ();
+       raise e);
   finalize ();
   if s.live > 0 then
-    raise (Timeout "simulation ended with runnable threads (deadlock?)");
-  {
-    wall_cycles = s.end_time;
-    ops = s.ops;
-    reads = s.n_reads;
-    writes = s.n_writes;
-    cas = s.n_cas;
-    cas_failed = s.n_cas_failed;
-    faa = s.n_faa;
-    events = s.events;
-  }
+    raise (abort_exn s "simulation ended with runnable threads (deadlock?)");
+  stats_of s

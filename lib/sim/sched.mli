@@ -14,9 +14,17 @@
     structures cheaply. *)
 
 exception Timeout of string
-(** Raised when a run exceeds its event or inline-operation budget — the
-    backstop against livelocked or runaway simulations. The payload
-    includes per-thread virtual clocks for diagnosis. *)
+(** Raised when a run exceeds its event or inline-operation budget while
+    threads were still making progress (see {!verdict}). The payload
+    includes per-thread virtual clocks for diagnosis; {!last_abort_report}
+    carries the structured version. *)
+
+exception Crashed
+(** Raise from a fault checkpoint (via a {!set_fault_hook} handler, i.e.
+    the [Fault] module) to kill the calling virtual thread: it never runs
+    again, and any locks it holds stay held — modeling a thread that dies
+    or is descheduled forever inside its critical section. Only
+    meaningful inside a {!run}; the scheduler absorbs it. *)
 
 (** {1 Locations} *)
 
@@ -76,6 +84,33 @@ val request_stop : unit -> unit
 val tid : unit -> int
 val nthreads : unit -> int
 
+val ops_so_far : unit -> int
+(** Operations {!tick}ed so far in the current run; 0 outside a run. *)
+
+val set_noise : bool -> unit
+(** Globally enable/disable {!noise} (default enabled). Disabling removes
+    the timing jitter that prevents phase-locked starvation; used by
+    watchdog tests to reproduce that incident deterministically. Restore
+    afterwards. *)
+
+(** {1 Fault checkpoints}
+
+    Locks, backoff and the simulator's own CAS report instrumentation
+    checkpoints ({!Rt.Rt_intf.fault_point}) through {!fault_point}. The
+    scheduler uses them to maintain per-thread liveness counters; an
+    installed hook (see the [Fault] module) can additionally act on them —
+    burn virtual time, or raise {!Crashed}. *)
+
+val fault_point : Rt.Rt_intf.fault_point -> unit
+(** Report a checkpoint for the calling thread (no-op outside a run).
+    This is [Sim_rt.on_fault]. May raise {!Crashed} or suspend if a hook
+    decides so. *)
+
+val set_fault_hook : (Rt.Rt_intf.fault_point -> unit) option -> unit
+(** Install (or clear) the process-global fault handler. The handler runs
+    in the reporting thread's context. Prefer [Fault.with_plan], which
+    manages installation and cleanup. *)
+
 (** {1 Results} *)
 
 type stats = {
@@ -93,6 +128,71 @@ val mops : Topology.t -> stats -> float
 (** Throughput in million operations per second at the topology's clock
     frequency. *)
 
+(** {1 Liveness watchdog}
+
+    Per-thread progress counters (ops completed, cycles since the last
+    completed op, restarts, locks held, lock probes) let the scheduler
+    classify a run instead of silently spinning into the event budget. *)
+
+type watchdog = {
+  check_events : int;
+      (** classify every N scheduler events; 0 (default) classifies only
+          when a budget is exhausted *)
+  starve_cycles : int;
+      (** an unfinished thread with no completed op within this many
+          cycles of the global time frontier counts as starved
+          (default 8M cycles) *)
+}
+
+val default_watchdog : watchdog
+
+type verdict =
+  | Progress  (** every unfinished thread completed an op recently *)
+  | Starved of int list
+      (** the listed threads are stuck while others progress, or stuck
+          behind a crashed lock holder *)
+  | Livelocked
+      (** every surviving thread is burning cycles without completing
+          operations, and no dead holder explains it *)
+
+type thread_progress = {
+  tp_tid : int;
+  tp_ops : int;
+  tp_clock : int;
+  tp_last_op_clock : int;
+  tp_restarts : int;
+  tp_crit_depth : int;
+  tp_waiting : bool;
+  tp_crashed : bool;
+  tp_finished : bool;
+}
+
+type report = {
+  r_verdict : verdict;
+  r_reason : string;
+  r_stats : stats;  (** partial statistics at abort time *)
+  r_threads : thread_progress list;
+  r_dead_holders : int list;
+      (** crashed threads still holding at least one lock — the "dead
+          lock holder" a blocked run is stuck behind *)
+  r_waiters : int list;  (** alive threads last seen probing a held lock *)
+  r_hot_lines : (int * int) list;
+      (** (cache-line id, serialized ops stalled on it), top eight *)
+}
+
+exception Stalled of report
+(** Raised instead of {!Timeout} when the watchdog rules the run
+    [Starved] or [Livelocked] — either at a periodic check
+    ([check_events > 0]) or when a budget is exhausted. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val last_abort_report : unit -> report option
+(** The structured report of the most recent aborted run ({!Timeout} or
+    {!Stalled}), so harnesses catching the string-only [Timeout] can
+    still recover partial stats. Reset at the start of each run. *)
+
 (** {1 Running} *)
 
 val default_quantum : int
@@ -106,6 +206,7 @@ val run :
   ?max_events:int ->
   ?read_slack:int ->
   ?max_inline_ops:int ->
+  ?watchdog:watchdog ->
   topology:Topology.t ->
   nthreads:int ->
   (int -> unit) ->
@@ -114,5 +215,7 @@ val run :
     virtual threads until they all return (or [ops_target] operations
     have been {!tick}ed, observed via {!stop_requested}). Deterministic:
     identical inputs give identical results. Raises {!Timeout} on budget
-    exhaustion, [Invalid_argument] on nesting, and re-raises any
-    exception escaping a thread body. *)
+    exhaustion while progressing, {!Stalled} when the watchdog rules the
+    run starved or livelocked, [Invalid_argument] on nesting, and
+    re-raises any exception escaping a thread body (except
+    {!Crashed}, which kills only the raising thread). *)

@@ -24,6 +24,7 @@ let work = Sched.work
 let tid = Sched.tid
 let noise = Sched.noise
 let nthreads = Sched.nthreads
+let on_fault = Sched.fault_point
 
 module Counter = struct
   (* Zero-cost statistics channel: never touches the simulated clock. *)

@@ -59,23 +59,30 @@ let () =
         S.name topo.Sim.Topology.name nthreads size updates skewed ops seed
     in
     (try
+       (* A loose watchdog turns a hang into a fast failure with a
+          per-thread progress dump instead of a silent event-budget burn. *)
        let m =
          Harness.Runner.run_set_sim ~topology:topo ~nthreads ~ops ~seed
+           ~watchdog:
+             { Sim.Sched.check_events = 500_000; starve_cycles = 50_000_000 }
            (module S)
            w
        in
+       (match m.Harness.Runner.outcome with
+       | Harness.Runner.Complete -> ()
+       | Harness.Runner.Aborted r ->
+           incr failures;
+           Printf.printf "STALLED (%s): %s\n%s%!"
+             (Format.asprintf "%a" Sim.Sched.pp_verdict r.Sim.Sched.r_verdict)
+             (describe ())
+             (Format.asprintf "%a" Sim.Sched.pp_report r));
        if not m.Harness.Runner.valid then (
          incr failures;
          Printf.printf "INVALID STRUCTURE: %s\n%!" (describe ()))
-     with
-    | Sim.Sched.Timeout msg ->
-        incr failures;
-        Printf.printf "TIMEOUT: %s\n  %s\n%!" (describe ())
-          (String.sub msg 0 (min 120 (String.length msg)))
-    | e ->
-        incr failures;
-        Printf.printf "EXCEPTION %s: %s\n%!" (Printexc.to_string e)
-          (describe ()));
+     with e ->
+       incr failures;
+       Printf.printf "EXCEPTION %s: %s\n%!" (Printexc.to_string e)
+         (describe ()));
     if !runs mod 25 = 0 then
       Printf.printf "  ... %d runs, %d failures\n%!" !runs !failures
   done;

@@ -20,6 +20,7 @@ let mk_measurement ?(name = "x") ~threads ~mops () =
     counters = [];
     final_size = 0;
     valid = true;
+    outcome = Harness.Runner.Complete;
   }
 
 let series label pts =

@@ -120,6 +120,63 @@ let test_batching () =
   Q.flush q;
   Alcotest.(check int) "all reclaimed" 9 !frees
 
+(* A thread that enters an operation and never quiesces (crashed, or
+   descheduled forever) blocks the reclamation frontier: pending grows
+   without bound, the invariant still holds, and [stalled] points at the
+   culprit. *)
+let never_quiescing_run q =
+  ignore
+    (Sim.Sched.run ~topology:Tutil.uniform4 ~nthreads:2 (fun tid ->
+         if tid = 1 then QS.op_begin q
+           (* enters an op and never finishes it *)
+         else (
+           (* let the reader get inside first *)
+           Sim.Sched.work 1_000;
+           for i = 1 to 50 do
+             QS.op_begin q;
+             QS.retire q i;
+             QS.op_end q;
+             QS.flush q
+           done)))
+
+let test_never_quiescing_blocks_reclamation () =
+  let q = QS.create ~batch_size:1 () in
+  never_quiescing_run q;
+  let st = QS.stats q in
+  Alcotest.(check int) "all retires recorded" 50 st.QS.retired;
+  Alcotest.(check bool) "pending grows behind the stuck reader" true
+    (st.QS.pending >= 49);
+  Alcotest.(check bool) "retired = freed + pending" true
+    (st.QS.freed + st.QS.pending = st.QS.retired);
+  Alcotest.(check (list int)) "the stuck reader is reported" [ 1 ]
+    (QS.stalled q)
+
+let test_stall_obs_bounds_damage () =
+  let q = QS.create ~batch_size:1 ~stall_obs:5 () in
+  never_quiescing_run q;
+  QS.flush q;
+  let st = QS.stats q in
+  Alcotest.(check bool) "invariant holds including forced frees" true
+    (st.QS.freed + st.QS.pending = st.QS.retired);
+  Alcotest.(check bool) "pending bounded once the reader is declared dead"
+    true
+    (st.QS.pending < 20);
+  Alcotest.(check bool) "dead reader reported" true
+    (List.mem 1 (QS.stalled q))
+
+let test_declare_dead_manual () =
+  let q = QS.create ~batch_size:1 () in
+  never_quiescing_run q;
+  Alcotest.(check bool) "blocked before the declaration" true
+    ((QS.stats q).QS.pending > 0);
+  (* e.g. the watchdog just reported t1 as a dead lock holder *)
+  QS.declare_dead q 1;
+  QS.flush q;
+  let st = QS.stats q in
+  Alcotest.(check int) "drained after declare_dead" 0 st.QS.pending;
+  Alcotest.(check bool) "invariant holds" true
+    (st.QS.freed + st.QS.pending = st.QS.retired)
+
 let qcheck_retire_counts =
   Tutil.qcheck_case ~count:100 "retired = freed + pending"
     QCheck2.Gen.(list_size (int_range 0 100) (int_range 0 2))
@@ -161,4 +218,13 @@ let () =
       ( "grace periods",
         [ Alcotest.test_case "straddling reader" `Quick test_grace_period_sim ]
       );
+      ( "stalled readers",
+        [
+          Alcotest.test_case "never-quiescing reader blocks reclamation"
+            `Quick test_never_quiescing_blocks_reclamation;
+          Alcotest.test_case "stall_obs bounds the damage" `Quick
+            test_stall_obs_bounds_damage;
+          Alcotest.test_case "declare_dead drains" `Quick
+            test_declare_dead_manual;
+        ] );
     ]
