@@ -115,7 +115,30 @@ let run_cmd =
              same result. The effective seed is always printed so any run \
              can be replayed.")
   in
-  let run family structure threads size updates skewed machine ops seed =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the run's observability journal and write it to $(docv): \
+             Chrome trace_event JSON (load in chrome://tracing or Perfetto), \
+             or JSONL when $(docv) ends in .jsonl. Deterministic: same seed, \
+             byte-identical file. Recording never perturbs the simulated \
+             clock, so traced and untraced runs report identical figures.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Record the run and print contention profiles: the hot-line \
+             table (coherence transfers, failed CAS, owner bounces and \
+             serialization stalls per allocation site), the ops/restarts \
+             time series and per-thread totals.")
+  in
+  let run family structure threads size updates skewed machine ops seed trace
+      profile =
     let topology =
       match machine with
       | "xeon" -> Sim.Topology.xeon
@@ -153,9 +176,10 @@ let run_cmd =
       | "map" | "hashtable" -> { base with Harness.Runner.capacity = Some size }
       | _ -> base
     in
+    let record_obs = profile || trace <> None in
     let m =
       Harness.Runner.run_set_sim ~topology ~nthreads:threads ~ops ~seed
-        (module S) w
+        ~record_obs (module S) w
     in
     Printf.printf
       "%s/%s on %s, %d threads, size %d, %d%% attempted updates%s, seed %d\n"
@@ -183,13 +207,23 @@ let run_cmd =
       Harness.Runner.class_names;
     List.iter
       (fun (k, v) -> Printf.printf "  counter %-28s %d\n" k v)
-      m.Harness.Runner.counters
+      m.Harness.Runner.counters;
+    match m.Harness.Runner.obs with
+    | None -> ()
+    | Some s ->
+        (match trace with
+        | None -> ()
+        | Some path ->
+            Obs.Trace.write_file path s.Obs.Profile.s_record;
+            Printf.printf "  trace           %s (%d events)\n" path
+              s.Obs.Profile.s_events);
+        if profile then Format.printf "%a@?" Obs.Profile.pp s
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload against one structure.")
     Term.(
       const run $ family $ structure $ threads $ size $ updates $ skewed
-      $ machine $ ops $ seed)
+      $ machine $ ops $ seed $ trace $ profile)
 
 (* ---------------- list ---------------- *)
 

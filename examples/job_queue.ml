@@ -71,9 +71,9 @@ let () =
   Printf.printf "  consumed: %d, left in queue: %d\n" (sum consumed)
     (Q.Optik3.size q);
   Printf.printf "  victim-path enqueues: %d\n"
-    (Rt.Counter.get Q.Optik3.victim_uses);
+    (Rt.Probe.count Q.Optik3.victim_uses);
   Printf.printf "  dequeue validation restarts: %d\n"
-    (Rt.Counter.get Q.Optik3.restarts);
+    (Rt.Probe.count Q.Optik3.restarts);
   assert (sum produced = sum consumed + Q.Optik3.size q);
   assert (sum checksum_in = sum checksum_out
           + (* checksum of jobs still queued *)

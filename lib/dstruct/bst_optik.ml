@@ -46,7 +46,7 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
 
   let name = "bst-optik"
 
-  let restarts = Rt.Counter.make "bst-optik.restarts"
+  let restarts = Rt.Probe.counter "bst-optik.restarts"
 
   (* One internal node = one cache line (lock + both child pointers). *)
   let mk_inode key l r =
@@ -110,7 +110,7 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
       let _, _, p, pv, leaf = locate t k in
       if leaf.lkey = k then false
       else if not (OL.trylock_version p.lock pv) then (
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else (
@@ -136,12 +136,12 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
       let gp, gpv, p, pv, leaf = locate t k in
       if leaf.lkey <> k then None
       else if not (OL.trylock_version gp.lock gpv) then (
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else if not (OL.trylock_version p.lock pv) then (
         OL.revert gp.lock;
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else (

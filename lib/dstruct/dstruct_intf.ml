@@ -81,3 +81,89 @@ module type STACK_OPS = sig
   val pop : t -> int option
   val size : t -> int
 end
+
+(** {1 Monomorphization functors}
+
+    Deriving a [*_OPS] module from a polymorphic implementation is pure
+    boilerplate except for two things: the registry name (which follows
+    the paper's figures, not the module name) and the [create] call
+    (which bakes in variant flags like [~cache] or [~variant]). The
+    [Mono_*] functors below take exactly those two things — a [*_CORE]
+    module of shared operations and a spec holding [name]/[create] — so
+    the registry lists one small spec per entry instead of a full
+    hand-written wrapper. *)
+
+(** {!SET} minus [name] and [create]: the operations every monomorphic
+    view shares verbatim. *)
+module type SET_CORE = sig
+  type 'v t
+
+  val search : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val delete : 'v t -> int -> 'v option
+  val size : 'v t -> int
+  val validate : 'v t -> bool
+end
+
+module Mono_set
+    (S : SET_CORE)
+    (C : sig
+      val name : string
+      val create : ?capacity:int -> unit -> int S.t
+    end) : SET_OPS = struct
+  type t = int S.t
+
+  let name = C.name
+  let create = C.create
+  let search = S.search
+  let insert = S.insert
+  let delete = S.delete
+  let size = S.size
+  let validate = S.validate
+end
+
+module type QUEUE_CORE = sig
+  type 'v t
+
+  val enqueue : 'v t -> 'v -> unit
+  val dequeue : 'v t -> 'v option
+  val size : 'v t -> int
+end
+
+module Mono_queue
+    (Q : QUEUE_CORE)
+    (C : sig
+      val name : string
+      val create : unit -> int Q.t
+    end) : QUEUE_OPS = struct
+  type t = int Q.t
+
+  let name = C.name
+  let create = C.create
+  let enqueue = Q.enqueue
+  let dequeue = Q.dequeue
+  let size = Q.size
+end
+
+module type STACK_CORE = sig
+  type 'v t
+
+  val push : 'v t -> 'v -> unit
+  val pop : 'v t -> 'v option
+  val size : 'v t -> int
+end
+
+module Mono_stack
+    (S : STACK_CORE)
+    (C : sig
+      val name : string
+      val create : unit -> int S.t
+    end) : STACK_OPS = struct
+  type t = int S.t
+
+  let name = C.name
+  let create = C.create
+  let push = S.push
+  let pop = S.pop
+  let size = S.size
+end

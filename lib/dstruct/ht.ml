@@ -82,20 +82,21 @@ module Java (Rt : RT) = struct
   let name = "ht-java"
 
   let resize_load_factor = 4
-  let resizes = Rt.Counter.make "ht-java.resizes"
+  let resizes = Rt.Probe.counter "ht-java.resizes"
 
   let create ?(capacity = default_buckets) () =
     let nseg = min default_segments (max 1 capacity) in
     let per_seg = max 1 (capacity / nseg) in
     {
       segs =
-        Array.init nseg (fun _ ->
-            {
-              lock = Lock.create ();
-              buckets =
-                Rt.atomic (Array.init per_seg (fun _ -> Rt.atomic None));
-              count = Rt.atomic 0;
-            });
+        Rt.Probe.with_site "ht-java.segment" (fun () ->
+            Array.init nseg (fun _ ->
+                {
+                  lock = Lock.create ();
+                  buckets =
+                    Rt.atomic (Array.init per_seg (fun _ -> Rt.atomic None));
+                  count = Rt.atomic 0;
+                }));
       nseg;
       qsbr = Q.create ();
     }
@@ -124,9 +125,12 @@ module Java (Rt : RT) = struct
      caller holds the segment lock. Old nodes are retired wholesale —
      concurrent readers may still traverse them. *)
   let resize t seg =
-    Rt.Counter.incr resizes;
+    Rt.Probe.incr resizes;
     let old_arr = Rt.get seg.buckets in
-    let fresh = Array.init (2 * Array.length old_arr) (fun _ -> Rt.atomic None) in
+    let fresh =
+      Rt.Probe.with_site "ht-java.bucket" (fun () ->
+          Array.init (2 * Array.length old_arr) (fun _ -> Rt.atomic None))
+    in
     Array.iter
       (fun bucket ->
         let rec go = function
@@ -158,7 +162,10 @@ module Java (Rt : RT) = struct
     let res =
       if mem head then false
       else (
-        Rt.set cell (Some { key; value = v; next = Rt.atomic head });
+        Rt.set cell
+          (Some
+             (Rt.Probe.with_site "ht-java.node" (fun () ->
+                  { key; value = v; next = Rt.atomic head })));
         let c = Rt.get seg.count + 1 in
         Rt.set seg.count c;
         if c > resize_load_factor * Array.length arr then resize t seg;
@@ -253,21 +260,22 @@ module Java_optik (Rt : RT) = struct
   let name = "ht-java-optik"
 
   let resize_load_factor = 4
-  let second_traversals = Rt.Counter.make "ht-java-optik.second-traversals"
-  let resizes = Rt.Counter.make "ht-java-optik.resizes"
+  let second_traversals = Rt.Probe.counter "ht-java-optik.second-traversals"
+  let resizes = Rt.Probe.counter "ht-java-optik.resizes"
 
   let create ?(capacity = default_buckets) () =
     let nseg = min default_segments (max 1 capacity) in
     let per_seg = max 1 (capacity / nseg) in
     {
       segs =
-        Array.init nseg (fun _ ->
-            {
-              lock = OL.create ();
-              buckets =
-                Rt.atomic (Array.init per_seg (fun _ -> Rt.atomic None));
-              count = Rt.atomic 0;
-            });
+        Rt.Probe.with_site "ht-java-optik.segment" (fun () ->
+            Array.init nseg (fun _ ->
+                {
+                  lock = OL.create ();
+                  buckets =
+                    Rt.atomic (Array.init per_seg (fun _ -> Rt.atomic None));
+                  count = Rt.atomic 0;
+                }));
       nseg;
       qsbr = Q.create ();
     }
@@ -293,10 +301,11 @@ module Java_optik (Rt : RT) = struct
      and the version bump on unlock invalidates any traversal that read
      the old array. *)
   let resize t seg =
-    Rt.Counter.incr resizes;
+    Rt.Probe.incr resizes;
     let old_arr = Rt.get seg.buckets in
     let fresh =
-      Array.init (2 * Array.length old_arr) (fun _ -> Rt.atomic None)
+      Rt.Probe.with_site "ht-java-optik.bucket" (fun () ->
+          Array.init (2 * Array.length old_arr) (fun _ -> Rt.atomic None))
     in
     Array.iter
       (fun bucket ->
@@ -339,13 +348,16 @@ module Java_optik (Rt : RT) = struct
       if mem head0 then false
       else if OL.lock_version seg.lock vn then (
         (* Version validated: the segment cannot have changed. *)
-        Rt.set cell0 (Some { key; value = v; next = Rt.atomic head0 });
+        Rt.set cell0
+          (Some
+             (Rt.Probe.with_site "ht-java-optik.node" (fun () ->
+                  { key; value = v; next = Rt.atomic head0 })));
         maybe_grow t seg arr0;
         OL.unlock seg.lock;
         true)
       else (
         (* Version moved: one more traversal under the lock. *)
-        Rt.Counter.incr second_traversals;
+        Rt.Probe.incr second_traversals;
         let arr = Rt.get seg.buckets in
         let cell = bucket_in arr key in
         let head = Rt.get cell in
@@ -353,7 +365,10 @@ module Java_optik (Rt : RT) = struct
           OL.revert seg.lock;
           false)
         else (
-          Rt.set cell (Some { key; value = v; next = Rt.atomic head });
+          Rt.set cell
+            (Some
+               (Rt.Probe.with_site "ht-java-optik.node" (fun () ->
+                    { key; value = v; next = Rt.atomic head })));
           maybe_grow t seg arr;
           OL.unlock seg.lock;
           true))
@@ -391,7 +406,7 @@ module Java_optik (Rt : RT) = struct
             (* Unchanged segment: the recorded position is still valid. *)
             commit cell0 prev victim
           else (
-            Rt.Counter.incr second_traversals;
+            Rt.Probe.incr second_traversals;
             let arr = Rt.get seg.buckets in
             let cell = bucket_in arr key in
             match locate None (Rt.get cell) with

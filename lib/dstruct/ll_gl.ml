@@ -28,7 +28,9 @@ module Pessimistic (Rt : RT) (Lock : LOCK) = struct
 
   let name = "ll-gl-pessimistic"
 
-  let mk_node key value next = { key; value; next = Rt.atomic next }
+  let mk_node key value next =
+    Rt.Probe.with_site "ll-gl-pessimistic.node" (fun () ->
+        { key; value; next = Rt.atomic next })
 
   let create ?capacity:_ () =
     let tail = mk_node max_int (Obj.magic 0) None in
@@ -134,9 +136,11 @@ module Optik_gl (Rt : RT) = struct
 
   let name = "ll-optik-gl"
 
-  let restarts = Rt.Counter.make "ll-optik-gl.restarts"
+  let restarts = Rt.Probe.counter "ll-optik-gl.restarts"
 
-  let mk_node key value next = { key; value; next = Rt.atomic next }
+  let mk_node key value next =
+    Rt.Probe.with_site "ll-optik-gl.node" (fun () ->
+        { key; value; next = Rt.atomic next })
 
   let create ?capacity:_ () =
     let tail = mk_node max_int (Obj.magic 0) None in
@@ -183,7 +187,7 @@ module Optik_gl (Rt : RT) = struct
       let pred, cur = find_pred t key in
       if cur.key = key then false
       else if not (OL.trylock_version t.lock vn) then (
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else (
@@ -204,7 +208,7 @@ module Optik_gl (Rt : RT) = struct
       let pred, cur = find_pred t key in
       if cur.key <> key then None
       else if not (OL.trylock_version t.lock vn) then (
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else (

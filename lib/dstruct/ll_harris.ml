@@ -24,9 +24,11 @@ module Make (Rt : RT) = struct
 
   let name = "ll-harris"
 
-  let restarts = Rt.Counter.make "ll-harris.restarts"
+  let restarts = Rt.Probe.counter "ll-harris.restarts"
 
-  let mk_node key value next = { key; value; next = Rt.atomic next }
+  let mk_node key value next =
+    Rt.Probe.with_site "ll-harris.node" (fun () ->
+        { key; value; next = Rt.atomic next })
 
   let create ?capacity:_ () =
     let tail = mk_node max_int (Obj.magic 0) None in
@@ -85,7 +87,7 @@ module Make (Rt : RT) = struct
                 | None -> assert false)
               else (
                 (* lost a snip race: back off before re-walking *)
-                Rt.Counter.incr restarts;
+                Rt.Probe.incr restarts;
                 B.once b;
                 find_b b t key))
             else if cur.key >= key then (pred, pread, cur)
@@ -110,7 +112,7 @@ module Make (Rt : RT) = struct
         if Rt.cas pred.next pread (Some { dest = newnode; marked = false })
         then true
         else (
-          Rt.Counter.incr restarts;
+          Rt.Probe.incr restarts;
           B.once b;
           attempt ())
     in
@@ -132,7 +134,7 @@ module Make (Rt : RT) = struct
         | Some clink ->
             if clink.marked then (
               (* Concurrently deleted; retry until [find] stops seeing it. *)
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.once b;
               attempt ())
             else if
@@ -146,7 +148,7 @@ module Make (Rt : RT) = struct
               else ignore (find t key);
               Some cur.value)
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.once b;
               attempt ())
     in

@@ -39,20 +39,21 @@ module Make (Rt : RT) = struct
 
   let name = "ll-lazy"
 
-  let restarts = Rt.Counter.make "ll-lazy.restarts"
-  let cache_hits = Rt.Counter.make "ll-lazy.cache-hits"
-  let cache_tries = Rt.Counter.make "ll-lazy.cache-tries"
+  let restarts = Rt.Probe.counter "ll-lazy.restarts"
+  let cache_hits = Rt.Probe.counter "ll-lazy.cache-hits"
+  let cache_tries = Rt.Probe.counter "ll-lazy.cache-tries"
 
   (* One node = one cache line (lock, mark and next co-located). *)
   let mk_node key value next =
-    let next = Rt.atomic next in
-    {
-      key;
-      value;
-      lock = Rt.atomic_with next false;
-      marked = Rt.atomic_with next false;
-      next;
-    }
+    Rt.Probe.with_site "ll-lazy.node" (fun () ->
+        let next = Rt.atomic next in
+        {
+          key;
+          value;
+          lock = Rt.atomic_with next false;
+          marked = Rt.atomic_with next false;
+          next;
+        })
 
   let create ?cache:(use_cache = false) () =
     let tail = mk_node max_int (Obj.magic 0) None in
@@ -75,10 +76,10 @@ module Make (Rt : RT) = struct
     match t.cache with
     | None -> t.head
     | Some cache -> (
-        Rt.Counter.incr cache_tries;
+        Rt.Probe.incr cache_tries;
         match cache.(Rt.tid ()) with
         | Some n when n.key < key && not (Rt.get n.marked) ->
-            Rt.Counter.incr cache_hits;
+            Rt.Probe.incr cache_hits;
             n
         | _ -> t.head)
 
@@ -141,7 +142,7 @@ module Make (Rt : RT) = struct
           true)
         else (
           Lock.unlock pred.lock;
-          Rt.Counter.incr restarts;
+          Rt.Probe.incr restarts;
           B.once b;
           attempt ()))
     in
@@ -177,7 +178,7 @@ module Make (Rt : RT) = struct
         else (
           Lock.unlock cur.lock;
           Lock.unlock pred.lock;
-          Rt.Counter.incr restarts;
+          Rt.Probe.incr restarts;
           B.once b;
           attempt ()))
     in

@@ -54,16 +54,17 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
 
   let name = "ll-optik"
 
-  let restarts = Rt.Counter.make "ll-optik.restarts"
-  let cache_hits = Rt.Counter.make "ll-optik.cache-hits"
-  let cache_tries = Rt.Counter.make "ll-optik.cache-tries"
+  let restarts = Rt.Probe.counter "ll-optik.restarts"
+  let cache_hits = Rt.Probe.counter "ll-optik.cache-hits"
+  let cache_tries = Rt.Probe.counter "ll-optik.cache-tries"
 
   (* One node = one cache line: the OPTIK lock shares the line with the
      next pointer, as the C struct layout does — so hand-over-hand
      version tracking costs one line access per node, not two. *)
   let mk_node key value next =
-    let next = Rt.atomic next in
-    { key; value; lock = Rt.atomic_with next 0; next }
+    Rt.Probe.with_site "ll-optik.node" (fun () ->
+        let next = Rt.atomic next in
+        { key; value; lock = Rt.atomic_with next 0; next })
 
   let create ?cache:(use_cache = false) () =
     let tail = mk_node max_int (Obj.magic 0) None in
@@ -88,13 +89,13 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
     match t.cache with
     | None -> t.head
     | Some cache -> (
-        Rt.Counter.incr cache_tries;
+        Rt.Probe.incr cache_tries;
         match cache.(Rt.tid ()) with
         | Some { cnode; cversion }
           when cnode.key < key
                && (not (OL.is_locked cversion))
                && OL.same_version (OL.get_version cnode.lock) cversion ->
-            Rt.Counter.incr cache_hits;
+            Rt.Probe.incr cache_hits;
             cnode
         | _ -> t.head)
 
@@ -144,7 +145,7 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
         cache_put t !pred;
         false)
       else if not (OL.trylock_version !pred.lock !predv) then (
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else (
@@ -182,12 +183,12 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
         cache_put t !pred;
         None)
       else if not (OL.trylock_version !pred.lock !predv) then (
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else if not (OL.trylock_version !cur.lock !curv) then (
         OL.revert !pred.lock;
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         attempt ())
       else (

@@ -144,7 +144,7 @@ module Optik_based_gen (Rt : RT) (O : Optik.MAKER) = struct
 
   let name = "map-optik"
 
-  let restarts = Rt.Counter.make "map-optik.restarts"
+  let restarts = Rt.Probe.counter "map-optik.restarts"
 
   let create ?(capacity = default_capacity) ?(eager_search = false) () =
     let group0 = Sim_group.fresh () in
@@ -176,7 +176,7 @@ module Optik_based_gen (Rt : RT) (O : Optik.MAKER) = struct
           let vnc = OL.get_version t.lock in
           if OL.same_version vn vnc then v
           else (
-            Rt.Counter.incr restarts;
+            Rt.Probe.incr restarts;
             B.once b;
             restart ()))
         else scan (i + 1)
@@ -202,7 +202,7 @@ module Optik_based_gen (Rt : RT) (O : Optik.MAKER) = struct
             let vnc = OL.get_version t.lock in
             if OL.same_version vn vnc then v
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.once b;
               restart ()))
           else scan (i + 1)
@@ -235,7 +235,7 @@ module Optik_based_gen (Rt : RT) (O : Optik.MAKER) = struct
        with Exit -> ());
       if !dup then false
       else if not (OL.trylock_version t.lock vn) then (
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         restart ())
       else
@@ -261,7 +261,7 @@ module Optik_based_gen (Rt : RT) (O : Optik.MAKER) = struct
         if i >= t.cap then None
         else if Rt.get t.keys.(i) = key then
           if not (OL.trylock_version t.lock vn) then (
-            Rt.Counter.incr restarts;
+            Rt.Probe.incr restarts;
             B.once b;
             restart ())
           else (

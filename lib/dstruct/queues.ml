@@ -35,7 +35,9 @@ module Make (Rt : RT) = struct
 
   type 'v node = { value : 'v; next : 'v node option Rt.atomic }
 
-  let mk_node value = { value; next = Rt.atomic None }
+  let mk_node value =
+    Rt.Probe.with_site "queue.node" (fun () ->
+        { value; next = Rt.atomic None })
   let dummy () = mk_node (Obj.magic 0)
 
   let queue_size head =
@@ -192,7 +194,7 @@ module Make (Rt : RT) = struct
 
     let name = "q-optik0"
 
-    let validated = Rt.Counter.make "q-optik0.validated"
+    let validated = Rt.Probe.counter "q-optik0.validated"
 
     (* The C struct lays the dequeue lock next to the head pointer (and
        the enqueue lock next to the tail): one hot line per queue end,
@@ -227,7 +229,7 @@ module Make (Rt : RT) = struct
       let h0 = Rt.get t.head in
       let n0 = Rt.get h0.next in
       let same = OL.lock_version t.hlock v0 in
-      if same then Rt.Counter.incr validated;
+      if same then Rt.Probe.incr validated;
       (* Version validated: no dequeue completed since [v0], so the
          prepared (h0, n0) still holds. Otherwise re-prepare in the
          critical section, as a classic locked dequeue would. *)
@@ -267,7 +269,7 @@ module Make (Rt : RT) = struct
 
     let name = "q-optik1"
 
-    let restarts = Rt.Counter.make "q-optik1.restarts"
+    let restarts = Rt.Probe.counter "q-optik1.restarts"
 
     let create () =
       let d = dummy () in
@@ -304,7 +306,7 @@ module Make (Rt : RT) = struct
             (* Empty iff nothing committed since [v0]. *)
             if OL.same_version (OL.get_version t.hlock) v0 then None
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.spin_once s;
               dequeue_loop t s)
         | Some nxt ->
@@ -314,7 +316,7 @@ module Make (Rt : RT) = struct
               Q.retire t.qsbr h;
               Some nxt.value)
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.spin_once s;
               dequeue_loop t s)
 
@@ -339,7 +341,7 @@ module Make (Rt : RT) = struct
 
     let name = "q-optik2"
 
-    let restarts = Rt.Counter.make "q-optik2.restarts"
+    let restarts = Rt.Probe.counter "q-optik2.restarts"
 
     let create () =
       let d = dummy () in
@@ -388,7 +390,7 @@ module Make (Rt : RT) = struct
         | None ->
             if OL.same_version (OL.get_version t.hlock) v0 then None
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.spin_once s;
               dequeue_loop t s)
         | Some nxt ->
@@ -398,7 +400,7 @@ module Make (Rt : RT) = struct
               Q.retire t.qsbr h;
               Some nxt.value)
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.spin_once s;
               dequeue_loop t s)
 
@@ -428,8 +430,8 @@ module Make (Rt : RT) = struct
 
     let name = "q-optik3"
 
-    let restarts = Rt.Counter.make "q-optik3.restarts"
-    let victim_uses = Rt.Counter.make "q-optik3.victim-uses"
+    let restarts = Rt.Probe.counter "q-optik3.restarts"
+    let victim_uses = Rt.Probe.counter "q-optik3.victim-uses"
 
     let create ?(threshold = 2) () =
       let d = dummy () in
@@ -472,7 +474,7 @@ module Make (Rt : RT) = struct
       else (
         (* Victim path: append to the secondary queue instead of
            queueing behind the contended tail lock. *)
-        Rt.Counter.incr victim_uses;
+        Rt.Probe.incr victim_uses;
         OT.lock t.vlock;
         let batch_head = Rt.get t.vhead in
         let linker = match batch_head with None -> true | Some _ -> false in
@@ -509,7 +511,7 @@ module Make (Rt : RT) = struct
         | None ->
             if OL.same_version (OL.get_version t.hlock) v0 then None
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.spin_once s;
               dequeue_loop t s)
         | Some nxt ->
@@ -519,7 +521,7 @@ module Make (Rt : RT) = struct
               Q.retire t.qsbr h;
               Some nxt.value)
             else (
-              Rt.Counter.incr restarts;
+              Rt.Probe.incr restarts;
               B.spin_once s;
               dequeue_loop t s)
 

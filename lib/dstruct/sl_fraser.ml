@@ -31,7 +31,7 @@ module Make (Rt : RT) = struct
 
   let name = "sl-fraser"
 
-  let restarts = Rt.Counter.make "sl-fraser.restarts"
+  let restarts = Rt.Probe.counter "sl-fraser.restarts"
 
   exception Restart
 
@@ -115,7 +115,7 @@ module Make (Rt : RT) = struct
         | Some l -> not l.marked
         | None -> false)
     | exception Restart ->
-        Rt.Counter.incr restarts;
+        Rt.Probe.incr restarts;
         B.once b;
         find_b b t key preds succs preads
 
@@ -168,7 +168,7 @@ module Make (Rt : RT) = struct
             (Rt.cas preds.(0).nexts.(0) preads.(0)
                (Some { dest = newnode; marked = false }))
         then (
-          Rt.Counter.incr restarts;
+          Rt.Probe.incr restarts;
           B.once b;
           attempt ())
         else (
@@ -196,7 +196,7 @@ module Make (Rt : RT) = struct
                          (Some { dest = newnode; marked = false })
                   then link (l + 1)
                   else (
-                    Rt.Counter.incr restarts;
+                    Rt.Probe.incr restarts;
                     ignore (find t key preds succs preads : bool);
                     link l)
           in
@@ -245,7 +245,7 @@ module Make (Rt : RT) = struct
                 ignore (find t key preds succs preads : bool);
                 Some victim.value)
               else (
-                Rt.Counter.incr restarts;
+                Rt.Probe.incr restarts;
                 mark0 ())
           | _ -> None (* lost the race to another deleter *)
         in

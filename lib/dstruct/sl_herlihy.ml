@@ -44,15 +44,15 @@ module Make (Rt : RT) = struct
 
   let name = "sl-herlihy"
 
-  let restarts = Rt.Counter.make "sl-herlihy.restarts"
-  let optik_validations = Rt.Counter.make "sl-herlihy.optik-fast-validations"
+  let restarts = Rt.Probe.counter "sl-herlihy.restarts"
+  let optik_validations = Rt.Probe.counter "sl-herlihy.optik-fast-validations"
 
   (* diagnostic breakdown of validation failures (also used to reproduce
      the §5.3 restart-rate analysis) *)
-  let vfail_pred_marked = Rt.Counter.make "sl-herlihy.vfail-pred-marked"
-  let vfail_succ = Rt.Counter.make "sl-herlihy.vfail-succ"
-  let vfail_next = Rt.Counter.make "sl-herlihy.vfail-next"
-  let found_marked_retry = Rt.Counter.make "sl-herlihy.found-marked-retry"
+  let vfail_pred_marked = Rt.Probe.counter "sl-herlihy.vfail-pred-marked"
+  let vfail_succ = Rt.Probe.counter "sl-herlihy.vfail-succ"
+  let vfail_next = Rt.Probe.counter "sl-herlihy.vfail-next"
+  let found_marked_retry = Rt.Probe.counter "sl-herlihy.found-marked-retry"
 
   (* A node's fields share one cache line (lock, flags and the level
      links — tall nodes would spill onto further lines in C, but levels
@@ -161,7 +161,7 @@ module Make (Rt : RT) = struct
           version_ok :=
             OL.lock_version pred.lock predvs.(!l)
             && not (Rt.get pred.marked);
-          if !version_ok then Rt.Counter.incr optik_validations)
+          if !version_ok then Rt.Probe.incr optik_validations)
         else OL.lock pred.lock;
         locked := pred :: !locked;
         prev_pred := Some pred);
@@ -178,13 +178,13 @@ module Make (Rt : RT) = struct
           | None -> false
         in
         if Rt.get pred.marked then (
-          Rt.Counter.incr vfail_pred_marked;
+          Rt.Probe.incr vfail_pred_marked;
           valid := false)
         else if not succ_ok then (
-          Rt.Counter.incr vfail_succ;
+          Rt.Probe.incr vfail_succ;
           valid := false)
         else if not next_ok then (
-          Rt.Counter.incr vfail_next;
+          Rt.Probe.incr vfail_next;
           valid := false));
       incr l
     done;
@@ -214,14 +214,14 @@ module Make (Rt : RT) = struct
           false)
         else (
           (* Being deleted: retry until it is gone. *)
-          Rt.Counter.incr restarts;
-          Rt.Counter.incr found_marked_retry;
+          Rt.Probe.incr restarts;
+          Rt.Probe.incr found_marked_retry;
           B.once b;
           attempt ()))
       else
         match lock_preds t ~top:toplevel ~victim:None preds succs predvs with
         | None ->
-            Rt.Counter.incr restarts;
+            Rt.Probe.incr restarts;
             B.once b;
             attempt ()
         | Some locked ->
@@ -259,7 +259,7 @@ module Make (Rt : RT) = struct
           lock_preds t ~top ~victim:(Some victim) preds succs predvs
         with
         | None ->
-            Rt.Counter.incr restarts;
+            Rt.Probe.incr restarts;
             B.once b;
             attempt ()
         | Some locked ->

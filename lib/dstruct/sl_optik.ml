@@ -51,10 +51,11 @@ module Make (Rt : RT) = struct
 
   let name = "sl-optik"
 
-  let restarts = Rt.Counter.make "sl-optik.restarts"
+  let restarts = Rt.Probe.counter "sl-optik.restarts"
 
   (* A node's fields share one cache line, as in the C layout. *)
   let mk_node key value toplevel =
+   Rt.Probe.with_site "sl-optik.node" @@ fun () ->
     let anchor = Rt.atomic None in
     let nexts =
       Array.init (toplevel + 1) (fun i ->
@@ -167,7 +168,7 @@ module Make (Rt : RT) = struct
       if linked_from = 0 && found.key = key && found != newnode then
         if Rt.get found.deleted then (
           (* Being removed: wait for the removal to finish. *)
-          Rt.Counter.incr restarts;
+          Rt.Probe.incr restarts;
           Rt.pause_n 16;
           attempt 0)
         else (
@@ -188,7 +189,7 @@ module Make (Rt : RT) = struct
             OL.unlock preds.(l).lock;
             link (l + 1))
           else (
-            Rt.Counter.incr restarts;
+            Rt.Probe.incr restarts;
             B.once b;
             attempt l)
         in
@@ -268,7 +269,7 @@ module Make (Rt : RT) = struct
     let rec unlink_phase victim =
       match lock_preds_for_delete t ~victim preds predvs with
       | None ->
-          Rt.Counter.incr restarts;
+          Rt.Probe.incr restarts;
           B.once b;
           find t key preds succs predvs;
           unlink_phase victim

@@ -22,7 +22,9 @@ module Make (Rt : RT) = struct
 
     let name = "stack-treiber"
 
-    let create () = { top = Rt.atomic None; qsbr = Q.create () }
+    let create () =
+      Rt.Probe.with_site "stack-treiber.top" (fun () ->
+          { top = Rt.atomic None; qsbr = Q.create () })
 
     let push t v =
       Q.op_begin t.qsbr;
@@ -76,12 +78,13 @@ module Make (Rt : RT) = struct
 
     let name = "stack-optik"
 
-    let restarts = Rt.Counter.make "stack-optik.restarts"
+    let restarts = Rt.Probe.counter "stack-optik.restarts"
 
     let create () =
-      let top = Rt.atomic None in
-      (* lock and top pointer share the struct's cache line, as in C *)
-      { top; lock = Rt.atomic_with top 0; qsbr = Q.create () }
+      Rt.Probe.with_site "stack-optik.top" (fun () ->
+          let top = Rt.atomic None in
+          (* lock and top pointer share the struct's cache line, as in C *)
+          { top; lock = Rt.atomic_with top 0; qsbr = Q.create () })
 
     let push t v =
       Q.op_begin t.qsbr;
@@ -97,7 +100,7 @@ module Make (Rt : RT) = struct
             Rt.set t.top (Some { value = v; next = cur });
             OL.unlock t.lock)
           else (
-            Rt.Counter.incr restarts;
+            Rt.Probe.incr restarts;
             B.once b;
             loop ())
       in
@@ -127,7 +130,7 @@ module Make (Rt : RT) = struct
                 Q.retire t.qsbr node;
                 Some node.value)
               else (
-                Rt.Counter.incr restarts;
+                Rt.Probe.incr restarts;
                 B.once b;
                 loop ())
       in
@@ -173,15 +176,17 @@ module Make (Rt : RT) = struct
 
     let name = "stack-elimination"
 
-    let eliminated = Rt.Counter.make "stack-elim.eliminated"
+    let eliminated = Rt.Probe.counter "stack-elim.eliminated"
 
     let default_slots = 4
     let spin_budget = 32
 
     let create ?(slots = default_slots) () =
       {
-        top = Rt.atomic None;
-        slots = Array.init (max 1 slots) (fun _ -> Rt.atomic Empty);
+        top = Rt.Probe.with_site "stack-elim.top" (fun () -> Rt.atomic None);
+        slots =
+          Rt.Probe.with_site "stack-elim.slots" (fun () ->
+              Array.init (max 1 slots) (fun _ -> Rt.atomic Empty));
         qsbr = Q.create ();
       }
 
@@ -201,7 +206,7 @@ module Make (Rt : RT) = struct
       match cur with
       | Asking ->
           (* a popper is waiting: hand the value over *)
-          Rt.cas slot cur (Given v) && (Rt.Counter.incr eliminated; true)
+          Rt.cas slot cur (Given v) && (Rt.Probe.incr eliminated; true)
       | Empty ->
           let offer = Offered v in
           if not (Rt.cas slot cur offer) then false
@@ -215,7 +220,7 @@ module Make (Rt : RT) = struct
                   else (
                     (* withdrawn too late: the popper took it *)
                     Rt.set slot Empty;
-                    Rt.Counter.incr eliminated;
+                    Rt.Probe.incr eliminated;
                     true)
                 else (
                   Rt.pause ();
@@ -223,7 +228,7 @@ module Make (Rt : RT) = struct
               else (
                 (* state advanced: must be [Taken] *)
                 Rt.set slot Empty;
-                Rt.Counter.incr eliminated;
+                Rt.Probe.incr eliminated;
                 true)
             in
             wait spin_budget
@@ -235,7 +240,7 @@ module Make (Rt : RT) = struct
       match cur with
       | Offered v ->
           if Rt.cas slot cur Taken then (
-            Rt.Counter.incr eliminated;
+            Rt.Probe.incr eliminated;
             Some v)
           else None
       | Empty ->
@@ -246,7 +251,7 @@ module Make (Rt : RT) = struct
               match now with
               | Given v ->
                   Rt.set slot Empty;
-                  Rt.Counter.incr eliminated;
+                  Rt.Probe.incr eliminated;
                   Some v
               | _ ->
                   if n = 0 then
@@ -256,7 +261,7 @@ module Make (Rt : RT) = struct
                       (match Rt.get slot with
                       | Given v ->
                           Rt.set slot Empty;
-                          Rt.Counter.incr eliminated;
+                          Rt.Probe.incr eliminated;
                           Some v
                       | _ -> None)
                   else (

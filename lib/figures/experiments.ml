@@ -232,6 +232,7 @@ let fig5_point impl ~topology ~nthreads ~ops =
     final_size = 0;
     valid = true;
     outcome = Runner.Complete;
+    obs = None;
   }
 
 let fig5 mode =
@@ -755,7 +756,7 @@ let ablation_cache mode =
   let rows =
     List.map
       (fun size ->
-        Sim.Sim_rt.Counter.reset_all ();
+        Sim.Sim_rt.Probe.reset_all ();
         let w = Runner.uniform_workload ~init_size:size ~update_pct:40 () in
         let ops = scaled mode (max 2_000 (400_000 / size)) in
         let m_cache =
@@ -813,7 +814,7 @@ let ablation_victim mode =
   let rows =
     List.map
       (fun thr ->
-        Sim.Sim_rt.Counter.reset_all ();
+        Sim.Sim_rt.Probe.reset_all ();
         let q = QSim.Optik3.create ~threshold:thr () in
         let rng0 = Harness.Rng.create 5 in
         for _ = 1 to 8_192 do
@@ -831,7 +832,7 @@ let ablation_victim mode =
               done)
         in
         let mops = Sched.mops xeon st in
-        let uses = Sim.Sim_rt.Counter.get QSim.Optik3.victim_uses in
+        let uses = Sim.Sim_rt.Probe.count QSim.Optik3.victim_uses in
         (thr, mops, uses))
       thresholds
   in
@@ -899,6 +900,7 @@ let stack_experiment mode =
                     final_size = S.size t;
                     valid = true;
                     outcome = Runner.Complete;
+                    obs = None;
                   } ))
               (mode.threads_of xeon);
         })

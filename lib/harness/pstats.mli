@@ -1,0 +1,42 @@
+(** Latency sample collection and percentile summaries.
+
+    Mirrors the paper's methodology (§5): each thread holds a bounded
+    array of samples (16K in the paper) that wraps around when full; at
+    the end of a run the per-thread arrays are merged and summarized as
+    5th / 25th / 50th / 75th / 95th percentiles (the boxplot values of
+    Figures 7 and 12). *)
+
+type t
+(** A per-thread sample collector. Not thread-safe: one collector per
+    thread, merged at summary time. *)
+
+val capacity : int
+(** Samples retained per collector (16K); recording past it wraps
+    around, overwriting the oldest samples. *)
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one latency sample (cycles). *)
+
+val count : t -> int
+(** Total samples recorded, including any overwritten by wrap-around. *)
+
+type summary = {
+  n : int;
+  p05 : int;
+  p25 : int;
+  p50 : int;
+  p75 : int;
+  p95 : int;
+  mean : float;
+}
+
+val empty_summary : summary
+(** The all-zero summary, used when a latency class got no samples. *)
+
+val summarize : t list -> summary
+(** Merge several collectors (typically one per thread) and compute the
+    percentiles over the retained samples. *)
+
+val pp : Format.formatter -> summary -> unit

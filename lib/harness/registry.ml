@@ -2,12 +2,21 @@
     wrapped into the monomorphic driver interfaces of
     {!Dstruct.Dstruct_intf}, under the names used by the paper's figures.
 
-    {!Native} runs on real atomics and domains; {!Sim} runs under the
-    deterministic multicore simulator. *)
+    Each entry is a {!Dstruct.Dstruct_intf.Mono_set} (or [Mono_queue] /
+    [Mono_stack]) application: the implementation supplies the shared
+    operations, the inline spec supplies only the figure name and the
+    [create] call with its variant flags baked in.
+
+    {!Native} runs on real atomics and domains; {!Sim_backend} runs under
+    the deterministic multicore simulator. *)
 
 module type SET_OPS = Dstruct.Dstruct_intf.SET_OPS
 module type QUEUE_OPS = Dstruct.Dstruct_intf.QUEUE_OPS
 module type STACK_OPS = Dstruct.Dstruct_intf.STACK_OPS
+
+module Mono_set = Dstruct.Dstruct_intf.Mono_set
+module Mono_queue = Dstruct.Dstruct_intf.Mono_queue
+module Mono_stack = Dstruct.Dstruct_intf.Mono_stack
 
 module ForRt (Rt : Rt.Rt_intf.RT) = struct
   module Map_lock = Dstruct.Maps.Lock_based (Rt)
@@ -31,125 +40,62 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   (* ---------------- maps (Figure 7) ---------------- *)
 
   let map_mcs : (module SET_OPS) =
-    (module struct
-      type t = int Map_lock.t
-
+    (module Mono_set (Map_lock) (struct
       let name = "mcs"
       let create ?capacity () = Map_lock.create ?capacity ()
-      let search = Map_lock.search
-      let insert = Map_lock.insert
-      let delete = Map_lock.delete
-      let size = Map_lock.size
-      let validate = Map_lock.validate
-    end)
+    end))
 
   let map_optik : (module SET_OPS) =
-    (module struct
-      type t = int Map_optik.t
-
+    (module Mono_set (Map_optik) (struct
       let name = "optik"
       let create ?capacity () = Map_optik.create ?capacity ()
-      let search = Map_optik.search
-      let insert = Map_optik.insert
-      let delete = Map_optik.delete
-      let size = Map_optik.size
-      let validate = Map_optik.validate
-    end)
+    end))
 
   let maps = [ map_mcs; map_optik ]
 
   (* ---------------- linked lists (Figure 9) ---------------- *)
 
   let ll_harris : (module SET_OPS) =
-    (module struct
-      type t = int Ll_harris.t
-
+    (module Mono_set (Ll_harris) (struct
       let name = "harris"
       let create ?capacity:_ () = Ll_harris.create ()
-      let search = Ll_harris.search
-      let insert = Ll_harris.insert
-      let delete = Ll_harris.delete
-      let size = Ll_harris.size
-      let validate = Ll_harris.validate
-    end)
+    end))
 
   let ll_lazy_ : (module SET_OPS) =
-    (module struct
-      type t = int Ll_lazy.t
-
+    (module Mono_set (Ll_lazy) (struct
       let name = "lazy"
       let create ?capacity:_ () = Ll_lazy.create ()
-      let search = Ll_lazy.search
-      let insert = Ll_lazy.insert
-      let delete = Ll_lazy.delete
-      let size = Ll_lazy.size
-      let validate = Ll_lazy.validate
-    end)
+    end))
 
   let ll_lazy_cache : (module SET_OPS) =
-    (module struct
-      type t = int Ll_lazy.t
-
+    (module Mono_set (Ll_lazy) (struct
       let name = "lazy-cache"
       let create ?capacity:_ () = Ll_lazy.create ~cache:true ()
-      let search = Ll_lazy.search
-      let insert = Ll_lazy.insert
-      let delete = Ll_lazy.delete
-      let size = Ll_lazy.size
-      let validate = Ll_lazy.validate
-    end)
+    end))
 
   let ll_mcs_gl_opt : (module SET_OPS) =
-    (module struct
-      type t = int Ll_gl_mcs.t
-
+    (module Mono_set (Ll_gl_mcs) (struct
       let name = "mcs-gl-opt"
       let create ?capacity:_ () = Ll_gl_mcs.create ()
-      let search = Ll_gl_mcs.search
-      let insert = Ll_gl_mcs.insert
-      let delete = Ll_gl_mcs.delete
-      let size = Ll_gl_mcs.size
-      let validate = Ll_gl_mcs.validate
-    end)
+    end))
 
   let ll_optik_gl : (module SET_OPS) =
-    (module struct
-      type t = int Ll_optik_gl.t
-
+    (module Mono_set (Ll_optik_gl) (struct
       let name = "optik-gl"
       let create ?capacity:_ () = Ll_optik_gl.create ()
-      let search = Ll_optik_gl.search
-      let insert = Ll_optik_gl.insert
-      let delete = Ll_optik_gl.delete
-      let size = Ll_optik_gl.size
-      let validate = Ll_optik_gl.validate
-    end)
+    end))
 
   let ll_optik : (module SET_OPS) =
-    (module struct
-      type t = int Ll_optik.t
-
+    (module Mono_set (Ll_optik) (struct
       let name = "optik"
       let create ?capacity:_ () = Ll_optik.create ()
-      let search = Ll_optik.search
-      let insert = Ll_optik.insert
-      let delete = Ll_optik.delete
-      let size = Ll_optik.size
-      let validate = Ll_optik.validate
-    end)
+    end))
 
   let ll_optik_cache : (module SET_OPS) =
-    (module struct
-      type t = int Ll_optik.t
-
+    (module Mono_set (Ll_optik) (struct
       let name = "optik-cache"
       let create ?capacity:_ () = Ll_optik.create ~cache:true ()
-      let search = Ll_optik.search
-      let insert = Ll_optik.insert
-      let delete = Ll_optik.delete
-      let size = Ll_optik.size
-      let validate = Ll_optik.validate
-    end)
+    end))
 
   let lists =
     [
@@ -227,95 +173,46 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   end)
 
   let ht_lazy_gl : (module SET_OPS) =
-    (module struct
-      type t = int Ht_lazy_gl.t
-
+    (module Mono_set (Ht_lazy_gl) (struct
       let name = "lazy-gl"
       let create ?capacity () = Ht_lazy_gl.create ?capacity ()
-      let search = Ht_lazy_gl.search
-      let insert = Ht_lazy_gl.insert
-      let delete = Ht_lazy_gl.delete
-      let size = Ht_lazy_gl.size
-      let validate = Ht_lazy_gl.validate
-    end)
+    end))
 
   let ht_java : (module SET_OPS) =
-    (module struct
-      type t = int Ht_java.t
-
+    (module Mono_set (Ht_java) (struct
       let name = "java"
       let create ?capacity () = Ht_java.create ?capacity ()
-      let search = Ht_java.search
-      let insert = Ht_java.insert
-      let delete = Ht_java.delete
-      let size = Ht_java.size
-      let validate = Ht_java.validate
-    end)
+    end))
 
   let ht_java_optik : (module SET_OPS) =
-    (module struct
-      type t = int Ht_java_optik.t
-
+    (module Mono_set (Ht_java_optik) (struct
       let name = "java-optik"
       let create ?capacity () = Ht_java_optik.create ?capacity ()
-      let search = Ht_java_optik.search
-      let insert = Ht_java_optik.insert
-      let delete = Ht_java_optik.delete
-      let size = Ht_java_optik.size
-      let validate = Ht_java_optik.validate
-    end)
+    end))
 
   let ht_optik : (module SET_OPS) =
-    (module struct
-      type t = int Ht_optik.t
-
+    (module Mono_set (Ht_optik) (struct
       let name = "optik"
       let create ?capacity () = Ht_optik.create ?capacity ()
-      let search = Ht_optik.search
-      let insert = Ht_optik.insert
-      let delete = Ht_optik.delete
-      let size = Ht_optik.size
-      let validate = Ht_optik.validate
-    end)
+    end))
 
   let ht_optik_gl : (module SET_OPS) =
-    (module struct
-      type t = int Ht_optik_gl.t
-
+    (module Mono_set (Ht_optik_gl) (struct
       let name = "optik-gl"
       let create ?capacity () = Ht_optik_gl.create ?capacity ()
-      let search = Ht_optik_gl.search
-      let insert = Ht_optik_gl.insert
-      let delete = Ht_optik_gl.delete
-      let size = Ht_optik_gl.size
-      let validate = Ht_optik_gl.validate
-    end)
+    end))
 
   let ht_map_optik : (module SET_OPS) =
-    (module struct
-      type t = int Ht_map_optik.t
-
+    (module Mono_set (Ht_map_optik) (struct
       let name = "optik-map"
       let create ?capacity () = Ht_map_optik.create ?capacity ()
-      let search = Ht_map_optik.search
-      let insert = Ht_map_optik.insert
-      let delete = Ht_map_optik.delete
-      let size = Ht_map_optik.size
-      let validate = Ht_map_optik.validate
-    end)
+    end))
 
   let ht_harris : (module SET_OPS) =
-    (module struct
-      type t = int Ht_harris.t
-
+    (module Mono_set (Ht_harris) (struct
       let name = "harris-ht"
       let create ?capacity () = Ht_harris.create ?capacity ()
-      let search = Ht_harris.search
-      let insert = Ht_harris.insert
-      let delete = Ht_harris.delete
-      let size = Ht_harris.size
-      let validate = Ht_harris.validate
-    end)
+    end))
 
   (* [ht_harris] is deliberately not in this list: Figure 10 reproduces
      the paper's hash-table lineup, which has no Harris-bucket table. *)
@@ -325,206 +222,112 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   (* ---------------- skip lists (Figure 11) ---------------- *)
 
   let sl_fraser : (module SET_OPS) =
-    (module struct
-      type t = int Sl_fraser.t
-
+    (module Mono_set (Sl_fraser) (struct
       let name = "fraser"
       let create ?capacity:_ () = Sl_fraser.create ()
-      let search = Sl_fraser.search
-      let insert = Sl_fraser.insert
-      let delete = Sl_fraser.delete
-      let size = Sl_fraser.size
-      let validate = Sl_fraser.validate
-    end)
+    end))
 
   let sl_herlihy : (module SET_OPS) =
-    (module struct
-      type t = int Sl_herlihy.t
-
+    (module Mono_set (Sl_herlihy) (struct
       let name = "herlihy"
       let create ?capacity:_ () = Sl_herlihy.create ()
-      let search = Sl_herlihy.search
-      let insert = Sl_herlihy.insert
-      let delete = Sl_herlihy.delete
-      let size = Sl_herlihy.size
-      let validate = Sl_herlihy.validate
-    end)
+    end))
 
   let sl_herlihy_optik : (module SET_OPS) =
-    (module struct
-      type t = int Sl_herlihy.t
-
+    (module Mono_set (Sl_herlihy) (struct
       let name = "herl-optik"
       let create ?capacity:_ () = Sl_herlihy.create ~optik:true ()
-      let search = Sl_herlihy.search
-      let insert = Sl_herlihy.insert
-      let delete = Sl_herlihy.delete
-      let size = Sl_herlihy.size
-      let validate = Sl_herlihy.validate
-    end)
+    end))
 
   let sl_optik1 : (module SET_OPS) =
-    (module struct
-      type t = int Sl_optik.t
-
+    (module Mono_set (Sl_optik) (struct
       let name = "optik1"
       let create ?capacity:_ () = Sl_optik.create ~variant:`Validate ()
-      let search = Sl_optik.search
-      let insert = Sl_optik.insert
-      let delete = Sl_optik.delete
-      let size = Sl_optik.size
-      let validate = Sl_optik.validate
-    end)
+    end))
 
   let sl_optik2 : (module SET_OPS) =
-    (module struct
-      type t = int Sl_optik.t
-
+    (module Mono_set (Sl_optik) (struct
       let name = "optik2"
       let create ?capacity:_ () = Sl_optik.create ~variant:`Restart ()
-      let search = Sl_optik.search
-      let insert = Sl_optik.insert
-      let delete = Sl_optik.delete
-      let size = Sl_optik.size
-      let validate = Sl_optik.validate
-    end)
+    end))
 
   let skiplists = [ sl_fraser; sl_herlihy; sl_herlihy_optik; sl_optik1; sl_optik2 ]
 
   (* ---------------- queues (Figure 12) ---------------- *)
 
   let q_ms_lf : (module QUEUE_OPS) =
-    (module struct
-      type t = int Queues.Ms_lf.t
-
+    (module Mono_queue (Queues.Ms_lf) (struct
       let name = "ms-lf"
       let create () = Queues.Ms_lf.create ()
-      let enqueue = Queues.Ms_lf.enqueue
-      let dequeue = Queues.Ms_lf.dequeue
-      let size = Queues.Ms_lf.size
-    end)
+    end))
 
   let q_ms_lb : (module QUEUE_OPS) =
-    (module struct
-      type t = int Queues.Ms_lb.t
-
+    (module Mono_queue (Queues.Ms_lb) (struct
       let name = "ms-lb"
       let create () = Queues.Ms_lb.create ()
-      let enqueue = Queues.Ms_lb.enqueue
-      let dequeue = Queues.Ms_lb.dequeue
-      let size = Queues.Ms_lb.size
-    end)
+    end))
 
   let q_optik0 : (module QUEUE_OPS) =
-    (module struct
-      type t = int Queues.Optik0.t
-
+    (module Mono_queue (Queues.Optik0) (struct
       let name = "optik0"
       let create () = Queues.Optik0.create ()
-      let enqueue = Queues.Optik0.enqueue
-      let dequeue = Queues.Optik0.dequeue
-      let size = Queues.Optik0.size
-    end)
+    end))
 
   let q_optik1 : (module QUEUE_OPS) =
-    (module struct
-      type t = int Queues.Optik1.t
-
+    (module Mono_queue (Queues.Optik1) (struct
       let name = "optik1"
       let create () = Queues.Optik1.create ()
-      let enqueue = Queues.Optik1.enqueue
-      let dequeue = Queues.Optik1.dequeue
-      let size = Queues.Optik1.size
-    end)
+    end))
 
   let q_optik2 : (module QUEUE_OPS) =
-    (module struct
-      type t = int Queues.Optik2.t
-
+    (module Mono_queue (Queues.Optik2) (struct
       let name = "optik2"
       let create () = Queues.Optik2.create ()
-      let enqueue = Queues.Optik2.enqueue
-      let dequeue = Queues.Optik2.dequeue
-      let size = Queues.Optik2.size
-    end)
+    end))
 
   let q_optik3 : (module QUEUE_OPS) =
-    (module struct
-      type t = int Queues.Optik3.t
-
+    (module Mono_queue (Queues.Optik3) (struct
       let name = "optik3"
       let create () = Queues.Optik3.create ()
-      let enqueue = Queues.Optik3.enqueue
-      let dequeue = Queues.Optik3.dequeue
-      let size = Queues.Optik3.size
-    end)
+    end))
 
   let queues = [ q_ms_lf; q_ms_lb; q_optik0; q_optik1; q_optik2; q_optik3 ]
 
   (* ---------------- stacks (§5.5) ---------------- *)
 
   let stack_treiber : (module STACK_OPS) =
-    (module struct
-      type t = int Stacks.Treiber.t
-
+    (module Mono_stack (Stacks.Treiber) (struct
       let name = "treiber"
       let create () = Stacks.Treiber.create ()
-      let push = Stacks.Treiber.push
-      let pop = Stacks.Treiber.pop
-      let size = Stacks.Treiber.size
-    end)
+    end))
 
   let stack_optik : (module STACK_OPS) =
-    (module struct
-      type t = int Stacks.Optik_stack.t
-
+    (module Mono_stack (Stacks.Optik_stack) (struct
       let name = "optik"
       let create () = Stacks.Optik_stack.create ()
-      let push = Stacks.Optik_stack.push
-      let pop = Stacks.Optik_stack.pop
-      let size = Stacks.Optik_stack.size
-    end)
+    end))
 
   let stack_elimination : (module STACK_OPS) =
-    (module struct
-      type t = int Stacks.Elimination.t
-
+    (module Mono_stack (Stacks.Elimination) (struct
       let name = "elimination"
       let create () = Stacks.Elimination.create ()
-      let push = Stacks.Elimination.push
-      let pop = Stacks.Elimination.pop
-      let size = Stacks.Elimination.size
-    end)
+    end))
 
   let stacks = [ stack_treiber; stack_optik; stack_elimination ]
 
   (* ---------------- binary search trees (extension; §6 / BST-TK) ---- *)
 
   let bst_optik : (module SET_OPS) =
-    (module struct
-      type t = int Bst_optik.t
-
+    (module Mono_set (Bst_optik) (struct
       let name = "bst-optik"
       let create ?capacity:_ () = Bst_optik.create ()
-      let search = Bst_optik.search
-      let insert = Bst_optik.insert
-      let delete = Bst_optik.delete
-      let size = Bst_optik.size
-      let validate = Bst_optik.validate
-    end)
+    end))
 
   let bst_gl : (module SET_OPS) =
-    (module struct
-      type t = int Bst_gl.t
-
+    (module Mono_set (Bst_gl) (struct
       let name = "bst-gl"
       let create ?capacity:_ () = Bst_gl.create ()
-      let search = Bst_gl.search
-      let insert = Bst_gl.insert
-      let delete = Bst_gl.delete
-      let size = Bst_gl.size
-      let validate = Bst_gl.validate
-    end)
+    end))
 
   let bsts = [ bst_gl; bst_optik ]
 

@@ -58,6 +58,9 @@ type measurement = {
   final_size : int;
   valid : bool;
   outcome : outcome;
+  obs : Obs.Profile.summary option;
+      (** present when the run was made with [~record_obs:true]:
+          the journal summary, for trace export and hot-line reports *)
 }
 
 let aborted m = match m.outcome with Aborted _ -> true | Complete -> false
@@ -104,12 +107,11 @@ let one_op (type a) (module S : Registry.SET_OPS with type t = a) (t : a) rng
 (* --------------------------------------------------------------- *)
 (* Simulator runner                                                 *)
 
-let collect_sim_counters () =
-  Hashtbl.fold
-    (fun name c acc ->
-      let v = Sim.Sim_rt.Counter.get c in
-      if v > 0 then (name, v) :: acc else acc)
-    Sim.Sim_rt.Counter.registry []
+let collect_sim_counters () = Sim.Sim_rt.Probe.dump ()
+
+(* Per-operation latency in cycles, as a probe histogram: shows up in
+   --trace exports as samples and in counter dumps via [buckets]. *)
+let op_cycles = Sim.Sim_rt.Probe.histogram "runner.op-cycles"
 
 (* When [Timeout] predates the structured reports (or the abort happened
    before a report was built), synthesize an empty one so [Aborted] always
@@ -160,8 +162,27 @@ let run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
       in
       (r.Sim.Sched.r_stats, Aborted r)
 
+(* Wrap a guarded run in an observability recording when requested; the
+   journal summary rides back alongside the stats. [run_sim_guarded]
+   never raises, but stop the recorder on escape anyway so a crashed
+   harness doesn't leave it armed for the next run. *)
+let with_obs record_obs go =
+  if not record_obs then
+    let stats, outcome = go () in
+    (stats, outcome, None)
+  else (
+    Obs.Journal.start ();
+    match go () with
+    | stats, outcome ->
+        let r = Obs.Journal.stop () in
+        (stats, outcome, Some (Obs.Profile.summarize r))
+    | exception e ->
+        ignore (Obs.Journal.stop ());
+        raise e)
+
 let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
-    ?max_events (module S : Registry.SET_OPS) (w : set_workload) : measurement =
+    ?max_events ?(record_obs = false) (module S : Registry.SET_OPS)
+    (w : set_workload) : measurement =
   let t =
     match w.capacity with
     | Some capacity -> S.create ~capacity ()
@@ -169,28 +190,30 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
   in
   prefill (module S) t w ~seed;
   (* reset after prefill so counters reflect only the measured window *)
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let upd_half = w.update_pct / 2 in
   let upd_total = w.update_pct in
   let sample = sampler w seed in
   let lat = Array.init nthreads (fun _ -> Array.init n_classes (fun _ -> Pstats.create ())) in
   let effective = Array.make nthreads 0 in
   let myops = Array.make nthreads 0 in
-  let stats, outcome =
-    run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
-      ~ops_target:ops (fun tid ->
-        let rng = Rng.create ((seed * 65_599) + tid) in
-        while not (Sim.Sched.stop_requested ()) do
-          let t0 = Sim.Sched.now () in
-          let cls = one_op (module S) t rng sample upd_half upd_total in
-          let t1 = Sim.Sched.now () in
-          Pstats.record lat.(tid).(cls) (t1 - t0);
-          if cls = 2 || cls = 4 then effective.(tid) <- effective.(tid) + 1;
-          myops.(tid) <- myops.(tid) + 1;
-          Sim.Sched.tick ();
-          (* Short wait between iterations (avoids long runs, §5). *)
-          Sim.Sched.work (64 + Rng.below rng 64)
-        done)
+  let stats, outcome, obs =
+    with_obs record_obs (fun () ->
+        run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
+          ~ops_target:ops (fun tid ->
+            let rng = Rng.create ((seed * 65_599) + tid) in
+            while not (Sim.Sched.stop_requested ()) do
+              let t0 = Sim.Sched.now () in
+              let cls = one_op (module S) t rng sample upd_half upd_total in
+              let t1 = Sim.Sched.now () in
+              Pstats.record lat.(tid).(cls) (t1 - t0);
+              Sim.Sim_rt.Probe.observe op_cycles (t1 - t0);
+              if cls = 2 || cls = 4 then effective.(tid) <- effective.(tid) + 1;
+              myops.(tid) <- myops.(tid) + 1;
+              Sim.Sched.tick ();
+              (* Short wait between iterations (avoids long runs, §5). *)
+              Sim.Sched.work (64 + Rng.below rng 64)
+            done))
   in
   let total_ops = Array.fold_left ( + ) 0 myops in
   let total_eff = Array.fold_left ( + ) 0 effective in
@@ -217,6 +240,7 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
     final_size = S.size t;
     valid = S.validate t;
     outcome;
+    obs;
   }
 
 (* Queue workloads (Figure 12): enqueue percentage picks between
@@ -230,34 +254,36 @@ type queue_measurement = measurement
 let queue_class_names = [| "enqueue"; "dequeue-suc"; "dequeue-fal" |]
 
 let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size)
-    ?faults ?watchdog ?max_events ~enqueue_pct
+    ?faults ?watchdog ?max_events ?(record_obs = false) ~enqueue_pct
     (module Qu : Registry.QUEUE_OPS) : queue_measurement =
   let q = Qu.create () in
   let rng0 = Rng.create (seed + 13) in
   for _ = 1 to init do
     Qu.enqueue q (Rng.below rng0 1_000_000)
   done;
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let lat = Array.init nthreads (fun _ -> Array.init 3 (fun _ -> Pstats.create ())) in
   let myops = Array.make nthreads 0 in
-  let stats, outcome =
-    run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
-      ~ops_target:ops (fun tid ->
-        let rng = Rng.create ((seed * 65_599) + tid) in
-        while not (Sim.Sched.stop_requested ()) do
-          let t0 = Sim.Sched.now () in
-          let cls =
-            if Rng.below rng 100 < enqueue_pct then (
-              Qu.enqueue q (Rng.below rng 1_000_000);
-              0)
-            else match Qu.dequeue q with Some _ -> 1 | None -> 2
-          in
-          let t1 = Sim.Sched.now () in
-          Pstats.record lat.(tid).(cls) (t1 - t0);
-          myops.(tid) <- myops.(tid) + 1;
-          Sim.Sched.tick ();
-          Sim.Sched.work (64 + Rng.below rng 64)
-        done)
+  let stats, outcome, obs =
+    with_obs record_obs (fun () ->
+        run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
+          ~ops_target:ops (fun tid ->
+            let rng = Rng.create ((seed * 65_599) + tid) in
+            while not (Sim.Sched.stop_requested ()) do
+              let t0 = Sim.Sched.now () in
+              let cls =
+                if Rng.below rng 100 < enqueue_pct then (
+                  Qu.enqueue q (Rng.below rng 1_000_000);
+                  0)
+                else match Qu.dequeue q with Some _ -> 1 | None -> 2
+              in
+              let t1 = Sim.Sched.now () in
+              Pstats.record lat.(tid).(cls) (t1 - t0);
+              Sim.Sim_rt.Probe.observe op_cycles (t1 - t0);
+              myops.(tid) <- myops.(tid) + 1;
+              Sim.Sched.tick ();
+              Sim.Sched.work (64 + Rng.below rng 64)
+            done))
   in
   let total_ops = Array.fold_left ( + ) 0 myops in
   {
@@ -279,40 +305,43 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
     final_size = Qu.size q;
     valid = true;
     outcome;
+    obs;
   }
 
 (* Stack workloads (§5.5): push percentage plays the role enqueue_pct
    plays for queues. Latency classes: 0 = push, 1 = pop-nonempty,
    2 = pop-empty. *)
 let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
-    ?faults ?watchdog ?max_events ~push_pct
+    ?faults ?watchdog ?max_events ?(record_obs = false) ~push_pct
     (module St : Registry.STACK_OPS) : measurement =
   let st = St.create () in
   let rng0 = Rng.create (seed + 13) in
   for _ = 1 to init do
     St.push st (Rng.below rng0 1_000_000)
   done;
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let lat = Array.init nthreads (fun _ -> Array.init 3 (fun _ -> Pstats.create ())) in
   let myops = Array.make nthreads 0 in
-  let stats, outcome =
-    run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
-      ~ops_target:ops (fun tid ->
-        let rng = Rng.create ((seed * 65_599) + tid) in
-        while not (Sim.Sched.stop_requested ()) do
-          let t0 = Sim.Sched.now () in
-          let cls =
-            if Rng.below rng 100 < push_pct then (
-              St.push st (Rng.below rng 1_000_000);
-              0)
-            else match St.pop st with Some _ -> 1 | None -> 2
-          in
-          let t1 = Sim.Sched.now () in
-          Pstats.record lat.(tid).(cls) (t1 - t0);
-          myops.(tid) <- myops.(tid) + 1;
-          Sim.Sched.tick ();
-          Sim.Sched.work (64 + Rng.below rng 64)
-        done)
+  let stats, outcome, obs =
+    with_obs record_obs (fun () ->
+        run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
+          ~ops_target:ops (fun tid ->
+            let rng = Rng.create ((seed * 65_599) + tid) in
+            while not (Sim.Sched.stop_requested ()) do
+              let t0 = Sim.Sched.now () in
+              let cls =
+                if Rng.below rng 100 < push_pct then (
+                  St.push st (Rng.below rng 1_000_000);
+                  0)
+                else match St.pop st with Some _ -> 1 | None -> 2
+              in
+              let t1 = Sim.Sched.now () in
+              Pstats.record lat.(tid).(cls) (t1 - t0);
+              Sim.Sim_rt.Probe.observe op_cycles (t1 - t0);
+              myops.(tid) <- myops.(tid) + 1;
+              Sim.Sched.tick ();
+              Sim.Sched.work (64 + Rng.below rng 64)
+            done))
   in
   let total_ops = Array.fold_left ( + ) 0 myops in
   {
@@ -334,6 +363,7 @@ let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
     final_size = St.size st;
     valid = true;
     outcome;
+    obs;
   }
 
 (* --------------------------------------------------------------- *)
@@ -409,6 +439,7 @@ let run_set_native ~nthreads ~ops_per_thread ?(seed = 42)
     final_size = S.size t;
     valid = S.validate t;
     outcome = Complete;
+    obs = None;
   }
 
 let run_queue_native ~nthreads ~ops_per_thread ?(seed = 42) ?(init = 4096)
@@ -459,4 +490,5 @@ let run_queue_native ~nthreads ~ops_per_thread ?(seed = 42) ?(init = 4096)
     final_size = Qu.size q;
     valid = true;
     outcome = Complete;
+    obs = None;
   }

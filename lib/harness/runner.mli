@@ -1,0 +1,148 @@
+(** Workload runners: execute the paper's microbenchmark loop (§5)
+    against a data structure, either on the simulated multicore (the
+    figures) or on real domains (stress testing).
+
+    Methodology reproduced from the paper: keys are drawn uniformly (or
+    zipf, a = 0.9) from a range twice the initial size; insert and delete
+    percentages are equal so the size stays put and roughly half the
+    updates fail; the {e effective} update rate is what gets reported;
+    per-thread latency buffers are summarized as boxplot percentiles. *)
+
+(** {1 Workloads} *)
+
+type dist = Uniform | Zipf of float
+
+type set_workload = {
+  init_size : int;
+  range : int;
+  update_pct : int;  (** attempted updates, percent: split evenly ins/del *)
+  dist : dist;
+  capacity : int option;  (** map slots / hash-table buckets *)
+}
+
+val uniform_workload :
+  ?capacity:int -> init_size:int -> update_pct:int -> unit -> set_workload
+
+val skewed_workload :
+  ?capacity:int -> init_size:int -> update_pct:int -> unit -> set_workload
+(** Zipfian keys, a = 0.9: the largest keys are the most popular. *)
+
+(** {1 Measurements} *)
+
+val n_classes : int
+(** Number of latency classes for set workloads (Figure 7). *)
+
+val class_names : string array
+(** Names of the latency classes, indexed like {!measurement.lat}. *)
+
+val queue_class_names : string array
+(** Latency class names for queue/stack workloads: enqueue (push),
+    dequeue (pop) non-empty, dequeue (pop) empty. *)
+
+(** How the measured run ended. [Aborted] carries the scheduler's stall
+    report — verdict, per-thread progress, dead lock holders, partial
+    stats — so fault-injection and watchdog experiments get structured
+    results instead of escaped exceptions. *)
+type outcome = Complete | Aborted of Sim.Sched.report
+
+type measurement = {
+  name : string;
+  threads : int;
+  mops : float;
+  ops : int;
+  wall_s : float;
+  eff_update_pct : float;
+  reads : int;
+  writes : int;
+  cas : int;
+  cas_failed : int;
+  lat : Pstats.summary array;  (** indexed like {!class_names} *)
+  counters : (string * int) list;
+      (** non-zero probe counters, sorted by name (simulator runs only) *)
+  final_size : int;
+  valid : bool;
+  outcome : outcome;
+  obs : Obs.Profile.summary option;
+      (** present when the run was made with [~record_obs:true]: the
+          observability journal summary, for trace export and hot-line
+          reports *)
+}
+
+type queue_measurement = measurement
+
+val aborted : measurement -> bool
+
+(** {1 Simulator runners}
+
+    Deterministic: identical arguments (including [seed]) give identical
+    measurements. [record_obs] additionally records the observability
+    journal — probe events, checkpoint stream, per-line contention —
+    into {!measurement.obs}; recording never perturbs the virtual clock,
+    so it does not change the measured figures. *)
+
+val run_set_sim :
+  topology:Sim.Topology.t ->
+  nthreads:int ->
+  ops:int ->
+  ?seed:int ->
+  ?faults:Sim.Fault.plan ->
+  ?watchdog:Sim.Sched.watchdog ->
+  ?max_events:int ->
+  ?record_obs:bool ->
+  (module Registry.SET_OPS) ->
+  set_workload ->
+  measurement
+
+val run_queue_sim :
+  topology:Sim.Topology.t ->
+  nthreads:int ->
+  ops:int ->
+  ?seed:int ->
+  ?init:int ->
+  ?faults:Sim.Fault.plan ->
+  ?watchdog:Sim.Sched.watchdog ->
+  ?max_events:int ->
+  ?record_obs:bool ->
+  enqueue_pct:int ->
+  (module Registry.QUEUE_OPS) ->
+  queue_measurement
+(** Queue workloads (Figure 12): [enqueue_pct] picks between decreasing
+    (40), stable (50) and increasing (60) queue size. *)
+
+val run_stack_sim :
+  topology:Sim.Topology.t ->
+  nthreads:int ->
+  ops:int ->
+  ?seed:int ->
+  ?init:int ->
+  ?faults:Sim.Fault.plan ->
+  ?watchdog:Sim.Sched.watchdog ->
+  ?max_events:int ->
+  ?record_obs:bool ->
+  push_pct:int ->
+  (module Registry.STACK_OPS) ->
+  measurement
+(** Stack workloads (§5.5): [push_pct] plays the role [enqueue_pct]
+    plays for queues. *)
+
+(** {1 Native runners (real domains)}
+
+    Wall-clock timed, so not deterministic; coherence statistics and
+    latency classes are unavailable ([0] / empty). *)
+
+val run_set_native :
+  nthreads:int ->
+  ops_per_thread:int ->
+  ?seed:int ->
+  (module Registry.SET_OPS) ->
+  set_workload ->
+  measurement
+
+val run_queue_native :
+  nthreads:int ->
+  ops_per_thread:int ->
+  ?seed:int ->
+  ?init:int ->
+  enqueue_pct:int ->
+  (module Registry.QUEUE_OPS) ->
+  measurement

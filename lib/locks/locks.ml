@@ -32,11 +32,12 @@ module Tas (Rt : RT) = struct
     ok
 
   let lock t =
-    let b = B.create () in
-    while not (Rt.cas t false true) do
-      Rt.on_fault Fp.Lock_wait;
-      B.once b
-    done;
+    Rt.Probe.span "tas.acquire" (fun () ->
+        let b = B.create () in
+        while not (Rt.cas t false true) do
+          Rt.on_fault Fp.Lock_wait;
+          B.once b
+        done);
     Rt.on_fault Fp.Critical_enter
 
   let unlock t =
@@ -61,18 +62,19 @@ module Ttas (Rt : RT) = struct
     ok
 
   let lock t =
-    let b = B.create () in
-    let rec loop () =
-      if Rt.get t then (
-        Rt.on_fault Fp.Lock_wait;
-        Rt.pause ();
-        loop ())
-      else if not (Rt.cas t false true) then (
-        Rt.on_fault Fp.Lock_wait;
-        B.once b;
-        loop ())
-    in
-    loop ();
+    Rt.Probe.span "ttas.acquire" (fun () ->
+        let b = B.create () in
+        let rec loop () =
+          if Rt.get t then (
+            Rt.on_fault Fp.Lock_wait;
+            Rt.pause ();
+            loop ())
+          else if not (Rt.cas t false true) then (
+            Rt.on_fault Fp.Lock_wait;
+            B.once b;
+            loop ())
+        in
+        loop ());
     Rt.on_fault Fp.Critical_enter
 
   let unlock t =
@@ -101,18 +103,20 @@ module Ticket (Rt : RT) = struct
   let next_of p = (p lsr bits) land mask
 
   let lock t =
-    let old = Rt.faa t one_ticket in
-    let my = next_of old in
-    let rec wait () =
-      let cur = curr_of (Rt.get t) in
-      if cur <> my then (
-        Rt.on_fault Fp.Lock_wait;
-        (* Proportional backoff: pause longer the further from the head. *)
-        let dist = (my - cur + mask + 1) land mask in
-        Rt.pause_n (if dist > 64 then 512 else dist * 8);
-        wait ())
-    in
-    wait ();
+    Rt.Probe.span "ticket.acquire" (fun () ->
+        let old = Rt.faa t one_ticket in
+        let my = next_of old in
+        let rec wait () =
+          let cur = curr_of (Rt.get t) in
+          if cur <> my then (
+            Rt.on_fault Fp.Lock_wait;
+            (* Proportional backoff: pause longer the further from the
+               head. *)
+            let dist = (my - cur + mask + 1) land mask in
+            Rt.pause_n (if dist > 64 then 512 else dist * 8);
+            wait ())
+        in
+        wait ());
     Rt.on_fault Fp.Critical_enter
 
   let trylock t =
@@ -165,19 +169,21 @@ module Mcs (Rt : RT) = struct
     { locked = l; next = Rt.atomic_with l None }
 
   let lock t =
-    let me = mk_qnode true in
-    let me_opt = Some me in
-    t.mine.(Rt.tid ()) <- me_opt;
-    (match Rt.exchange t.tail me_opt with
-    | None -> ()
-    | Some pred ->
-        Rt.set pred.next me_opt;
-        (* Spin on our own node; escalate gently to keep handoff fast. *)
-        let s = B.spin ~max_pauses:16 () in
-        while Rt.get me.locked do
-          Rt.on_fault Fp.Lock_wait;
-          B.spin_once s
-        done);
+    Rt.Probe.span "mcs.acquire" (fun () ->
+        let me = mk_qnode true in
+        let me_opt = Some me in
+        t.mine.(Rt.tid ()) <- me_opt;
+        match Rt.exchange t.tail me_opt with
+        | None -> ()
+        | Some pred ->
+            Rt.set pred.next me_opt;
+            (* Spin on our own node; escalate gently to keep handoff
+               fast. *)
+            let s = B.spin ~max_pauses:16 () in
+            while Rt.get me.locked do
+              Rt.on_fault Fp.Lock_wait;
+              B.spin_once s
+            done);
     Rt.on_fault Fp.Critical_enter
 
   let trylock t =

@@ -1,0 +1,147 @@
+(** The observability journal: a deterministic, virtual-time-stamped
+    event log fed by the simulator backend's probes ([Sim_rt.Probe]) and
+    by the scheduler's instrumentation checkpoints, plus per-cache-line
+    contention accounting ("hot lines").
+
+    The journal is a process-global single recording session, matching
+    the simulator's single-OS-thread design: a harness calls {!start}
+    before a simulated run and {!stop} afterwards to obtain the
+    {!record}. While no recording is active every entry point is a cheap
+    no-op (one flag check), so probes cost nothing on untraced runs —
+    and they {e never} cost virtual time either way, which is what keeps
+    traced and untraced runs cycle-identical.
+
+    Determinism: entries carry only virtual time, thread id and names —
+    never cache-line ids or any other allocation-order-dependent value —
+    so two same-seed runs produce byte-identical exports (see
+    [Trace]). *)
+
+type kind =
+  | Count of string * int  (** counter increment: name, delta *)
+  | Sample of string * int  (** histogram observation: name, value *)
+  | Instant of string * int option  (** [Probe.event]: name, argument *)
+  | Span_begin of string
+  | Span_end of string
+  | Point of Rt.Rt_intf.fault_point
+      (** an instrumentation checkpoint reported through [on_fault] *)
+
+type entry = { at : int;  (** virtual cycles *) tid : int; kind : kind }
+
+let point_name : Rt.Rt_intf.fault_point -> string = function
+  | Before_cas -> "before-cas"
+  | After_cas -> "after-cas"
+  | Critical_enter -> "critical-enter"
+  | Critical_exit -> "critical-exit"
+  | Lock_wait -> "lock-wait"
+  | Restart -> "restart"
+  | Op_boundary -> "op-boundary"
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-site attribution                                         *)
+
+(* [Probe.with_site] scopes a label over allocations; the simulator's
+   line allocator calls {!note_line} for every fresh cache line, and the
+   mapping persists across runs (structures are built before the
+   recording starts). The table only grows for lines allocated inside a
+   [with_site] scope, so unlabeled code pays one ref read per line. *)
+
+let cur_site : string option ref = ref None
+let sites : (int, string) Hashtbl.t = Hashtbl.create 256
+
+let with_site site f =
+  let saved = !cur_site in
+  cur_site := Some site;
+  Fun.protect ~finally:(fun () -> cur_site := saved) f
+
+let note_line id =
+  match !cur_site with
+  | None -> ()
+  | Some site -> Hashtbl.replace sites id site
+
+let site_of id = Hashtbl.find_opt sites id
+
+(* ------------------------------------------------------------------ *)
+(* Per-line contention accounting                                      *)
+
+type line_stat = {
+  ls_id : int;
+  ls_site : string option;  (** allocating structure/field, if labeled *)
+  mutable ls_transfers : int;  (** coherence transfers (fetch from afar) *)
+  mutable ls_cas_fails : int;  (** failed CAS landing on this line *)
+  mutable ls_bounces : int;  (** ownership moved from another context *)
+  mutable ls_stalls : int;  (** serialized RMWs queued behind [busy_until] *)
+}
+
+type record = {
+  entries : entry array;  (** in execution order *)
+  lines : line_stat list;  (** lines with recorded activity, ascending id *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The recorder                                                        *)
+
+let recording_flag = ref false
+let recording () = !recording_flag
+
+(* Growable entry buffer. *)
+let buf : entry array ref = ref [||]
+let buf_len = ref 0
+
+let dummy_entry = { at = 0; tid = 0; kind = Instant ("", None) }
+
+let push e =
+  let cap = Array.length !buf in
+  if !buf_len = cap then begin
+    let cap' = if cap = 0 then 1024 else 2 * cap in
+    let b = Array.make cap' dummy_entry in
+    Array.blit !buf 0 b 0 cap;
+    buf := b
+  end;
+  !buf.(!buf_len) <- e;
+  incr buf_len
+
+let line_stats : (int, line_stat) Hashtbl.t = Hashtbl.create 64
+
+let emit ~at ~tid kind = if !recording_flag then push { at; tid; kind }
+
+let stat_of id =
+  match Hashtbl.find_opt line_stats id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          ls_id = id;
+          ls_site = site_of id;
+          ls_transfers = 0;
+          ls_cas_fails = 0;
+          ls_bounces = 0;
+          ls_stalls = 0;
+        }
+      in
+      Hashtbl.add line_stats id s;
+      s
+
+(* The [on_*] accounting hooks are recording-gated at the caller (the
+   scheduler's cost model), so they can assume an active session. *)
+let on_transfer id = let s = stat_of id in s.ls_transfers <- s.ls_transfers + 1
+let on_cas_fail id = let s = stat_of id in s.ls_cas_fails <- s.ls_cas_fails + 1
+let on_bounce id = let s = stat_of id in s.ls_bounces <- s.ls_bounces + 1
+let on_stall id = let s = stat_of id in s.ls_stalls <- s.ls_stalls + 1
+
+let start () =
+  buf := [||];
+  buf_len := 0;
+  Hashtbl.reset line_stats;
+  recording_flag := true
+
+let stop () =
+  recording_flag := false;
+  let entries = Array.sub !buf 0 !buf_len in
+  buf := [||];
+  buf_len := 0;
+  let lines =
+    Hashtbl.fold (fun _ s acc -> s :: acc) line_stats []
+    |> List.sort (fun a b -> compare a.ls_id b.ls_id)
+  in
+  Hashtbl.reset line_stats;
+  { entries; lines }

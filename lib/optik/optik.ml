@@ -118,61 +118,69 @@ module Versioned (Rt : RT) = struct
   let same_version (v0 : version) v1 = v0 = v1
 
   let get_version_wait l =
-    let s = B.spin () in
-    let rec loop () =
-      let v = Rt.get l in
-      if is_locked v then (
-        Rt.on_fault Fp.Lock_wait;
-        B.spin_once s;
+    Rt.Probe.span "optik.version-wait" (fun () ->
+        let s = B.spin () in
+        let rec loop () =
+          let v = Rt.get l in
+          if is_locked v then (
+            Rt.on_fault Fp.Lock_wait;
+            B.spin_once s;
+            loop ())
+          else v
+        in
         loop ())
-      else v
-    in
-    loop ()
 
   (* The single-CAS heart of OPTIK: acquire iff free and unchanged. The
      [is_locked] check is required for correctness (never CAS an odd value
      to even); the equality check merely avoids doomed CAS attempts. *)
   let trylock_version l targetv =
-    if is_locked targetv || Rt.get l <> targetv then false
+    if is_locked targetv || Rt.get l <> targetv then (
+      Rt.Probe.event "optik.trylock-fail";
+      false)
     else
       let ok = Rt.cas l targetv (targetv + 1) in
-      if ok then Rt.on_fault Fp.Critical_enter;
+      if ok then Rt.on_fault Fp.Critical_enter
+      else Rt.Probe.event "optik.trylock-fail";
       ok
 
   let lock_version l targetv =
-    let s = B.spin () in
-    let rec loop () =
-      let cur = Rt.get l in
-      if is_locked cur then (
-        Rt.on_fault Fp.Lock_wait;
-        B.spin_once s;
-        loop ())
-      else if Rt.cas l cur (cur + 1) then cur
-      else (
-        Rt.on_fault Fp.Lock_wait;
-        B.spin_once s;
-        loop ())
+    let acquired =
+      Rt.Probe.span "optik.acquire" (fun () ->
+          let s = B.spin () in
+          let rec loop () =
+            let cur = Rt.get l in
+            if is_locked cur then (
+              Rt.on_fault Fp.Lock_wait;
+              B.spin_once s;
+              loop ())
+            else if Rt.cas l cur (cur + 1) then cur
+            else (
+              Rt.on_fault Fp.Lock_wait;
+              B.spin_once s;
+              loop ())
+          in
+          loop ())
     in
-    let acquired = loop () in
     Rt.on_fault Fp.Critical_enter;
     acquired = targetv
 
   let lock l = ignore (lock_version l 0 : bool)
 
   let lock_backoff l =
-    let b = B.create () in
-    let rec loop () =
-      let cur = Rt.get l in
-      if is_locked cur then (
-        Rt.on_fault Fp.Lock_wait;
-        B.once b;
-        loop ())
-      else if not (Rt.cas l cur (cur + 1)) then (
-        Rt.on_fault Fp.Lock_wait;
-        B.once b;
-        loop ())
-    in
-    loop ();
+    Rt.Probe.span "optik.acquire" (fun () ->
+        let b = B.create () in
+        let rec loop () =
+          let cur = Rt.get l in
+          if is_locked cur then (
+            Rt.on_fault Fp.Lock_wait;
+            B.once b;
+            loop ())
+          else if not (Rt.cas l cur (cur + 1)) then (
+            Rt.on_fault Fp.Lock_wait;
+            B.once b;
+            loop ())
+        in
+        loop ());
     Rt.on_fault Fp.Critical_enter
 
   (* Holder-only updates: plain load + release store, like the C [*lock++]. *)
@@ -228,19 +236,22 @@ module Ticket (Rt : RT) = struct
   let same_version v0 v1 = curr_of v0 = curr_of v1
 
   let get_version_wait l =
-    let s = B.spin () in
-    let rec loop () =
-      let p = Rt.get l in
-      if is_locked p then (
-        Rt.on_fault Fp.Lock_wait;
-        B.spin_once s;
+    Rt.Probe.span "optik.version-wait" (fun () ->
+        let s = B.spin () in
+        let rec loop () =
+          let p = Rt.get l in
+          if is_locked p then (
+            Rt.on_fault Fp.Lock_wait;
+            B.spin_once s;
+            loop ())
+          else p
+        in
         loop ())
-      else p
-    in
-    loop ()
 
   let trylock_version l targetv =
-    if is_locked targetv then false
+    if is_locked targetv then (
+      Rt.Probe.event "optik.trylock-fail";
+      false)
     else
       let v = curr_of targetv in
       let expected = pack ~curr:v ~next:v in
@@ -248,22 +259,28 @@ module Ticket (Rt : RT) = struct
         Rt.get l = expected
         && Rt.cas l expected (pack ~curr:v ~next:v + one_ticket)
       in
-      if ok then Rt.on_fault Fp.Critical_enter;
+      if ok then Rt.on_fault Fp.Critical_enter
+      else Rt.Probe.event "optik.trylock-fail";
       ok
 
   let lock_version l targetv =
-    let old = Rt.faa l one_ticket in
-    let my = next_of old in
-    let rec wait () =
-      let cur = curr_of (Rt.get l) in
-      if cur <> my then (
-        Rt.on_fault Fp.Lock_wait;
-        (* Backoff proportional to the distance from the queue head. *)
-        let dist = (my - cur + mask + 1) land mask in
-        Rt.pause_n (if dist > 64 then 512 else dist * 8);
-        wait ())
+    let my =
+      Rt.Probe.span "optik.acquire" (fun () ->
+          let old = Rt.faa l one_ticket in
+          let my = next_of old in
+          let rec wait () =
+            let cur = curr_of (Rt.get l) in
+            if cur <> my then (
+              Rt.on_fault Fp.Lock_wait;
+              (* Backoff proportional to the distance from the queue
+                 head. *)
+              let dist = (my - cur + mask + 1) land mask in
+              Rt.pause_n (if dist > 64 then 512 else dist * 8);
+              wait ())
+          in
+          wait ();
+          my)
     in
-    wait ();
     Rt.on_fault Fp.Critical_enter;
     my = curr_of targetv
 

@@ -14,22 +14,115 @@
     x86: word-sized atomic loads/stores with acquire/release semantics,
     compare-and-swap, and fetch-and-add. *)
 
-(** Counters are out-of-band statistics channels. They never perturb the
-    simulated clock, so algorithms can report events (operation restarts,
-    node-cache hits, validation failures) without affecting the measured
-    behaviour. On the native backend they are plain atomic counters. *)
-module type COUNTER = sig
-  type t
+(** Histogram bucket geometry, shared by every {!PROBE} implementation so
+    both backends (and the exporters) agree on bucket boundaries.
 
-  val make : string -> t
-  (** [make name] registers a fresh counter under [name]. Counters with the
-      same name share storage within a backend. *)
+    Buckets are powers of two: bucket 0 holds only the value 0 (and any
+    negative sample, clamped), bucket [i > 0] holds values in
+    [\[2{^i-1}, 2{^i})]. With 63-bit OCaml ints that is {!n_buckets} = 63
+    buckets, and [max_int] lands in the last one. *)
+module Hbucket = struct
+  let n_buckets = 63
 
-  val incr : t -> unit
-  val add : t -> int -> unit
-  val get : t -> int
-  val reset : t -> unit
-  val name : t -> string
+  (** [index v] is the bucket a sample falls into: 0 for [v <= 0],
+      otherwise the position of [v]'s highest set bit (1-based). *)
+  let index v =
+    if v <= 0 then 0
+    else begin
+      let i = ref 0 and x = ref v in
+      while !x > 0 do
+        incr i;
+        x := !x lsr 1
+      done;
+      !i
+    end
+
+  (** Smallest value of bucket [i]. *)
+  let lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+  (** Largest value of bucket [i]. The last bucket tops out at
+      [max_int]. *)
+  let hi i = if i <= 0 then 0 else if i >= n_buckets - 1 then max_int else (1 lsl i) - 1
+end
+
+(** The probe API: the single statistics/instrumentation surface of the
+    runtime. It unifies what used to be bare named counters with bucketed
+    histograms and structured trace events/spans.
+
+    Probes are out-of-band channels: they {e never} perturb the simulated
+    clock, so algorithms can report events (operation restarts, node-cache
+    hits, validation failures, lock-acquire phases) without affecting the
+    measured behaviour. On the native backend counters and histograms are
+    plain atomics and the tracing operations are no-ops; on the simulator
+    backend every probe additionally feeds a deterministic,
+    virtual-time-stamped event journal (see [Obs.Journal]) when a
+    recording is active. *)
+module type PROBE = sig
+  (** {2 Counters} *)
+
+  type counter
+
+  val counter : string -> counter
+  (** [counter name] registers a fresh counter under [name]. Counters with
+      the same name share storage within a backend. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+
+  val count : counter -> int
+  (** Current value. *)
+
+  val counter_name : counter -> string
+
+  (** {2 Bucketed histograms}
+
+      Power-of-two buckets as defined by {!Hbucket}: cheap enough for hot
+      paths (one increment), precise enough for latency/retry
+      distributions. *)
+
+  type histogram
+
+  val histogram : string -> histogram
+  (** [histogram name] registers (or finds) the histogram named [name]. *)
+
+  val observe : histogram -> int -> unit
+  (** Record one sample. Negative samples clamp into bucket 0. *)
+
+  val buckets : histogram -> (int * int * int) list
+  (** Non-empty buckets as [(lo, hi, count)] triples, in increasing value
+      order. *)
+
+  val histogram_name : histogram -> string
+
+  (** {2 Tracing}
+
+      Structured events and spans. On the native backend these are no-ops;
+      on the simulator they append virtual-time-stamped entries to the
+      observability journal whenever a recording is active, and cost
+      nothing (not even virtual time) otherwise. *)
+
+  val event : ?arg:int -> string -> unit
+  (** [event name] records an instant event at the calling thread's
+      current virtual time. *)
+
+  val span_begin : string -> unit
+  (** Open a named span (e.g. ["mcs.acquire"]). Must be balanced by
+      {!span_end} with the same name on the same thread; exporters
+      auto-close unbalanced spans at the end of a trace. *)
+
+  val span_end : string -> unit
+
+  val span : string -> (unit -> 'a) -> 'a
+  (** [span name f] wraps [f] in a [span_begin]/[span_end] pair (closed on
+      exceptions too). *)
+
+  (** {2 Allocation-site attribution} *)
+
+  val with_site : string -> (unit -> 'a) -> 'a
+  (** [with_site site f] names the shared-memory cells allocated by [f]
+      (e.g. ["ll-optik.node"]). The simulator uses the label to attribute
+      per-cache-line contention profiles ("hot lines") back to the
+      allocating structure/field; the native backend ignores it. *)
 end
 
 (** Instrumentation checkpoints reported by locks, backoff and the
@@ -146,9 +239,9 @@ module type RT = sig
       backend makes it a no-op. Locks and backoff call this; algorithm
       code normally does not need to. *)
 
-  (** {1 Statistics} *)
+  (** {1 Statistics and tracing} *)
 
-  module Counter : COUNTER
+  module Probe : PROBE
 end
 
 (** Interface of the classic (non-OPTIK) locks in [lib/locks], used by the

@@ -154,6 +154,9 @@ let line_counter = ref 0
 
 let fresh_line ?(streaming = false) () =
   incr line_counter;
+  (* Attribute the line to the allocation site named by the innermost
+     [Probe.with_site] scope, if any (hot-line profiles). *)
+  Obs.Journal.note_line !line_counter;
   {
     id = !line_counter;
     epoch = !epoch;
@@ -204,6 +207,20 @@ let refresh line =
     line.busy_until <- 0)
 
 (* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+(* Stamp a journal entry with the calling virtual thread's clock and id.
+   This is the simulator's half of the probe contract: entries carry the
+   time an event happened at, but emitting one never advances the clock,
+   so traced and untraced runs are cycle-identical. Outside a run (create,
+   prefill, unit tests) entries land at time 0 on thread 0. *)
+let obs_emit kind =
+  if Obs.Journal.recording () then
+    match !cur_thread with
+    | Some th -> Obs.Journal.emit ~at:th.clock ~tid:th.t_id kind
+    | None -> Obs.Journal.emit ~at:0 ~tid:0 kind
+
+(* ------------------------------------------------------------------ *)
 (* Fault checkpoints                                                   *)
 
 (* The fault-injection layer (Fault) installs a handler here; it runs in
@@ -226,6 +243,9 @@ let fault_point (p : Fp.fault_point) =
       | Fp.Restart -> th.restarts <- th.restarts + 1
       | Fp.Critical_exit | Fp.Before_cas | Fp.After_cas | Fp.Op_boundary ->
           ());
+      (* Journal the checkpoint before the hook runs: a hook that crashes
+         the thread still leaves the reached checkpoint in the trace. *)
+      obs_emit (Obs.Journal.Point p);
       (match !fault_hook with None -> () | Some f -> f p);
       (* The depth decrement happens only after the hook ran: locks report
          [Critical_exit] before the releasing store, so a thread crashed at
@@ -272,6 +292,12 @@ let apply_read th line =
   let me = th.ctx in
   if line.exclusive && line.writer = me then ()
   else (
+    (* Hot-line accounting: a read that misses (not a sharer, or the line
+       is modified elsewhere) fetches the line — one coherence transfer. *)
+    if
+      Obs.Journal.recording ()
+      && (line.exclusive || line.sharers land (1 lsl me) = 0)
+    then Obs.Journal.on_transfer line.id;
     (* A read of a modified line downgrades it to shared. *)
     if line.exclusive && line.writer >= 0 then
       line.sharers <- line.sharers lor (1 lsl line.writer);
@@ -299,6 +325,16 @@ let own_cost s th line ~rmw =
 
 let apply_own th line =
   th.last_line <- line;
+  (* Hot-line accounting: taking ownership of a line we did not already
+     own is a transfer; taking it from another writer is an owner bounce
+     (the ping-pong pattern of contended locks and CAS words). *)
+  (if Obs.Journal.recording () then
+     let mine = line.exclusive && line.writer = th.ctx in
+     if not mine then begin
+       Obs.Journal.on_transfer line.id;
+       if line.writer >= 0 && line.writer <> th.ctx then
+         Obs.Journal.on_bounce line.id
+     end);
   line.exclusive <- true;
   line.writer <- th.ctx;
   line.sharers <- 1 lsl th.ctx
@@ -315,9 +351,11 @@ let exec_now s th line cost ~serialize sem =
   let start =
     match line with
     | Some l when l.busy_until > th.clock ->
-        if serialize then
+        if serialize then begin
           Hashtbl.replace s.hot l.id
             (1 + Option.value ~default:0 (Hashtbl.find_opt s.hot l.id));
+          if Obs.Journal.recording () then Obs.Journal.on_stall l.id
+        end;
         l.busy_until
     | _ -> th.clock
   in
@@ -437,6 +475,7 @@ let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
               true)
             else (
               s.n_cas_failed <- s.n_cas_failed + 1;
+              if Obs.Journal.recording () then Obs.Journal.on_cas_fail l.line.id;
               false))
       in
       fault_point Fp.After_cas;
@@ -825,6 +864,7 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
       {
         retc =
           (fun () ->
+            obs_emit (Obs.Journal.Instant ("thread.finish", None));
             th.finished <- true;
             s.live <- s.live - 1);
         exnc =

@@ -104,7 +104,21 @@ val set_noise : bool -> unit
 val fault_point : Rt.Rt_intf.fault_point -> unit
 (** Report a checkpoint for the calling thread (no-op outside a run).
     This is [Sim_rt.on_fault]. May raise {!Crashed} or suspend if a hook
-    decides so. *)
+    decides so. When an observability recording is active the checkpoint
+    is also journaled (see {!obs_emit}). *)
+
+(** {1 Observability}
+
+    The scheduler timestamps the observability journal ([Obs.Journal]):
+    probe calls and instrumentation checkpoints become journal entries
+    stamped with the calling virtual thread's clock and id. Emitting an
+    entry never advances the clock, so traced and untraced runs are
+    cycle-identical. *)
+
+val obs_emit : Obs.Journal.kind -> unit
+(** Append a journal entry at the calling thread's current virtual time
+    (time 0, thread 0 outside a run). No-op unless a recording is active.
+    This is what [Sim_rt.Probe] reports through. *)
 
 val set_fault_hook : (Rt.Rt_intf.fault_point -> unit) option -> unit
 (** Install (or clear) the process-global fault handler. The handler runs

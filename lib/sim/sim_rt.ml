@@ -26,24 +26,84 @@ let noise = Sched.noise
 let nthreads = Sched.nthreads
 let on_fault = Sched.fault_point
 
-module Counter = struct
-  (* Zero-cost statistics channel: never touches the simulated clock. *)
-  type t = { name : string; cell : int ref }
+(* Probes never touch the simulated clock: counters and histograms are
+   plain refs (the simulator is single-OS-threaded), and every probe call
+   additionally lands in the observability journal — stamped with the
+   calling thread's virtual time by [Sched.obs_emit] — whenever a
+   recording is active. *)
+module Probe = struct
+  module Hb = Rt.Rt_intf.Hbucket
 
-  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  type counter = { c_name : string; cell : int ref }
+  type histogram = { h_name : string; cells : int array }
 
-  let make name =
-    match Hashtbl.find_opt registry name with
+  let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+  let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+  let counter name =
+    match Hashtbl.find_opt counters name with
     | Some c -> c
     | None ->
-        let c = { name; cell = ref 0 } in
-        Hashtbl.add registry name c;
+        let c = { c_name = name; cell = ref 0 } in
+        Hashtbl.add counters name c;
         c
 
-  let incr c = Stdlib.incr c.cell
-  let add c n = c.cell := !(c.cell) + n
-  let get c = !(c.cell)
-  let reset c = c.cell := 0
-  let name c = c.name
-  let reset_all () = Hashtbl.iter (fun _ c -> reset c) registry
+  let incr c =
+    Stdlib.incr c.cell;
+    Sched.obs_emit (Obs.Journal.Count (c.c_name, 1))
+
+  let add c n =
+    c.cell := !(c.cell) + n;
+    Sched.obs_emit (Obs.Journal.Count (c.c_name, n))
+
+  let count c = !(c.cell)
+  let counter_name c = c.c_name
+
+  let histogram name =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h = { h_name = name; cells = Array.make Hb.n_buckets 0 } in
+        Hashtbl.add histograms name h;
+        h
+
+  let observe h v =
+    let i = Hb.index v in
+    h.cells.(i) <- h.cells.(i) + 1;
+    Sched.obs_emit (Obs.Journal.Sample (h.h_name, v))
+
+  let buckets h =
+    let acc = ref [] in
+    for i = Hb.n_buckets - 1 downto 0 do
+      if h.cells.(i) > 0 then acc := (Hb.lo i, Hb.hi i, h.cells.(i)) :: !acc
+    done;
+    !acc
+
+  let histogram_name h = h.h_name
+
+  let event ?arg name = Sched.obs_emit (Obs.Journal.Instant (name, arg))
+  let span_begin name = Sched.obs_emit (Obs.Journal.Span_begin name)
+  let span_end name = Sched.obs_emit (Obs.Journal.Span_end name)
+
+  let span name f =
+    span_begin name;
+    Fun.protect ~finally:(fun () -> span_end name) f
+
+  let with_site = Obs.Journal.with_site
+
+  (* ---- backend extras (not part of {!Rt.Rt_intf.PROBE}) ---- *)
+
+  (** Zero every registered counter and histogram; harnesses call this
+      after prefill so statistics reflect only the measured window. *)
+  let reset_all () =
+    Hashtbl.iter (fun _ c -> c.cell := 0) counters;
+    Hashtbl.iter (fun _ h -> Array.fill h.cells 0 Hb.n_buckets 0) histograms
+
+  (** Non-zero counters as [(name, value)], sorted by name so reports are
+      deterministic. *)
+  let dump () =
+    Hashtbl.fold
+      (fun name c acc -> if !(c.cell) > 0 then (name, !(c.cell)) :: acc else acc)
+      counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 end

@@ -21,6 +21,7 @@ let mk_measurement ?(name = "x") ~threads ~mops () =
     final_size = 0;
     valid = true;
     outcome = Harness.Runner.Complete;
+    obs = None;
   }
 
 let series label pts =

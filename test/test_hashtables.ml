@@ -84,7 +84,7 @@ let lincheck_cases =
 (* java-optik's whole point: feasible updates validated by version skip
    the second traversal. Count them. *)
 let test_java_optik_second_traversals () =
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let module H = Dstruct.Ht.Java_optik (Sim.Sim_rt) in
   let t = H.create ~capacity:16 () in
   ignore
@@ -95,7 +95,7 @@ let test_java_optik_second_traversals () =
            if Harness.Rng.below rng 2 = 0 then ignore (H.insert t k i : bool)
            else ignore (H.delete t k : int option)
          done));
-  let second = Sim.Sim_rt.Counter.get H.second_traversals in
+  let second = Sim.Sim_rt.Probe.count H.second_traversals in
   Alcotest.(check bool)
     (Printf.sprintf "second traversals are the exception (%d/2400)" second)
     true
@@ -119,14 +119,14 @@ let test_java_no_duplicates_under_race () =
 (* Per-segment resizing (§5.2): growth happens, contents survive, and
    concurrent searches during resizes stay correct. *)
 let test_resize_grows_and_preserves () =
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let module H = Dstruct.Ht.Java (Rt.Native_rt) in
   let t = H.create ~capacity:8 () in
   for i = 1 to 2_000 do
     Alcotest.(check bool) (Printf.sprintf "insert %d" i) true (H.insert t i i)
   done;
   Alcotest.(check bool) "resizes happened" true
-    (Rt.Native_rt.Counter.get H.resizes > 0);
+    (Rt.Native_rt.Probe.count H.resizes > 0);
   for i = 1 to 2_000 do
     if H.search t i <> Some i then Alcotest.failf "lost key %d after resize" i
   done;
@@ -156,7 +156,7 @@ let test_resize_concurrent_sim () =
            | _ -> ignore (H.search t k : int option)
          done));
   Alcotest.(check bool) "resizes under concurrency" true
-    (Sim.Sim_rt.Counter.get H.resizes > 0);
+    (Sim.Sim_rt.Probe.count H.resizes > 0);
   Alcotest.(check int) "conservation"
     (Sim.Sched.read ins - Sim.Sched.read del)
     (H.size t);

@@ -105,7 +105,7 @@ module LlN = Dstruct.Ll_optik.Make (Rt.Native_rt)
 module LlS = Dstruct.Ll_optik.Make (Sim.Sim_rt)
 
 let test_cache_hits_counted () =
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let module Ll = Dstruct.Ll_optik.Make (Sim.Sim_rt) in
   let t = Ll.create ~cache:true () in
   for i = 1 to 100 do
@@ -117,8 +117,8 @@ let test_cache_hits_counted () =
          for i = 1 to 99 do
            ignore (Ll.search t ((tid * 0) + i) : int option)
          done));
-  let hits = Sim.Sim_rt.Counter.get Ll.cache_hits in
-  let tries = Sim.Sim_rt.Counter.get Ll.cache_tries in
+  let hits = Sim.Sim_rt.Probe.count Ll.cache_hits in
+  let tries = Sim.Sim_rt.Probe.count Ll.cache_tries in
   Alcotest.(check bool)
     (Printf.sprintf "cache used (%d/%d)" hits tries)
     true

@@ -208,7 +208,7 @@ let qcheck_seq_cases =
 
 (* Victim queue specifics. *)
 let test_victim_queue_used_under_contention () =
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let module Qs = Dstruct.Queues.Make (Sim.Sim_rt) in
   let q = Qs.Optik3.create ~threshold:0 () in
   (* threshold 0: any waiter diverts; enqueue-heavy storm *)
@@ -219,10 +219,10 @@ let test_victim_queue_used_under_contention () =
          done));
   Alcotest.(check int) "all elements present" 1600 (Qs.Optik3.size q);
   Alcotest.(check bool) "victim path exercised" true
-    (Sim.Sim_rt.Counter.get Qs.Optik3.victim_uses > 0)
+    (Sim.Sim_rt.Probe.count Qs.Optik3.victim_uses > 0)
 
 let test_victim_threshold_respected () =
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let module Qs = Dstruct.Queues.Make (Sim.Sim_rt) in
   (* huge threshold: victim path never used *)
   let q = Qs.Optik3.create ~threshold:1_000 () in
@@ -233,7 +233,7 @@ let test_victim_threshold_respected () =
          done));
   Alcotest.(check int) "all present" 800 (Qs.Optik3.size q);
   Alcotest.(check int) "victim path unused" 0
-    (Sim.Sim_rt.Counter.get Qs.Optik3.victim_uses)
+    (Sim.Sim_rt.Probe.count Qs.Optik3.victim_uses)
 
 let () =
   Alcotest.run "queues"

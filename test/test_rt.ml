@@ -52,31 +52,90 @@ let test_tid_per_domain () =
     results
 
 let test_counters () =
-  let c = N.Counter.make "test_rt.counter" in
-  N.Counter.reset c;
-  N.Counter.incr c;
-  N.Counter.add c 4;
-  Alcotest.(check int) "value" 5 (N.Counter.get c);
-  Alcotest.(check string) "name" "test_rt.counter" (N.Counter.name c);
+  N.Probe.reset_all ();
+  let c = N.Probe.counter "test_rt.counter" in
+  N.Probe.incr c;
+  N.Probe.add c 4;
+  Alcotest.(check int) "value" 5 (N.Probe.count c);
+  Alcotest.(check string) "name" "test_rt.counter" (N.Probe.counter_name c);
   (* same name = same counter *)
-  let c' = N.Counter.make "test_rt.counter" in
-  N.Counter.incr c';
-  Alcotest.(check int) "shared storage" 6 (N.Counter.get c);
-  N.Counter.reset c;
-  Alcotest.(check int) "reset" 0 (N.Counter.get c')
+  let c' = N.Probe.counter "test_rt.counter" in
+  N.Probe.incr c';
+  Alcotest.(check int) "shared storage" 6 (N.Probe.count c);
+  N.Probe.reset_all ();
+  Alcotest.(check int) "reset" 0 (N.Probe.count c')
 
 let test_counters_concurrent () =
-  let c = N.Counter.make "test_rt.conc" in
-  N.Counter.reset c;
+  N.Probe.reset_all ();
+  let c = N.Probe.counter "test_rt.conc" in
   let doms =
     List.init 4 (fun _ ->
         Domain.spawn (fun () ->
             for _ = 1 to 10_000 do
-              N.Counter.incr c
+              N.Probe.incr c
             done))
   in
   List.iter Domain.join doms;
-  Alcotest.(check int) "atomic increments" 40_000 (N.Counter.get c)
+  Alcotest.(check int) "atomic increments" 40_000 (N.Probe.count c)
+
+(* Events and spans are free on the native backend; the acceptance bar is
+   just that they execute and [span] still returns the body's value and
+   releases on exceptions. *)
+let test_probe_noops () =
+  N.Probe.event "test_rt.event";
+  N.Probe.event ~arg:7 "test_rt.event";
+  N.Probe.span_begin "test_rt.span";
+  N.Probe.span_end "test_rt.span";
+  Alcotest.(check int) "span returns" 42 (N.Probe.span "s" (fun () -> 42));
+  Alcotest.(check int) "with_site returns" 7 (N.Probe.with_site "x" (fun () -> 7));
+  Alcotest.(check bool) "span re-raises" true
+    (try N.Probe.span "s" (fun () -> failwith "boom") with Failure _ -> true)
+
+let test_histogram_buckets () =
+  N.Probe.reset_all ();
+  let h = N.Probe.histogram "test_rt.hist" in
+  Alcotest.(check string) "name" "test_rt.hist" (N.Probe.histogram_name h);
+  Alcotest.(check (list (triple int int int))) "empty" [] (N.Probe.buckets h);
+  (* bucket 0 holds everything <= 0; bucket i holds [2^(i-1), 2^i) *)
+  N.Probe.observe h 0;
+  N.Probe.observe h (-5);
+  N.Probe.observe h 1;
+  N.Probe.observe h 2;
+  N.Probe.observe h 3;
+  N.Probe.observe h 4;
+  N.Probe.observe h max_int;
+  Alcotest.(check (list (triple int int int)))
+    "bucket edges"
+    [ (0, 0, 2); (1, 1, 1); (2, 3, 2); (4, 7, 1); ((max_int / 2) + 1, max_int, 1) ]
+    (N.Probe.buckets h)
+
+let test_histogram_same_name_shares_cells () =
+  N.Probe.reset_all ();
+  let h = N.Probe.histogram "test_rt.hist2" in
+  let h' = N.Probe.histogram "test_rt.hist2" in
+  N.Probe.observe h 10;
+  N.Probe.observe h' 10;
+  Alcotest.(check (list (triple int int int)))
+    "shared" [ (8, 15, 2) ] (N.Probe.buckets h)
+
+(* The bucketing helper itself, on the extremes. *)
+let test_hbucket_index () =
+  let module Hb = Rt.Rt_intf.Hbucket in
+  Alcotest.(check int) "0 -> bucket 0" 0 (Hb.index 0);
+  Alcotest.(check int) "min_int -> bucket 0" 0 (Hb.index min_int);
+  Alcotest.(check int) "1 -> bucket 1" 1 (Hb.index 1);
+  Alcotest.(check int) "2 -> bucket 2" 2 (Hb.index 2);
+  Alcotest.(check int) "3 -> bucket 2" 2 (Hb.index 3);
+  Alcotest.(check int) "4 -> bucket 3" 3 (Hb.index 4);
+  Alcotest.(check int) "max_int -> last bucket" (Hb.n_buckets - 1)
+    (Hb.index max_int);
+  (* every bucket contains its own bounds *)
+  for i = 0 to Hb.n_buckets - 1 do
+    Alcotest.(check int) (Printf.sprintf "lo of bucket %d" i) i
+      (Hb.index (Hb.lo i));
+    Alcotest.(check int) (Printf.sprintf "hi of bucket %d" i) i
+      (Hb.index (Hb.hi i))
+  done
 
 (* Backoff growth is observable through the simulator's clock. *)
 let test_backoff_grows () =
@@ -164,10 +223,19 @@ let () =
         ] );
       ( "thread identity",
         [ Alcotest.test_case "tid per domain" `Quick test_tid_per_domain ] );
-      ( "counters",
+      ( "probes",
         [
-          Alcotest.test_case "basics" `Quick test_counters;
-          Alcotest.test_case "concurrent" `Quick test_counters_concurrent;
+          Alcotest.test_case "counter basics" `Quick test_counters;
+          Alcotest.test_case "counter concurrent" `Quick
+            test_counters_concurrent;
+          Alcotest.test_case "events and spans are no-ops" `Quick
+            test_probe_noops;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "histogram shared by name" `Quick
+            test_histogram_same_name_shares_cells;
+          Alcotest.test_case "hbucket index extremes" `Quick
+            test_hbucket_index;
         ] );
       ( "backoff",
         [

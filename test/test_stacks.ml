@@ -173,7 +173,7 @@ let qcheck_seq_cases =
 (* Elimination specifics: under a CAS storm on the simulated xeon,
    opposite operations should actually meet in the array. *)
 let test_elimination_happens () =
-  Sim.Sim_rt.Counter.reset_all ();
+  Sim.Sim_rt.Probe.reset_all ();
   let module St = Dstruct.Stacks.Make (Sim.Sim_rt) in
   let t = St.Elimination.create ~slots:2 () in
   for i = 1 to 64 do
@@ -196,7 +196,7 @@ let test_elimination_happens () =
     (64 + Sim.Sched.read pushed - Sim.Sched.read popped)
     (St.Elimination.size t);
   Alcotest.(check bool) "eliminations happened" true
-    (Sim.Sim_rt.Counter.get St.Elimination.eliminated > 0)
+    (Sim.Sim_rt.Probe.count St.Elimination.eliminated > 0)
 
 let () =
   Alcotest.run "stacks"
