@@ -225,6 +225,104 @@ let run_cmd =
       const run $ family $ structure $ threads $ size $ updates $ skewed
       $ machine $ ops $ seed $ trace $ profile)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let runs =
+    Arg.(
+      value & opt int 100
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of random trials.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fuzzing seed. Trial $(i,i) is drawn from seed + i*1000003, so a \
+             (seed, runs) pair is byte-deterministic and any sub-range can \
+             be re-fuzzed independently.")
+  in
+  let structures =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "structures" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated structure names to fuzz (default: all). Names \
+             as printed in trial lines, e.g. list/harris,queue/ms-lf.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Restrict to the fast representatives (no skip lists, no BST).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TRIAL"
+          ~doc:
+            "Replay one trial string (as emitted in a repro line) instead of \
+             fuzzing, and print its verdict.")
+  in
+  let run runs seed structures quick replay =
+    let entries =
+      if quick then Chaos.quick_entries else Chaos.default_entries
+    in
+    let entries =
+      match structures with
+      | None -> entries
+      | Some s ->
+          let names = String.split_on_char ',' s |> List.map String.trim in
+          (match
+             List.find_opt
+               (fun n ->
+                 not
+                   (List.exists
+                      (fun e -> String.equal e.Chaos.e_name n)
+                      Chaos.default_entries))
+               names
+           with
+          | Some bad ->
+              Printf.eprintf "unknown structure %S; known: %s\n" bad
+                (String.concat ", "
+                   (List.map
+                      (fun e -> e.Chaos.e_name)
+                      Chaos.default_entries));
+              exit 2
+          | None -> ());
+          List.filter
+            (fun e -> List.mem e.Chaos.e_name names)
+            Chaos.default_entries
+    in
+    if entries = [] then begin
+      Printf.eprintf "no structures selected\n";
+      exit 2
+    end;
+    let ppf = Format.std_formatter in
+    let failures =
+      match replay with
+      | Some s -> (
+          (* Replay resolves names against the full table, so a repro from
+             a --quick run always parses. *)
+          try Chaos.replay ~entries:Chaos.default_entries s ppf
+          with Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2)
+      | None -> Chaos.fuzz ~entries ~runs ~seed ppf
+    in
+    Format.pp_print_flush ppf ();
+    if failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Randomized fault/schedule fuzzing over the registry structures, \
+          with crash-aware linearizability, liveness and invariant oracles, \
+          and counterexample shrinking.")
+    Term.(const run $ runs $ seed $ structures $ quick $ replay)
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -263,4 +361,4 @@ let () =
     Cmd.info "optik_bench" ~version:"1.0"
       ~doc:"OPTIK (PPoPP'16) reproduction: benchmarks and ad-hoc runs"
   in
-  exit (Cmd.eval (Cmd.group info [ figures_cmd; run_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ figures_cmd; run_cmd; chaos_cmd; list_cmd ]))

@@ -1,0 +1,782 @@
+(** Chaos engine implementation. See the interface for the model; the
+    determinism argument lives in DESIGN.md ("Chaos engine").
+
+    Everything a trial's outcome depends on is either in the trial string
+    (structure, topology, workload knobs, perturbation knobs, fault plan)
+    or a pure function of it (per-thread workload rngs, the simulator's
+    schedule, the fault hit counts). The only process-global state the
+    simulator keeps — skip-list level rngs, the noise amplitude — is
+    reset or save/restored around each trial. *)
+
+module R = Harness.Registry
+module Rng = Harness.Rng
+module Fault = Sim.Fault
+module Sched = Sim.Sched
+module Qsbr = Mem.Qsbr.Make (Sim.Sim_rt)
+
+type kind = Lock_free | Blocking
+
+type target =
+  | Set of (module R.SET_OPS)
+  | Queue of (module R.QUEUE_OPS)
+  | Stack of (module R.STACK_OPS)
+
+type entry = { e_name : string; e_kind : kind; e_target : target }
+
+(* One representative per family; names are stable (they appear in repro
+   strings). Kind follows §2 of the paper: Harris/Fraser/Treiber/MS-LF
+   and the elimination stack are lock-free, everything validate-and-lock
+   or global-lock is blocking. *)
+let default_entries =
+  let module B = R.Sim_backend in
+  [
+    { e_name = "list/harris"; e_kind = Lock_free; e_target = Set B.ll_harris };
+    { e_name = "list/optik"; e_kind = Blocking; e_target = Set B.ll_optik };
+    { e_name = "list/lazy"; e_kind = Blocking; e_target = Set B.ll_lazy_ };
+    { e_name = "list/optik-gl"; e_kind = Blocking; e_target = Set B.ll_optik_gl };
+    { e_name = "ht/harris"; e_kind = Lock_free; e_target = Set B.ht_harris };
+    { e_name = "ht/optik"; e_kind = Blocking; e_target = Set B.ht_optik };
+    { e_name = "sl/fraser"; e_kind = Lock_free; e_target = Set B.sl_fraser };
+    { e_name = "sl/herlihy"; e_kind = Blocking; e_target = Set B.sl_herlihy };
+    { e_name = "map/optik"; e_kind = Blocking; e_target = Set B.map_optik };
+    { e_name = "bst/optik"; e_kind = Blocking; e_target = Set B.bst_optik };
+    { e_name = "queue/ms-lf"; e_kind = Lock_free; e_target = Queue B.q_ms_lf };
+    { e_name = "queue/ms-lb"; e_kind = Blocking; e_target = Queue B.q_ms_lb };
+    { e_name = "queue/optik1"; e_kind = Blocking; e_target = Queue B.q_optik1 };
+    {
+      e_name = "stack/treiber";
+      e_kind = Lock_free;
+      e_target = Stack B.stack_treiber;
+    };
+    { e_name = "stack/optik"; e_kind = Blocking; e_target = Stack B.stack_optik };
+    {
+      e_name = "stack/elim";
+      e_kind = Lock_free;
+      e_target = Stack B.stack_elimination;
+    };
+  ]
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let quick_entries =
+  List.filter
+    (fun e -> not (has_prefix "sl/" e.e_name || has_prefix "bst/" e.e_name))
+    default_entries
+
+let find_entry entries name =
+  match List.find_opt (fun e -> String.equal e.e_name name) entries with
+  | Some e -> e
+  | None ->
+      invalid_arg (Printf.sprintf "Chaos: unknown structure %S" name)
+
+(* ------------------------------------------------------------------ *)
+(* Trials and their one-line replayable form                           *)
+
+type trial = {
+  t_entry : entry;
+  t_topo : string;
+  t_threads : int;
+  t_ops : int;
+  t_keys : int;
+  t_quantum : int;
+  t_read_slack : int;
+  t_noise_bits : int;
+  t_wseed : int;
+  t_plan : Fault.plan;
+}
+
+let topo_names = [| "u2"; "u4"; "xeon"; "opteron" |]
+
+let topology_of_name = function
+  | "u2" -> Sim.Topology.uniform ~n:2 ()
+  | "u4" -> Sim.Topology.uniform ~n:4 ()
+  | "xeon" -> Sim.Topology.xeon
+  | "opteron" -> Sim.Topology.opteron
+  | s -> invalid_arg (Printf.sprintf "Chaos: unknown topology %S" s)
+
+let to_string tr =
+  Printf.sprintf "%s@%s t%d o%d k%d q%d r%d n%d w%d f%s" tr.t_entry.e_name
+    tr.t_topo tr.t_threads tr.t_ops tr.t_keys tr.t_quantum tr.t_read_slack
+    tr.t_noise_bits tr.t_wseed
+    (Fault.to_string tr.t_plan)
+
+let parse_error fmt = Printf.ksprintf invalid_arg ("Chaos.of_string: " ^^ fmt)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> parse_error "bad %s %S" what s
+
+let of_string ?(entries = default_entries) s =
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun t -> t <> "")
+  with
+  | [] -> parse_error "empty trial"
+  | head :: toks ->
+      let name, topo =
+        match String.rindex_opt head '@' with
+        | Some i ->
+            ( String.sub head 0 i,
+              String.sub head (i + 1) (String.length head - i - 1) )
+        | None -> parse_error "missing @topology in %S" head
+      in
+      ignore (topology_of_name topo : Sim.Topology.t);
+      let tr =
+        ref
+          {
+            t_entry = find_entry entries name;
+            t_topo = topo;
+            t_threads = 2;
+            t_ops = 1;
+            t_keys = 2;
+            t_quantum = Sched.default_quantum;
+            t_read_slack = 0;
+            t_noise_bits = 62;
+            t_wseed = 0;
+            t_plan = { Fault.seed = 0; specs = [] };
+          }
+      in
+      List.iter
+        (fun tok ->
+          if String.length tok < 2 then parse_error "bad token %S" tok
+          else
+            let v = String.sub tok 1 (String.length tok - 1) in
+            match tok.[0] with
+            | 't' -> tr := { !tr with t_threads = parse_int "threads" v }
+            | 'o' -> tr := { !tr with t_ops = parse_int "ops" v }
+            | 'k' -> tr := { !tr with t_keys = parse_int "keys" v }
+            | 'q' -> tr := { !tr with t_quantum = parse_int "quantum" v }
+            | 'r' -> tr := { !tr with t_read_slack = parse_int "read-slack" v }
+            | 'n' -> tr := { !tr with t_noise_bits = parse_int "noise-bits" v }
+            | 'w' -> tr := { !tr with t_wseed = parse_int "workload seed" v }
+            | 'f' -> tr := { !tr with t_plan = Fault.of_string v }
+            | _ -> parse_error "bad token %S" tok)
+        toks;
+      let tr = !tr in
+      if tr.t_threads < 1 || tr.t_ops < 1 || tr.t_keys < 1 then
+        parse_error "threads/ops/keys must be positive";
+      tr
+
+(* ------------------------------------------------------------------ *)
+(* Running one trial                                                   *)
+
+type failure = { f_oracle : string; f_detail : string }
+
+type outcome = {
+  o_trial : trial;
+  o_completed : bool;
+  o_crashed : int list;
+  o_failures : failure list;
+}
+
+module Hist_set = Harness.History.Make (Lincheck.Set_spec)
+module Hist_queue = Harness.History.Make (Lincheck.Queue_spec)
+module Hist_stack = Harness.History.Make (Lincheck.Stack_spec)
+
+(* Aggressive watchdog: chaos workloads are a handful of operations, so
+   anything that spins a million cycles without completing one is stuck. *)
+let watchdog = { Sched.check_events = 5_000; starve_cycles = 1_000_000 }
+let trial_max_events = 2_000_000
+
+(* A crashed lock holder can leave the sole surviving thread spinning in
+   a pure-inline loop: with the event heap empty the simulator inlines
+   every probe, so neither the watchdog nor the event budget ever runs.
+   A modest inline-op budget turns that into a prompt Starved verdict. *)
+let trial_max_inline_ops = 5_000_000
+
+let exec_trial tr body =
+  Harness.Runner.run_guarded ~faults:tr.t_plan ~watchdog
+    ~max_events:trial_max_events ~max_inline_ops:trial_max_inline_ops
+    ~quantum:tr.t_quantum
+    ~read_slack:tr.t_read_slack
+    ~topology:(topology_of_name tr.t_topo)
+    ~nthreads:tr.t_threads ~ops_target:0 body
+
+(* Which threads did the plan actually crash, and where? Read from the
+   fault log after the run (it survives plan removal). *)
+let crash_events () =
+  List.filter_map
+    (fun (e : Fault.event) ->
+      match e.e_spec.f_action with
+      | Fault.Crash -> Some (e.e_tid, e.e_spec.f_point)
+      | Fault.Stall _ | Fault.Storm _ -> None)
+    (Fault.events ())
+
+(* Oracle (b): liveness by family. Lock-free structures must survive any
+   crash — the whole point of the family is that a dead thread cannot
+   block the others. A blocking structure only promises progress under
+   crash-free execution: a thread that dies anywhere inside an operation
+   may sit mid-lock-protocol (holding a lock, or parked in an MCS wait
+   queue without holding anything yet), and everyone queued behind it
+   legitimately starves. A crash at an operation boundary is outside any
+   lock protocol, so it keeps the warranty, as do stalls and storms —
+   those runs must still terminate. *)
+let crash_mid_op crash_pts =
+  List.exists (fun (_, p) -> p <> Rt.Rt_intf.Op_boundary) crash_pts
+
+let liveness_failures kind outcome crash_pts =
+  match outcome with
+  | Harness.Runner.Complete -> []
+  | Harness.Runner.Aborted _ when kind = Blocking && crash_mid_op crash_pts ->
+      []
+  | Harness.Runner.Aborted r ->
+      [
+        {
+          f_oracle = "liveness";
+          f_detail =
+            Format.asprintf "%a — %s" Sched.pp_verdict r.Sched.r_verdict
+              r.Sched.r_reason;
+        };
+      ]
+
+(* Oracle (c), QSBR half: after telling the reclaimer about crashed
+   threads and flushing, nothing may be lost or double-counted. *)
+let qsbr_failures q crashed =
+  List.iter (fun t -> Qsbr.declare_dead q t) crashed;
+  Qsbr.flush q;
+  let s = Qsbr.stats q in
+  if s.Qsbr.retired = s.Qsbr.freed + s.Qsbr.pending then []
+  else
+    [
+      {
+        f_oracle = "qsbr";
+        f_detail =
+          Printf.sprintf "retired=%d <> freed=%d + pending=%d" s.Qsbr.retired
+            s.Qsbr.freed s.Qsbr.pending;
+      };
+    ]
+
+let size_failure ~final ~base ~init ~plus ~minus ~p_plus ~p_minus =
+  if final >= base - p_minus && final <= base + p_plus then []
+  else
+    [
+      {
+        f_oracle = "size";
+        f_detail =
+          Printf.sprintf
+            "final size %d outside [%d,%d] (init %d, +%d, -%d, pending +%d/-%d)"
+            final (base - p_minus) (base + p_plus) init plus minus p_plus
+            p_minus;
+      };
+    ]
+
+let lincheck_failure result ~completed ~pending =
+  match result with
+  | `Witness | `Too_large -> []
+  | `No_witness ->
+      [
+        {
+          f_oracle = "linearizability";
+          f_detail =
+            Printf.sprintf "no linearization of %d completed + %d pending ops"
+              completed pending;
+        };
+      ]
+
+let count f l = List.length (List.filter f l)
+
+(* Crashing a blocking structure inside an operation voids its state
+   warranty: the crashed thread may hold locks over a half-done update,
+   so only liveness and QSBR accounting remain checkable. A crash at an
+   operation boundary (between ops) holds no locks and keeps the
+   warranty. Lock-free structures promise crash-consistency everywhere. *)
+let state_unwarranted kind crash_pts = kind = Blocking && crash_mid_op crash_pts
+
+let run_set tr (module S : R.SET_OPS) =
+  let module Sp = Lincheck.Set_spec in
+  let module L = Hist_set.L in
+  (* Capacity far above the key range so array maps and hash tables never
+     refuse an insert the sequential spec would accept. *)
+  let t = S.create ~capacity:((4 * tr.t_keys) + 16) () in
+  let init = ref Sp.M.empty in
+  let rng0 = Rng.create (tr.t_wseed + 7919) in
+  for _ = 1 to tr.t_keys / 2 do
+    let k = 1 + Rng.below rng0 tr.t_keys in
+    if S.insert t k (500 + k) then init := Sp.M.add k (500 + k) !init
+  done;
+  let hist = Hist_set.create ~nthreads:tr.t_threads in
+  let q = Qsbr.create ~batch_size:4 () in
+  let _stats, outcome =
+    exec_trial tr (fun tid ->
+        let rng = Rng.create ((tr.t_wseed * 131) + tid) in
+        for i = 1 to tr.t_ops do
+          let k = 1 + Rng.below rng tr.t_keys in
+          (match Rng.below rng 3 with
+          | 0 ->
+              ignore
+                (Hist_set.record hist (Sp.Search k) (fun () ->
+                     Qsbr.op_begin q;
+                     let r = S.search t k in
+                     Qsbr.op_end q;
+                     match r with Some v -> Sp.Found v | None -> Sp.Absent)
+                  : Sp.output)
+          | 1 ->
+              let v = ((tid + 1) * 1000) + i in
+              ignore
+                (Hist_set.record hist (Sp.Insert (k, v)) (fun () ->
+                     Qsbr.op_begin q;
+                     let ok = S.insert t k v in
+                     Qsbr.op_end q;
+                     if ok then Sp.Ok else Sp.Dup)
+                  : Sp.output)
+          | _ ->
+              ignore
+                (Hist_set.record hist (Sp.Delete k) (fun () ->
+                     Qsbr.op_begin q;
+                     let r = S.delete t k in
+                     (match r with Some v -> Qsbr.retire q v | None -> ());
+                     Qsbr.op_end q;
+                     match r with Some v -> Sp.Found v | None -> Sp.Absent)
+                  : Sp.output));
+          Sched.tick ();
+          Sched.work (32 + Rng.below rng 64)
+        done)
+  in
+  let crash_pts = crash_events () in
+  let crashed = List.sort_uniq compare (List.map fst crash_pts) in
+  let live_fail = liveness_failures tr.t_entry.e_kind outcome crash_pts in
+  let state_fail =
+    if live_fail <> [] || state_unwarranted tr.t_entry.e_kind crash_pts then []
+    else
+      let completed = Hist_set.completed ~widen:tr.t_read_slack hist in
+      let pending = Hist_set.pending ~widen:tr.t_read_slack hist in
+      let lin =
+        lincheck_failure
+          (match L.check ~init:!init ~pending completed with
+          | L.Witness _ -> `Witness
+          | L.No_witness -> `No_witness
+          | L.Too_large -> `Too_large)
+          ~completed:(List.length completed)
+          ~pending:(List.length pending)
+      in
+      let ins_ok =
+        count
+          (fun (e : L.event) ->
+            match (e.input, e.output) with Sp.Insert _, Sp.Ok -> true | _ -> false)
+          completed
+      in
+      let del_found =
+        count
+          (fun (e : L.event) ->
+            match (e.input, e.output) with
+            | Sp.Delete _, Sp.Found _ -> true
+            | _ -> false)
+          completed
+      in
+      let p_ins =
+        count
+          (fun (p : L.pending) ->
+            match p.p_input with Sp.Insert _ -> true | _ -> false)
+          pending
+      in
+      let p_del =
+        count
+          (fun (p : L.pending) ->
+            match p.p_input with Sp.Delete _ -> true | _ -> false)
+          pending
+      in
+      let init_n = Sp.M.cardinal !init in
+      let base = init_n + ins_ok - del_found in
+      let size =
+        size_failure ~final:(S.size t) ~base ~init:init_n ~plus:ins_ok
+          ~minus:del_found ~p_plus:p_ins ~p_minus:p_del
+      in
+      let valid =
+        if S.validate t then []
+        else [ { f_oracle = "validate"; f_detail = "validation failed" } ]
+      in
+      lin @ size @ valid
+  in
+  let qsbr_fail = qsbr_failures q crashed in
+  ( (match outcome with Harness.Runner.Complete -> true | _ -> false),
+    crashed,
+    live_fail @ state_fail @ qsbr_fail )
+
+let run_queue tr (module Qu : R.QUEUE_OPS) =
+  let module Sp = Lincheck.Queue_spec in
+  let module L = Hist_queue.L in
+  let qu = Qu.create () in
+  let npre = tr.t_keys / 2 in
+  let prefill = List.init npre (fun j -> 901 + j) in
+  List.iter (Qu.enqueue qu) prefill;
+  let init : Sp.state = (prefill, []) in
+  let hist = Hist_queue.create ~nthreads:tr.t_threads in
+  let q = Qsbr.create ~batch_size:4 () in
+  let _stats, outcome =
+    exec_trial tr (fun tid ->
+        let rng = Rng.create ((tr.t_wseed * 131) + tid) in
+        for i = 1 to tr.t_ops do
+          (if Rng.below rng 2 = 0 then
+             let v = ((tid + 1) * 1000) + i in
+             ignore
+               (Hist_queue.record hist (Sp.Enqueue v) (fun () ->
+                    Qsbr.op_begin q;
+                    Qu.enqueue qu v;
+                    Qsbr.op_end q;
+                    Sp.Unit)
+                 : Sp.output)
+           else
+             ignore
+               (Hist_queue.record hist Sp.Dequeue (fun () ->
+                    Qsbr.op_begin q;
+                    let r = Qu.dequeue qu in
+                    (match r with Some v -> Qsbr.retire q v | None -> ());
+                    Qsbr.op_end q;
+                    match r with Some v -> Sp.Got v | None -> Sp.Empty)
+                 : Sp.output));
+          Sched.tick ();
+          Sched.work (32 + Rng.below rng 64)
+        done)
+  in
+  let crash_pts = crash_events () in
+  let crashed = List.sort_uniq compare (List.map fst crash_pts) in
+  let live_fail = liveness_failures tr.t_entry.e_kind outcome crash_pts in
+  let state_fail =
+    if live_fail <> [] || state_unwarranted tr.t_entry.e_kind crash_pts then []
+    else
+      let completed = Hist_queue.completed ~widen:tr.t_read_slack hist in
+      let pending = Hist_queue.pending ~widen:tr.t_read_slack hist in
+      let lin =
+        lincheck_failure
+          (match L.check ~init ~pending completed with
+          | L.Witness _ -> `Witness
+          | L.No_witness -> `No_witness
+          | L.Too_large -> `Too_large)
+          ~completed:(List.length completed)
+          ~pending:(List.length pending)
+      in
+      let enq_done =
+        count
+          (fun (e : L.event) ->
+            match e.input with Sp.Enqueue _ -> true | _ -> false)
+          completed
+      in
+      let deq_got =
+        count
+          (fun (e : L.event) ->
+            match (e.input, e.output) with
+            | Sp.Dequeue, Sp.Got _ -> true
+            | _ -> false)
+          completed
+      in
+      let p_enq =
+        count
+          (fun (p : L.pending) ->
+            match p.p_input with Sp.Enqueue _ -> true | _ -> false)
+          pending
+      in
+      let p_deq =
+        count
+          (fun (p : L.pending) ->
+            match p.p_input with Sp.Dequeue -> true | _ -> false)
+          pending
+      in
+      let base = npre + enq_done - deq_got in
+      let size =
+        size_failure ~final:(Qu.size qu) ~base ~init:npre ~plus:enq_done
+          ~minus:deq_got ~p_plus:p_enq ~p_minus:p_deq
+      in
+      lin @ size
+  in
+  let qsbr_fail = qsbr_failures q crashed in
+  ( (match outcome with Harness.Runner.Complete -> true | _ -> false),
+    crashed,
+    live_fail @ state_fail @ qsbr_fail )
+
+let run_stack tr (module St : R.STACK_OPS) =
+  let module Sp = Lincheck.Stack_spec in
+  let module L = Hist_stack.L in
+  let st = St.create () in
+  let npre = tr.t_keys / 2 in
+  let prefill = List.init npre (fun j -> 901 + j) in
+  List.iter (St.push st) prefill;
+  let init : Sp.state = List.rev prefill in
+  let hist = Hist_stack.create ~nthreads:tr.t_threads in
+  let q = Qsbr.create ~batch_size:4 () in
+  let _stats, outcome =
+    exec_trial tr (fun tid ->
+        let rng = Rng.create ((tr.t_wseed * 131) + tid) in
+        for i = 1 to tr.t_ops do
+          (if Rng.below rng 2 = 0 then
+             let v = ((tid + 1) * 1000) + i in
+             ignore
+               (Hist_stack.record hist (Sp.Push v) (fun () ->
+                    Qsbr.op_begin q;
+                    St.push st v;
+                    Qsbr.op_end q;
+                    Sp.Unit)
+                 : Sp.output)
+           else
+             ignore
+               (Hist_stack.record hist Sp.Pop (fun () ->
+                    Qsbr.op_begin q;
+                    let r = St.pop st in
+                    (match r with Some v -> Qsbr.retire q v | None -> ());
+                    Qsbr.op_end q;
+                    match r with Some v -> Sp.Got v | None -> Sp.Empty)
+                 : Sp.output));
+          Sched.tick ();
+          Sched.work (32 + Rng.below rng 64)
+        done)
+  in
+  let crash_pts = crash_events () in
+  let crashed = List.sort_uniq compare (List.map fst crash_pts) in
+  let live_fail = liveness_failures tr.t_entry.e_kind outcome crash_pts in
+  let state_fail =
+    if live_fail <> [] || state_unwarranted tr.t_entry.e_kind crash_pts then []
+    else
+      let completed = Hist_stack.completed ~widen:tr.t_read_slack hist in
+      let pending = Hist_stack.pending ~widen:tr.t_read_slack hist in
+      let lin =
+        lincheck_failure
+          (match L.check ~init ~pending completed with
+          | L.Witness _ -> `Witness
+          | L.No_witness -> `No_witness
+          | L.Too_large -> `Too_large)
+          ~completed:(List.length completed)
+          ~pending:(List.length pending)
+      in
+      let push_done =
+        count
+          (fun (e : L.event) ->
+            match e.input with Sp.Push _ -> true | _ -> false)
+          completed
+      in
+      let pop_got =
+        count
+          (fun (e : L.event) ->
+            match (e.input, e.output) with
+            | Sp.Pop, Sp.Got _ -> true
+            | _ -> false)
+          completed
+      in
+      let p_push =
+        count
+          (fun (p : L.pending) ->
+            match p.p_input with Sp.Push _ -> true | _ -> false)
+          pending
+      in
+      let p_pop =
+        count
+          (fun (p : L.pending) ->
+            match p.p_input with Sp.Pop -> true | _ -> false)
+          pending
+      in
+      let base = npre + push_done - pop_got in
+      let size =
+        size_failure ~final:(St.size st) ~base ~init:npre ~plus:push_done
+          ~minus:pop_got ~p_plus:p_push ~p_minus:p_pop
+      in
+      lin @ size
+  in
+  let qsbr_fail = qsbr_failures q crashed in
+  ( (match outcome with Harness.Runner.Complete -> true | _ -> false),
+    crashed,
+    live_fail @ state_fail @ qsbr_fail )
+
+let run_trial tr =
+  (* Reset the process-global state a trial touches, so outcomes depend
+     only on the trial itself (determinism, and order-independence
+     across trials in one fuzzing session). *)
+  Dstruct.Sl_common.reset_states ();
+  let saved_noise = Sched.noise_bits () in
+  Fun.protect ~finally:(fun () -> Sched.set_noise_bits saved_noise)
+  @@ fun () ->
+  Sched.set_noise_bits tr.t_noise_bits;
+  let completed, crashed, failures =
+    match tr.t_entry.e_target with
+    | Set s -> run_set tr s
+    | Queue qm -> run_queue tr qm
+    | Stack sm -> run_stack tr sm
+  in
+  {
+    o_trial = tr;
+    o_completed = completed;
+    o_crashed = crashed;
+    o_failures = failures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Trial generation                                                    *)
+
+let points =
+  [|
+    Rt.Rt_intf.Before_cas;
+    Rt.Rt_intf.After_cas;
+    Rt.Rt_intf.Critical_enter;
+    Rt.Rt_intf.Critical_exit;
+    Rt.Rt_intf.Lock_wait;
+    Rt.Rt_intf.Restart;
+    Rt.Rt_intf.Op_boundary;
+  |]
+
+let gen_spec rng nthreads =
+  let f_point = points.(Rng.below rng (Array.length points)) in
+  let f_tid =
+    if Rng.below rng 10 < 6 then Some (Rng.below rng nthreads) else None
+  in
+  (* Bias toward explicit small hit counts: tiny workloads reach few
+     checkpoints, and the seed-derived default (1..48) often overshoots
+     them, making the spec a no-op. *)
+  let f_hits = if Rng.below rng 10 < 7 then 1 + Rng.below rng 6 else 0 in
+  let f_action =
+    let r = Rng.below rng 10 in
+    if r < 4 then Fault.Crash
+    else if r < 7 then Fault.Stall (500 + Rng.below rng 50_000)
+    else
+      let victims =
+        if Rng.below rng 10 < 7 then [] else [ Rng.below rng nthreads ]
+      in
+      Fault.Storm { victims; duration = 500 + Rng.below rng 50_000 }
+  in
+  { Fault.f_tid; f_point; f_hits; f_action }
+
+let pick rng a = a.(Rng.below rng (Array.length a))
+
+let gen_trial entries rng =
+  let e = List.nth entries (Rng.below rng (List.length entries)) in
+  let t_topo = pick rng topo_names in
+  let t_threads = 2 + Rng.below rng 4 in
+  let t_ops = 1 + Rng.below rng 5 in
+  let t_keys = 2 + Rng.below rng 6 in
+  let t_quantum = pick rng [| 2_000; 20_000; 200_000; 1_000_000 |] in
+  let t_read_slack = pick rng [| 0; 0; 0; 200; 1_000 |] in
+  let t_noise_bits = pick rng [| 62; 62; 16; 8; 0 |] in
+  let t_wseed = Rng.below rng 1_000_000 in
+  let seed = Rng.below rng 1_000_000 in
+  let nspecs = 1 + Rng.below rng 3 in
+  let specs = ref [] in
+  for _ = 1 to nspecs do
+    specs := gen_spec rng t_threads :: !specs
+  done;
+  {
+    t_entry = e;
+    t_topo;
+    t_threads;
+    t_ops;
+    t_keys;
+    t_quantum;
+    t_read_slack;
+    t_noise_bits;
+    t_wseed;
+    t_plan = { Fault.seed; specs = List.rev !specs };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+let replace_nth i x l = List.mapi (fun j y -> if j = i then x else y) l
+
+(* Candidate reductions, most aggressive first: losing a whole spec beats
+   halving a duration beats shaving a workload dimension. *)
+let candidates tr =
+  let specs = tr.t_plan.Fault.specs in
+  let with_specs sp = { tr with t_plan = { tr.t_plan with Fault.specs = sp } } in
+  let drops =
+    List.mapi (fun i _ -> with_specs (List.filteri (fun j _ -> j <> i) specs)) specs
+  in
+  let durations =
+    List.concat
+      (List.mapi
+         (fun i (sp : Fault.spec) ->
+           match sp.f_action with
+           | Fault.Stall n when n > 1_000 ->
+               [ with_specs (replace_nth i { sp with f_action = Fault.Stall (n / 2) } specs) ]
+           | Fault.Storm { victims; duration } when duration > 1_000 ->
+               [
+                 with_specs
+                   (replace_nth i
+                      { sp with f_action = Fault.Storm { victims; duration = duration / 2 } }
+                      specs);
+               ]
+           | _ -> [])
+         specs)
+  in
+  let hits =
+    List.concat
+      (List.mapi
+         (fun i (sp : Fault.spec) ->
+           if sp.f_hits > 1 then
+             [ with_specs (replace_nth i { sp with f_hits = sp.f_hits / 2 } specs) ]
+           else [])
+         specs)
+  in
+  let dims =
+    (if tr.t_threads > 2 then [ { tr with t_threads = tr.t_threads - 1 } ] else [])
+    @ (if tr.t_ops > 1 then [ { tr with t_ops = tr.t_ops - 1 } ] else [])
+    @ if tr.t_keys > 2 then [ { tr with t_keys = tr.t_keys - 1 } ] else []
+  in
+  drops @ durations @ hits @ dims
+
+let fails tr = (run_trial tr).o_failures <> []
+
+let shrink ?(budget = 300) tr0 =
+  if not (fails tr0) then tr0
+  else begin
+    let runs = ref 1 in
+    let cur = ref tr0 in
+    let improved = ref true in
+    while !improved && !runs < budget do
+      improved := false;
+      (try
+         List.iter
+           (fun c ->
+             if !runs < budget then begin
+               incr runs;
+               if fails c then begin
+                 cur := c;
+                 improved := true;
+                 raise Exit
+               end
+             end)
+           (candidates !cur)
+       with Exit -> ())
+    done;
+    !cur
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzing driver                                                      *)
+
+let report_failures ppf fs =
+  List.iter
+    (fun f -> Format.fprintf ppf "           oracle %-16s %s@." f.f_oracle f.f_detail)
+    fs
+
+let fuzz ?(entries = default_entries) ~runs ~seed ppf =
+  let failed = ref 0 in
+  for i = 0 to runs - 1 do
+    let rng = Rng.create (seed + (i * 1_000_003)) in
+    let tr = gen_trial entries rng in
+    let o = run_trial tr in
+    if o.o_failures = [] then
+      Format.fprintf ppf "trial %4d ok   %s@." i (to_string tr)
+    else begin
+      incr failed;
+      Format.fprintf ppf "trial %4d FAIL %s@." i (to_string tr);
+      report_failures ppf o.o_failures;
+      let small = shrink tr in
+      Format.fprintf ppf "           shrunk to %s@." (to_string small);
+      Format.fprintf ppf "           repro: optik_bench chaos --replay '%s'@."
+        (to_string small)
+    end
+  done;
+  Format.fprintf ppf "chaos: %d/%d trials failed (seed %d)@." !failed runs seed;
+  !failed
+
+let replay ?(entries = default_entries) s ppf =
+  let tr = of_string ~entries s in
+  let o = run_trial tr in
+  Format.fprintf ppf "replay %s@." (to_string tr);
+  Format.fprintf ppf "run %s; crashed threads [%s]@."
+    (if o.o_completed then "completed" else "aborted")
+    (String.concat ";" (List.map string_of_int o.o_crashed));
+  (if o.o_failures = [] then Format.fprintf ppf "verdict: PASS@."
+   else begin
+     report_failures ppf o.o_failures;
+     Format.fprintf ppf "verdict: FAIL (%d oracle failures)@."
+       (List.length o.o_failures)
+   end);
+  List.length o.o_failures

@@ -1,0 +1,112 @@
+(** Chaos engine: randomized fault/schedule fuzzing over the registry
+    structures, with crash-aware linearizability checking and
+    counterexample shrinking.
+
+    Each {!trial} bundles everything one deterministic run needs: a
+    structure, a machine topology, a small workload, scheduler
+    perturbation knobs (quantum, read slack, noise amplitude) and a fault
+    plan. {!run_trial} executes it under the simulator and applies three
+    oracles:
+
+    - {e liveness by family}: lock-free representatives must end
+      [Progress]; blocking ones may end [Starved] only behind a dead lock
+      holder;
+    - {e crash-aware linearizability}: the recorded history, with crashed
+      threads' in-flight operations as pending (include-or-exclude), must
+      linearize against the sequential spec;
+    - {e invariant sweeps}: size accounting against the history, the
+      structure's own [validate], and QSBR's
+      [retired = freed + pending].
+
+    Determinism: a trial's outcome is a pure function of its
+    {!to_string} representation — fuzzing twice with the same seed
+    produces byte-identical output, and [--replay] of an emitted repro
+    string reproduces the identical verdict. On failure, {!shrink}
+    greedily minimizes the trial (drop fault specs, shrink durations,
+    reduce threads/ops/keys), re-running deterministically at each
+    step. *)
+
+(** Liveness family of a structure (§2 of the paper): what a fault plan
+    is allowed to do to it. *)
+type kind = Lock_free | Blocking
+
+type target =
+  | Set of (module Harness.Registry.SET_OPS)
+  | Queue of (module Harness.Registry.QUEUE_OPS)
+  | Stack of (module Harness.Registry.STACK_OPS)
+
+type entry = { e_name : string; e_kind : kind; e_target : target }
+
+val default_entries : entry list
+(** One representative per family and figure: lists, hash tables, skip
+    lists, array map, BST, queues, stacks — each tagged lock-free or
+    blocking. *)
+
+val quick_entries : entry list
+(** {!default_entries} minus the slow representatives (skip lists, BST);
+    the CI smoke set. *)
+
+val find_entry : entry list -> string -> entry
+(** Raises [Invalid_argument] for an unknown name. *)
+
+type trial = {
+  t_entry : entry;
+  t_topo : string;  (** topology name: u2, u4, xeon, opteron *)
+  t_threads : int;
+  t_ops : int;  (** operations per thread *)
+  t_keys : int;  (** key range for set workloads; prefill for queues *)
+  t_quantum : int;
+  t_read_slack : int;
+  t_noise_bits : int;
+  t_wseed : int;  (** workload seed *)
+  t_plan : Sim.Fault.plan;
+}
+
+val to_string : trial -> string
+(** One-line replayable form:
+    [name@topo tN oN kN qN rN nN wN fPLAN] with [PLAN] in
+    {!Sim.Fault.to_string} syntax. *)
+
+val of_string : ?entries:entry list -> string -> trial
+(** Inverse of {!to_string}; [entries] (default {!default_entries})
+    resolves the structure name. Raises [Invalid_argument] on parse
+    errors or unknown names. *)
+
+type failure = { f_oracle : string; f_detail : string }
+
+type outcome = {
+  o_trial : trial;
+  o_completed : bool;  (** the run finished (vs watchdog abort) *)
+  o_crashed : int list;  (** threads killed by the fault plan *)
+  o_failures : failure list;  (** empty = every oracle passed *)
+}
+
+val run_trial : trial -> outcome
+(** Execute one trial. Deterministic; never raises for well-formed
+    trials. *)
+
+val gen_trial : entry list -> Harness.Rng.t -> trial
+(** Draw a random trial over [entries] from the given rng state. *)
+
+val shrink : ?budget:int -> trial -> trial
+(** Greedily minimize a failing trial: repeatedly try dropping a fault
+    spec, halving stall/storm durations and hit counts, and reducing
+    threads/ops/keys, keeping any reduction that still fails some
+    oracle. [budget] (default 300) bounds the number of re-runs. Returns
+    the trial unchanged if it does not fail. *)
+
+val fuzz :
+  ?entries:entry list ->
+  runs:int ->
+  seed:int ->
+  Format.formatter ->
+  int
+(** Run [runs] independent random trials (trial [i] is drawn from seed
+    [seed + i * 1_000_003]), shrinking and reporting each failure with a
+    one-line repro ([optik_bench chaos --replay '...']). Returns the
+    number of failing trials. Output is byte-deterministic for a given
+    ([entries], [runs], [seed]). *)
+
+val replay : ?entries:entry list -> string -> Format.formatter -> int
+(** Parse a repro string, run it, report the verdict; returns the number
+    of oracle failures (0 = passes). *)

@@ -141,10 +141,12 @@ let synthetic_report reason : Sim.Sched.report =
    verdicts and budget exhaustion become [Aborted] with partial stats,
    never an escaped exception. [faults] installs a fault plan for the
    duration of the run. *)
-let run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
-    ~ops_target body : Sim.Sched.stats * outcome =
+let run_sim_guarded ?faults ?watchdog ?max_events ?quantum ?read_slack
+    ?max_inline_ops ~topology ~nthreads ~ops_target body :
+    Sim.Sched.stats * outcome =
   let go () =
-    Sim.Sched.run ?watchdog ?max_events ~topology ~nthreads ~ops_target body
+    Sim.Sched.run ?watchdog ?max_events ?quantum ?read_slack ?max_inline_ops
+      ~topology ~nthreads ~ops_target body
   in
   let go =
     match faults with
@@ -161,6 +163,8 @@ let run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
         | None -> synthetic_report msg
       in
       (r.Sim.Sched.r_stats, Aborted r)
+
+let run_guarded = run_sim_guarded
 
 (* Wrap a guarded run in an observability recording when requested; the
    journal summary rides back alongside the stats. [run_sim_guarded]

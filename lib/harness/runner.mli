@@ -72,6 +72,24 @@ type queue_measurement = measurement
 
 val aborted : measurement -> bool
 
+val run_guarded :
+  ?faults:Sim.Fault.plan ->
+  ?watchdog:Sim.Sched.watchdog ->
+  ?max_events:int ->
+  ?quantum:int ->
+  ?read_slack:int ->
+  ?max_inline_ops:int ->
+  topology:Sim.Topology.t ->
+  nthreads:int ->
+  ops_target:int ->
+  (int -> unit) ->
+  Sim.Sched.stats * outcome
+(** A bare guarded simulation run: execute [body tid] under an optional
+    fault plan, turning watchdog verdicts and budget exhaustion into
+    [Aborted] with partial stats — never an escaped exception. The
+    building block under the [run_*_sim] runners; the chaos engine uses
+    it directly with its own workloads and oracles. *)
+
 (** {1 Simulator runners}
 
     Deterministic: identical arguments (including [seed]) give identical

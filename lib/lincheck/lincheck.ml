@@ -1,19 +1,28 @@
-(** A small linearizability checker (Wing & Gong style).
+(** A small linearizability checker (Wing & Gong style), crash-aware.
 
     A {e history} is a set of completed operations, each with invocation
     and response timestamps (virtual cycles from the simulator, whose
-    determinism makes failures reproducible). The checker searches for a
-    {e linearization}: a total order of the operations that (a) respects
+    determinism makes failures reproducible), plus optional {e pending}
+    operations — invoked but never responded, because their thread
+    crashed (or the run was aborted mid-operation). The checker searches
+    for a {e linearization}: a total order of the completed operations,
+    {e plus any subset of the pending ones} (include-or-exclude search: a
+    crashed operation may have taken effect or not), that (a) respects
     real-time precedence — if [a] responded before [b] was invoked, [a]
-    must come first — and (b) replays correctly against a sequential
-    specification, matching every operation's observed output.
+    must come first; a pending op never responded, so nothing is ordered
+    after it — and (b) replays correctly against a sequential
+    specification, matching every completed operation's observed output
+    (an included pending op constrains only the state, having produced no
+    output).
 
     The search is exponential in the worst case, so it is meant for the
     small, adversarial histories the property tests generate (a few
     threads, a handful of operations each — where interleaving bugs
-    actually manifest). Pruning: only minimal (real-time-enabled)
-    operations are candidates at each step, and only those whose output
-    matches the specification's answer. *)
+    actually manifest). Oversized histories return {!Make.result.Too_large}
+    instead of raising, so fuzzed histories degrade gracefully. Pruning:
+    only minimal (real-time-enabled) operations are candidates at each
+    step, and only those whose output matches the specification's
+    answer. *)
 
 module type SPEC = sig
   type state
@@ -38,57 +47,109 @@ module Make (Spec : SPEC) = struct
     output : Spec.output;
   }
 
+  type pending = {
+    p_tid : int;
+    p_inv : int;  (** invocation timestamp; there is no response *)
+    p_input : Spec.input;
+  }
+
+  type step = Completed of event | Included of pending
+
+  type result = Witness of step list | No_witness | Too_large
+
+  let max_events = 62
+
   let pp_event fmt e =
     Format.fprintf fmt "[t%d %d..%d] %a -> %a" e.tid e.inv e.res Spec.pp_input
       e.input Spec.pp_output e.output
 
-  (* Check whether [history] is linearizable starting from [Spec.init].
-     Returns the witness linearization, or [None]. *)
-  let check ?(init = Spec.init) (history : event list) : event list option =
+  let pp_pending fmt p =
+    Format.fprintf fmt "[t%d %d..crash] %a -> ?" p.p_tid p.p_inv Spec.pp_input
+      p.p_input
+
+  let pp_step fmt = function
+    | Completed e -> pp_event fmt e
+    | Included p -> pp_pending fmt p
+
+  (* Check whether [history] (plus any subset of [pending]) is
+     linearizable starting from [init]. Completed and pending operations
+     share one index space: 0..n-1 completed, n..n+m-1 pending. The
+     search terminates as soon as every completed op is placed — pending
+     ops not yet chosen are simply excluded (the crashed op never took
+     effect). *)
+  let check ?(init = Spec.init) ?(pending = []) (history : event list) :
+      result =
     let ops = Array.of_list history in
+    let pend = Array.of_list pending in
     let n = Array.length ops in
-    if n > 62 then invalid_arg "Lincheck.check: history too large";
-    (* Precompute precedence: [before.(i)] = bitmask of ops that must
-       linearize before op i (responded before i's invocation). *)
-    let before = Array.make n 0 in
-    for i = 0 to n - 1 do
-      for j = 0 to n - 1 do
-        if i <> j && ops.(j).res < ops.(i).inv then
-          before.(i) <- before.(i) lor (1 lsl j)
-      done
-    done;
-    let full = (1 lsl n) - 1 in
-    (* Memoize failed (chosen-set, state) pairs; the spec states here are
-       small persistent values, so polymorphic hashing is fine. *)
-    let failed : (int * Spec.state, unit) Hashtbl.t = Hashtbl.create 256 in
-    let rec search chosen state acc =
-      if chosen = full then Some (List.rev acc)
-      else if Hashtbl.mem failed (chosen, state) then None
-      else
-        let result = ref None in
-        let i = ref 0 in
-        while !result = None && !i < n do
-          let idx = !i in
-          incr i;
-          if
-            chosen land (1 lsl idx) = 0
-            && before.(idx) land lnot chosen = 0
-          then (
-            let state', out = Spec.apply state ops.(idx).input in
-            if Spec.equal_output out ops.(idx).output then
-              match
-                search (chosen lor (1 lsl idx)) state' (ops.(idx) :: acc)
-              with
-              | Some _ as w -> result := w
-              | None -> ())
-        done;
-        if !result = None then Hashtbl.replace failed (chosen, state) ();
-        !result
-    in
-    search 0 init []
+    let m = Array.length pend in
+    if n + m > max_events then Too_large
+    else
+      let total = n + m in
+      (* Precompute precedence: [before.(i)] = bitmask of ops that must
+         linearize before op i (responded before i's invocation). Pending
+         ops never responded, so they appear in nobody's mask. *)
+      let before = Array.make total 0 in
+      for i = 0 to total - 1 do
+        let inv_i = if i < n then ops.(i).inv else pend.(i - n).p_inv in
+        for j = 0 to n - 1 do
+          if i <> j && ops.(j).res < inv_i then
+            before.(i) <- before.(i) lor (1 lsl j)
+        done
+      done;
+      let full = (1 lsl n) - 1 in
+      (* Memoize failed (chosen-set, state) pairs; the spec states here
+         are small persistent values, so polymorphic hashing is fine. *)
+      let failed : (int * Spec.state, unit) Hashtbl.t = Hashtbl.create 256 in
+      let rec search chosen state acc =
+        if chosen land full = full then Some (List.rev acc)
+        else if Hashtbl.mem failed (chosen, state) then None
+        else
+          let result = ref None in
+          let i = ref 0 in
+          while !result = None && !i < total do
+            let idx = !i in
+            incr i;
+            if
+              chosen land (1 lsl idx) = 0
+              && before.(idx) land lnot chosen = 0
+            then
+              if idx < n then (
+                let state', out = Spec.apply state ops.(idx).input in
+                if Spec.equal_output out ops.(idx).output then
+                  match
+                    search
+                      (chosen lor (1 lsl idx))
+                      state'
+                      (Completed ops.(idx) :: acc)
+                  with
+                  | Some _ as w -> result := w
+                  | None -> ())
+              else
+                (* Pending: the operation produced no output, so only its
+                   effect on the state constrains the search. *)
+                let state', _ = Spec.apply state pend.(idx - n).p_input in
+                match
+                  search
+                    (chosen lor (1 lsl idx))
+                    state'
+                    (Included pend.(idx - n) :: acc)
+                with
+                | Some _ as w -> result := w
+                | None -> ()
+          done;
+          if !result = None then Hashtbl.replace failed (chosen, state) ();
+          !result
+      in
+      match search 0 init [] with
+      | Some w -> Witness w
+      | None -> No_witness
 
   let pp_history fmt history =
     List.iter (fun e -> Format.fprintf fmt "  %a@." pp_event e) history
+
+  let pp_pendings fmt pending =
+    List.iter (fun p -> Format.fprintf fmt "  %a@." pp_pending p) pending
 end
 
 (* ------------------------------------------------------------------ *)

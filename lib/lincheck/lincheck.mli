@@ -1,12 +1,17 @@
-(** Linearizability checking for small concurrent histories.
+(** Linearizability checking for small concurrent histories, crash-aware.
 
     Pair with the simulator: record each operation's invocation/response
     timestamps with [Sim.Sched.now ()] (use [~read_slack:0] for strict
-    timestamps) and feed the history to {!Make.check}. The checker
-    searches for a total order that respects real-time precedence and
-    replays correctly against a sequential specification. Intended for
-    the adversarial small histories property tests generate; the search
-    is exponential in the worst case. *)
+    timestamps, or widen intervals by the slack) and feed the history to
+    {!Make.check}. The checker searches for a total order that respects
+    real-time precedence and replays correctly against a sequential
+    specification. Operations whose thread crashed mid-call have no
+    response; the checker may include them (the op took effect just
+    before the crash) or exclude them (it never did) — see
+    {!Make.pending}. Intended for the adversarial small histories
+    property tests and the chaos engine generate; the search is
+    exponential in the worst case, and oversized histories return
+    {!Make.result.Too_large} rather than raising. *)
 
 module type SPEC = sig
   type state
@@ -31,14 +36,44 @@ module Make (Spec : SPEC) : sig
     output : Spec.output;
   }
 
-  val pp_event : Format.formatter -> event -> unit
+  type pending = {
+    p_tid : int;
+    p_inv : int;  (** invocation timestamp; the thread crashed before responding *)
+    p_input : Spec.input;
+  }
+  (** An operation that was invoked but never responded (its thread
+      crashed, or the run was aborted mid-call). *)
 
-  val check : ?init:Spec.state -> event list -> event list option
-  (** [check history] returns a witness linearization, or [None] if the
-      history is not linearizable from [init] (default [Spec.init]).
-      Raises [Invalid_argument] for histories over 62 events. *)
+  type step = Completed of event | Included of pending
+
+  type result =
+    | Witness of step list
+        (** a valid linearization: every completed event, plus the subset
+            of pending operations the checker chose to include *)
+    | No_witness  (** no linearization exists — a real violation *)
+    | Too_large
+        (** more than {!max_events} operations; the search was not
+            attempted (callers should treat this as "unchecked") *)
+
+  val max_events : int
+  (** Search capacity: completed + pending operations must fit in a
+      bitmask (62). *)
+
+  val pp_event : Format.formatter -> event -> unit
+  val pp_pending : Format.formatter -> pending -> unit
+  val pp_step : Format.formatter -> step -> unit
+
+  val check :
+    ?init:Spec.state -> ?pending:pending list -> event list -> result
+  (** [check ?pending history] searches for a linearization of the
+      completed [history] plus {e any subset} of [pending]
+      (include-or-exclude: a crashed operation may or may not have taken
+      effect). An included pending operation constrains only the state —
+      it produced no observable output — and, having never responded,
+      nothing is real-time-ordered after it. *)
 
   val pp_history : Format.formatter -> event list -> unit
+  val pp_pendings : Format.formatter -> pending list -> unit
 end
 
 (** {1 Sequential specifications for this library's structures} *)

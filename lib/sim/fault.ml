@@ -152,10 +152,121 @@ let point_name : point -> string = function
   | Restart -> "restart"
   | Op_boundary -> "op-boundary"
 
+let point_of_name : string -> point = function
+  | "before-cas" -> Rt.Rt_intf.Before_cas
+  | "after-cas" -> After_cas
+  | "critical-enter" -> Critical_enter
+  | "critical-exit" -> Critical_exit
+  | "lock-wait" -> Lock_wait
+  | "restart" -> Restart
+  | "op-boundary" -> Op_boundary
+  | s -> invalid_arg ("Fault.of_string: unknown checkpoint " ^ s)
+
 let action_name = function
   | Crash -> "crash"
   | Stall n -> Printf.sprintf "stall(%d)" n
   | Storm { duration; _ } -> Printf.sprintf "storm(%d)" duration
+
+(* ------------------------------------------------------------------ *)
+(* Plan serialization, for replayable repro strings (the chaos engine's
+   [--replay]).  Grammar, with no whitespace anywhere:
+
+     plan   := SEED | SEED ';' spec (';' spec)*
+     spec   := action '@' POINT (',t' TID)? (',h' HITS)?
+     action := 'crash' | 'stall(' N ')'
+             | 'storm(' N ')' | 'storm(' N ':v' TID ('.' TID)* ')'
+
+   Omitted [,tN] means any thread; omitted [,hN] means the seed-derived
+   hit count (f_hits = 0).  [to_string] and [of_string] round-trip
+   exactly. *)
+
+let spec_to_string sp =
+  let action =
+    match sp.f_action with
+    | Crash -> "crash"
+    | Stall n -> Printf.sprintf "stall(%d)" n
+    | Storm { victims = []; duration } -> Printf.sprintf "storm(%d)" duration
+    | Storm { victims; duration } ->
+        Printf.sprintf "storm(%d:v%s)" duration
+          (String.concat "." (List.map string_of_int victims))
+  in
+  Printf.sprintf "%s@%s%s%s" action (point_name sp.f_point)
+    (match sp.f_tid with None -> "" | Some t -> Printf.sprintf ",t%d" t)
+    (if sp.f_hits > 0 then Printf.sprintf ",h%d" sp.f_hits else "")
+
+let to_string p =
+  string_of_int p.seed
+  ^ String.concat "" (List.map (fun sp -> ";" ^ spec_to_string sp) p.specs)
+
+let parse_error fmt = Printf.ksprintf invalid_arg ("Fault.of_string: " ^^ fmt)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> parse_error "bad %s %S" what s
+
+(* "name(inner)" -> inner, for [name]; anything else is an error. *)
+let parse_parens name s =
+  let pre = name ^ "(" in
+  let lp = String.length pre and l = String.length s in
+  if l < lp + 1 || String.sub s 0 lp <> pre || s.[l - 1] <> ')' then
+    parse_error "malformed action %S" s
+  else String.sub s lp (l - lp - 1)
+
+let action_of_string s =
+  if s = "crash" then Crash
+  else if String.length s >= 6 && String.sub s 0 6 = "stall(" then
+    Stall (parse_int "stall cycles" (parse_parens "stall" s))
+  else if String.length s >= 6 && String.sub s 0 6 = "storm(" then
+    match String.split_on_char ':' (parse_parens "storm" s) with
+    | [ d ] -> Storm { victims = []; duration = parse_int "storm duration" d }
+    | [ d; v ] when String.length v > 1 && v.[0] = 'v' ->
+        Storm
+          {
+            duration = parse_int "storm duration" d;
+            victims =
+              String.sub v 1 (String.length v - 1)
+              |> String.split_on_char '.'
+              |> List.map (parse_int "storm victim");
+          }
+    | _ -> parse_error "malformed storm %S" s
+  else parse_error "unknown action %S" s
+
+let spec_of_string s =
+  match String.split_on_char ',' s with
+  | [] -> parse_error "empty spec"
+  | core :: flags ->
+      let action_s, point_s =
+        match String.index_opt core '@' with
+        | Some i ->
+            ( String.sub core 0 i,
+              String.sub core (i + 1) (String.length core - i - 1) )
+        | None -> parse_error "spec %S has no @checkpoint" core
+      in
+      let sp =
+        {
+          f_tid = None;
+          f_point = point_of_name point_s;
+          f_hits = 0;
+          f_action = action_of_string action_s;
+        }
+      in
+      List.fold_left
+        (fun sp flag ->
+          if String.length flag < 2 then parse_error "bad flag %S" flag
+          else
+            let v = String.sub flag 1 (String.length flag - 1) in
+            match flag.[0] with
+            | 't' -> { sp with f_tid = Some (parse_int "thread id" v) }
+            | 'h' -> { sp with f_hits = parse_int "hit count" v }
+            | _ -> parse_error "bad flag %S" flag)
+        sp flags
+
+let of_string s =
+  match String.split_on_char ';' s with
+  | [] -> parse_error "empty plan"
+  | seed :: specs ->
+      { seed = parse_int "seed" seed; specs = List.map spec_of_string specs }
 
 let pp_event ppf e =
   Format.fprintf ppf "%s t%d at %s (clock=%d, op=%d)"

@@ -587,23 +587,34 @@ let tid () = match !cur_thread with None -> 0 | Some th -> th.t_id
 (* Deterministic timing noise: a pure hash of (thread id, virtual clock).
    Identical schedules yield identical noise, preserving run-to-run
    reproducibility, while co-scheduled threads see decorrelated values. *)
-let noise_enabled = ref true
+(* Noise width in bits: 62 = full amplitude (the default), 0 = off.
+   Intermediate widths coarsen the jitter — consumers compute
+   [noise () mod span], so few-bit noise repeats over short spans and
+   weakens the decorrelation, which is exactly the degraded-timing regime
+   the chaos engine fuzzes. *)
+let noise_width = ref 62
 
 (* Disabling noise removes the timing jitter that keeps contending
    threads from phase-locking (see Backoff). Exposed so the liveness
    watchdog's starvation tests can deterministically reproduce the
    phase-locked-handoff incident; restore to [true] afterwards. *)
-let set_noise b = noise_enabled := b
+let set_noise b = noise_width := if b then 62 else 0
+
+let set_noise_bits n =
+  if n < 0 || n > 62 then invalid_arg "Sched.set_noise_bits: want 0..62";
+  noise_width := n
+
+let noise_bits () = !noise_width
 
 let noise () =
   match !cur_thread with
   | None -> 0
-  | Some _ when not !noise_enabled -> 0
+  | Some _ when !noise_width = 0 -> 0
   | Some th ->
       let x = (th.clock * 0x9E3779B1) lxor ((th.t_id + 1) * 0x85EBCA77) in
       let x = x lxor (x lsr 13) in
       let x = (x * 0xC2B2AE35) land max_int in
-      x lxor (x lsr 16)
+      (x lxor (x lsr 16)) land ((1 lsl !noise_width) - 1)
 
 let nthreads () =
   match !cur_sched with None -> 1 | Some s -> Array.length s.threads

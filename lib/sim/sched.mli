@@ -91,7 +91,16 @@ val set_noise : bool -> unit
 (** Globally enable/disable {!noise} (default enabled). Disabling removes
     the timing jitter that prevents phase-locked starvation; used by
     watchdog tests to reproduce that incident deterministically. Restore
-    afterwards. *)
+    afterwards. Equivalent to [set_noise_bits 62] / [set_noise_bits 0]. *)
+
+val set_noise_bits : int -> unit
+(** Set the noise amplitude as a bit width in [0..62]: {!noise} masks its
+    hash to the low [n] bits. 62 (default) is full amplitude; 0 disables
+    noise; intermediate widths coarsen the jitter toward the phase-locking
+    regime. A fuzzing knob for the chaos engine; restore afterwards. *)
+
+val noise_bits : unit -> int
+(** The current noise amplitude, for save/restore. *)
 
 (** {1 Fault checkpoints}
 

@@ -5,16 +5,29 @@
 
      dune exec test/soak.exe -- [minutes] [base-seed]
 
-   Defaults: 2 minutes, seed from the clock. Every failure prints the
-   exact (structure, topology, threads, ops, seed) tuple — simulator runs
-   are deterministic, so any failure is replayable. *)
+   Defaults: 2 minutes, seed from CHAOS_SEED/SOAK_SEED in the environment
+   (so a CI failure is reproducible locally by exporting the seed the job
+   printed), else from the clock. Every failure prints the exact
+   (structure, topology, threads, ops, seed) tuple — simulator runs are
+   deterministic, so any failure is replayable. *)
 
 let minutes =
   if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 2.
 
+let env_seed () =
+  match (Sys.getenv_opt "CHAOS_SEED", Sys.getenv_opt "SOAK_SEED") with
+  | Some s, _ | None, Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Some n
+      | None -> failwith ("soak: non-integer seed in environment: " ^ s))
+  | None, None -> None
+
 let base_seed =
   if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
-  else int_of_float (Unix.gettimeofday ()) land 0xFFFFFF
+  else
+    match env_seed () with
+    | Some n -> n
+    | None -> int_of_float (Unix.gettimeofday ()) land 0xFFFFFF
 
 module R = Harness.Registry
 

@@ -245,9 +245,66 @@ let test_runner_aborted_outcome () =
       Alcotest.(check bool) "some ops completed before the crash" true
         (m.Harness.Runner.ops > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Plan serialization: to_string/of_string round-trip exactly, for the
+   chaos engine's --replay repro strings. *)
+
+let gen_plan =
+  let open QCheck2.Gen in
+  let gen_point =
+    oneofl
+      [
+        Fp.Before_cas; Fp.After_cas; Fp.Critical_enter; Fp.Critical_exit;
+        Fp.Lock_wait; Fp.Restart; Fp.Op_boundary;
+      ]
+  in
+  let gen_action =
+    oneof
+      [
+        return Fault.Crash;
+        map (fun n -> Fault.Stall n) (int_range 1 1_000_000);
+        map2
+          (fun d v -> Fault.Storm { victims = v; duration = d })
+          (int_range 1 1_000_000)
+          (list_size (int_range 0 4) (int_range 0 63));
+      ]
+  in
+  let gen_spec =
+    map
+      (fun (tid, point, hits, action) ->
+        { Fault.f_tid = tid; f_point = point; f_hits = hits; f_action = action })
+      (quad (option (int_range 0 63)) gen_point (int_range 0 48) gen_action)
+  in
+  map2
+    (fun seed specs -> { Fault.seed; specs })
+    (int_range 0 1_000_000)
+    (list_size (int_range 0 5) gen_spec)
+
+let plan_roundtrip =
+  Tutil.qcheck_case ~count:200 "plan to_string/of_string round-trip" gen_plan
+    (fun p -> Fault.of_string (Fault.to_string p) = p)
+
+let test_plan_string_examples () =
+  let check s =
+    Alcotest.(check string) s s (Fault.to_string (Fault.of_string s))
+  in
+  check "42";
+  check "7;crash@critical-enter,t0";
+  check "0;stall(5000)@before-cas,t2,h3";
+  check "1;storm(800)@op-boundary;storm(900:v1.3)@lock-wait,h2";
+  match Fault.of_string "1;crash@nowhere" with
+  | (_ : Fault.plan) -> Alcotest.fail "expected parse error"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "fault"
     [
+      ( "serialization",
+        [
+          plan_roundtrip;
+          Alcotest.test_case "plan string examples" `Quick
+            test_plan_string_examples;
+        ] );
       ( "injection",
         [
           Alcotest.test_case "crash kills only the victim" `Quick

@@ -1,5 +1,7 @@
 (* Tests for the linearizability checker itself: accept known-good
-   histories, reject known violations, respect real-time precedence. *)
+   histories, reject known violations, respect real-time precedence,
+   include-or-exclude crashed (pending) operations, and degrade to
+   Too_large instead of raising on oversized histories. *)
 
 module LS = Lincheck.Make (Lincheck.Set_spec)
 module LQ = Lincheck.Make (Lincheck.Queue_spec)
@@ -8,18 +10,22 @@ open Lincheck.Queue_spec
 
 let ev tid inv res input output = { LS.tid; inv; res; input; output }
 let qev tid inv res input output = { LQ.tid; inv; res; input; output }
+let pend tid inv input = { LS.p_tid = tid; p_inv = inv; p_input = input }
+let qpend tid inv input = { LQ.p_tid = tid; p_inv = inv; p_input = input }
 
-let accepts name history =
+let accepts ?(pending = []) name history =
   Alcotest.test_case name `Quick (fun () ->
-      match LS.check history with
-      | Some _ -> ()
-      | None -> Alcotest.fail "expected linearizable")
+      match LS.check ~pending history with
+      | LS.Witness _ -> ()
+      | LS.No_witness -> Alcotest.fail "expected linearizable"
+      | LS.Too_large -> Alcotest.fail "unexpected Too_large")
 
-let rejects name history =
+let rejects ?(pending = []) name history =
   Alcotest.test_case name `Quick (fun () ->
-      match LS.check history with
-      | Some _ -> Alcotest.fail "expected violation"
-      | None -> ())
+      match LS.check ~pending history with
+      | LS.Witness _ -> Alcotest.fail "expected violation"
+      | LS.No_witness -> ()
+      | LS.Too_large -> Alcotest.fail "unexpected Too_large")
 
 let set_cases =
   [
@@ -77,17 +83,59 @@ let set_cases =
       ];
   ]
 
-let q_accepts name history =
-  Alcotest.test_case name `Quick (fun () ->
-      match LQ.check history with
-      | Some _ -> ()
-      | None -> Alcotest.fail "expected linearizable")
+(* Crash-aware checking: a pending op may be included or excluded. *)
+let crash_cases =
+  [
+    accepts "crashed insert may be dropped"
+      ~pending:[ pend 1 5 (Insert (1, 5)) ]
+      [ ev 0 10 20 (Search 1) Absent ];
+    accepts "crashed insert may have taken effect"
+      ~pending:[ pend 1 5 (Insert (1, 5)) ]
+      [ ev 0 10 20 (Search 1) (Found 5) ];
+    rejects "found value explicable only by double-included crash"
+      (* the single pending insert can justify Found 5 once, but not a
+         Found after a completed delete removed it and nothing re-inserted *)
+      ~pending:[ pend 1 5 (Insert (1, 5)) ]
+      [
+        ev 0 10 20 (Search 1) (Found 5);
+        ev 0 30 40 (Delete 1) (Found 5);
+        ev 0 50 60 (Search 1) (Found 5);
+      ];
+    accepts "crashed delete explains a miss after completed insert"
+      ~pending:[ pend 1 15 (Delete 1) ]
+      [
+        ev 0 0 10 (Insert (1, 5)) Ok;
+        ev 0 20 30 (Search 1) Absent;
+      ];
+    rejects "miss after completed insert without any crashed delete"
+      ~pending:[ pend 1 15 (Insert (2, 9)) ]
+      [
+        ev 0 0 10 (Insert (1, 5)) Ok;
+        ev 0 20 30 (Search 1) Absent;
+      ];
+    rejects "pending op cannot linearize before its invocation"
+      (* the search completed before the crashed delete was even invoked,
+         so including the delete cannot explain the miss *)
+      ~pending:[ pend 1 50 (Delete 1) ]
+      [
+        ev 0 0 10 (Insert (1, 5)) Ok;
+        ev 0 20 30 (Search 1) Absent;
+      ];
+  ]
 
-let q_rejects name history =
+let q_accepts ?(pending = []) name history =
   Alcotest.test_case name `Quick (fun () ->
-      match LQ.check history with
-      | Some _ -> Alcotest.fail "expected violation"
-      | None -> ())
+      match LQ.check ~pending history with
+      | LQ.Witness _ -> ()
+      | LQ.No_witness -> Alcotest.fail "expected linearizable"
+      | LQ.Too_large -> Alcotest.fail "unexpected Too_large")
+
+let q_rejects ?(pending = []) name history =
+  Alcotest.test_case name `Quick (fun () ->
+      match LQ.check ~pending history with
+      | LQ.Witness _ -> Alcotest.fail "expected violation"
+      | LQ.No_witness -> ()
+      | LQ.Too_large -> Alcotest.fail "unexpected Too_large")
 
 let queue_cases =
   [
@@ -130,6 +178,15 @@ let queue_cases =
         qev 1 20 30 Dequeue (Got 1);
         qev 2 22 35 Dequeue (Got 1);
       ];
+    q_accepts "crashed enqueue explains a dequeued value"
+      ~pending:[ qpend 1 5 (Enqueue 42) ]
+      [ qev 0 10 20 Dequeue (Got 42) ];
+    q_accepts "crashed enqueue may be dropped"
+      ~pending:[ qpend 1 5 (Enqueue 42) ]
+      [ qev 0 10 20 Dequeue Empty ];
+    q_rejects "dequeued value with no source even among pending"
+      ~pending:[ qpend 1 5 (Enqueue 41) ]
+      [ qev 0 10 20 Dequeue (Got 42) ];
   ]
 
 (* Initial-state support. *)
@@ -138,11 +195,45 @@ let init_cases =
     Alcotest.test_case "init state respected" `Quick (fun () ->
         let init = Lincheck.Set_spec.M.add 7 70 Lincheck.Set_spec.M.empty in
         (match LS.check ~init [ ev 0 0 10 (Search 7) (Found 70) ] with
-        | Some _ -> ()
-        | None -> Alcotest.fail "should see initial contents");
+        | LS.Witness _ -> ()
+        | _ -> Alcotest.fail "should see initial contents");
         match LS.check ~init [ ev 0 0 10 (Search 7) Absent ] with
-        | Some _ -> Alcotest.fail "must see initial contents"
-        | None -> ());
+        | LS.Witness _ -> Alcotest.fail "must see initial contents"
+        | _ -> ());
+  ]
+
+(* Graceful degradation: oversized histories are reported, not raised. *)
+let too_large_cases =
+  [
+    Alcotest.test_case "63 completed events is Too_large" `Quick (fun () ->
+        let history =
+          List.init 63 (fun i ->
+              ev 0 (i * 10) ((i * 10) + 5) (Insert (i + 1, i)) Ok)
+        in
+        match LS.check history with
+        | LS.Too_large -> ()
+        | _ -> Alcotest.fail "expected Too_large");
+    Alcotest.test_case "62 completed events is checked" `Quick (fun () ->
+        let history =
+          List.init 62 (fun i ->
+              ev 0 (i * 10) ((i * 10) + 5) (Insert (i + 1, i)) Ok)
+        in
+        match LS.check history with
+        | LS.Witness _ -> ()
+        | _ -> Alcotest.fail "expected a witness");
+    Alcotest.test_case "completed + pending counted together" `Quick
+      (fun () ->
+        let history =
+          List.init 60 (fun i ->
+              ev 0 (i * 10) ((i * 10) + 5) (Insert (i + 1, i)) Ok)
+        in
+        let pending =
+          [ pend 1 0 (Insert (100, 1)); pend 2 0 (Insert (101, 1));
+            pend 3 0 (Insert (102, 1)) ]
+        in
+        match LS.check ~pending history with
+        | LS.Too_large -> ()
+        | _ -> Alcotest.fail "expected Too_large");
   ]
 
 (* Bigger pseudo-random linearizable histories: generate by simulating a
@@ -170,13 +261,45 @@ let widened_random =
         history :=
           ev (i mod 3) base (base + 5 + widen) input out :: !history
       done;
-      LS.check !history <> None)
+      match LS.check !history with LS.Witness _ -> true | _ -> false)
+
+(* Dropping the tail of a sequential history to pending ops must stay
+   accepted: the real execution is the include-them-all branch. *)
+let pending_random =
+  Tutil.qcheck_case ~count:50 "sequential histories with pending tail"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Harness.Rng.create seed in
+      let state = ref Lincheck.Set_spec.M.empty in
+      let history = ref [] in
+      let pending = ref [] in
+      for i = 0 to 9 do
+        let k = 1 + Harness.Rng.below rng 4 in
+        let input =
+          match Harness.Rng.below rng 3 with
+          | 0 -> Search k
+          | 1 -> Insert (k, i)
+          | _ -> Delete k
+        in
+        let st', out = Lincheck.Set_spec.apply !state input in
+        state := st';
+        let base = i * 10 in
+        if i >= 8 then
+          (* last two ops "crash": drop their outputs, keep them pending *)
+          pending := pend (i mod 3) base input :: !pending
+        else history := ev (i mod 3) base (base + 5) input out :: !history
+      done;
+      match LS.check ~pending:!pending !history with
+      | LS.Witness _ -> true
+      | _ -> false)
 
 let () =
   Alcotest.run "lincheck"
     [
       ("set histories", set_cases);
+      ("crash-aware", crash_cases);
       ("queue histories", queue_cases);
       ("initial state", init_cases);
-      ("property", [ widened_random ]);
+      ("too large", too_large_cases);
+      ("property", [ widened_random; pending_random ]);
     ]

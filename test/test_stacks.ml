@@ -91,8 +91,10 @@ let lincheck_stack (module S : R.STACK_OPS) ~seed () =
   |> ignore;
   let events = Array.fold_left (fun acc l -> l @ acc) [] logs in
   match LStack.check ~init events with
-  | Some _ -> ()
-  | None ->
+  | LStack.Witness _ -> ()
+  | LStack.Too_large ->
+      Alcotest.failf "%s: history too large to check (seed %d)" S.name seed
+  | LStack.No_witness ->
       Alcotest.failf "%s: non-linearizable stack history (seed %d):@.%a"
         S.name seed
         (fun fmt () -> LStack.pp_history fmt events)

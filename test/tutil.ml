@@ -190,8 +190,10 @@ let lincheck_set (module S : R.SET_OPS) ~nthreads ~ops_per_thread ~key_range
   in
   Array.iter (fun l -> events := l @ !events) logs;
   match LSet.check ~init:!init !events with
-  | Some _ -> ()
-  | None ->
+  | LSet.Witness _ -> ()
+  | LSet.Too_large ->
+      Alcotest.failf "%s: history too large to check (seed %d)" S.name seed
+  | LSet.No_witness ->
       Alcotest.failf "%s: non-linearizable history (seed %d):@.%a" S.name seed
         (fun fmt () -> LSet.pp_history fmt !events)
         ()
@@ -233,8 +235,10 @@ let lincheck_queue (module Q : R.QUEUE_OPS) ~nthreads ~ops_per_thread ~seed ()
   in
   let events = Array.fold_left (fun acc l -> l @ acc) [] logs in
   match LQueue.check ~init:init_state events with
-  | Some _ -> ()
-  | None ->
+  | LQueue.Witness _ -> ()
+  | LQueue.Too_large ->
+      Alcotest.failf "%s: history too large to check (seed %d)" Q.name seed
+  | LQueue.No_witness ->
       Alcotest.failf "%s: non-linearizable history (seed %d):@.%a" Q.name seed
         (fun fmt () -> LQueue.pp_history fmt events)
         ()
