@@ -1,0 +1,214 @@
+(** Host-throughput benchmark for the simulator engine
+    ([optik_bench hostperf]).
+
+    Every figure sweep, chaos trial and soak iteration is bottlenecked by
+    how many simulated memory accesses per {e host} second [lib/sim] can
+    retire, so this module tracks that number directly: it runs a fixed
+    set of representative workloads, measures host wall-clock per run
+    (best of [repeats], to shed scheduler noise), and reports
+    simulated-ops, simulated-accesses and scheduler-events per
+    host-second. The simulated side of every run is fully deterministic —
+    identical seeds give identical ops/accesses/events — only the host
+    seconds vary between machines and runs.
+
+    Results serialize to [BENCH_sim.json], one result object per line, so
+    the committed baseline can be parsed (and the CI tolerance gate
+    applied) with plain string scanning — no JSON dependency. *)
+
+module R = Harness.Registry
+module Runner = Harness.Runner
+
+type result = {
+  r_name : string;  (** spec name, stable across engine versions *)
+  r_threads : int;
+  r_ops : int;  (** benchmark operations completed (simulated) *)
+  r_accesses : int;  (** simulated memory accesses: reads+writes+cas+faa *)
+  r_events : int;  (** scheduler (slow-path) events *)
+  r_host_s : float;  (** best-of-repeats host seconds for the run *)
+}
+
+let ops_per_hs r = float_of_int r.r_ops /. r.r_host_s
+let accesses_per_hs r = float_of_int r.r_accesses /. r.r_host_s
+let events_per_hs r = float_of_int r.r_events /. r.r_host_s
+
+(* ------------------------------------------------------------------ *)
+(* Workload specs                                                      *)
+
+type spec = { s_name : string; s_run : unit -> Runner.measurement }
+
+let set_spec name family structure ~topology ~nthreads ~ops ~size ~updates
+    ~capacity =
+  {
+    s_name = name;
+    s_run =
+      (fun () ->
+        let (module S : R.SET_OPS) = R.Sim_backend.find_named family structure in
+        let w =
+          let base =
+            Runner.uniform_workload ~init_size:size ~update_pct:updates ()
+          in
+          if capacity then { base with Runner.capacity = Some (2 * size) }
+          else base
+        in
+        Dstruct.Sl_common.reset_states ();
+        Runner.run_set_sim ~topology ~nthreads ~ops ~seed:7 (module S) w);
+  }
+
+(* Four representative structures across the engine's regimes:
+   - a pointer-chasing traversal workload (linked list) that lives on the
+     inline read fast path;
+   - a shallow-structure, high-update workload (hash table) dominated by
+     RMW pricing and line ownership;
+   - a tall-structure workload (skip list) mixing long traversals with
+     multi-line updates;
+   - the chaos-smoke shape: a tiny, heavily contended structure on a
+     small flat machine with 2x oversubscription, which exercises the
+     scheduling-window and suspension machinery the fuzzer leans on. *)
+let specs =
+  [
+    set_spec "list/optik" R.Sim_backend.lists "optik" ~topology:Sim.Topology.xeon
+      ~nthreads:8 ~ops:60_000 ~size:512 ~updates:40 ~capacity:false;
+    set_spec "hashtable/optik-gl" R.Sim_backend.hashtables "optik-gl"
+      ~topology:Sim.Topology.xeon ~nthreads:16 ~ops:120_000 ~size:1024
+      ~updates:40 ~capacity:true;
+    set_spec "skiplist/optik2" R.Sim_backend.skiplists "optik2"
+      ~topology:Sim.Topology.opteron ~nthreads:12 ~ops:40_000 ~size:1024
+      ~updates:20 ~capacity:false;
+    set_spec "chaos-smoke" R.Sim_backend.lists "optik"
+      ~topology:(Sim.Topology.uniform ~n:4 ())
+      ~nthreads:8 ~ops:60_000 ~size:48 ~updates:50 ~capacity:false;
+  ]
+
+let measure ?(repeats = 3) (s : spec) =
+  let repeats = max 1 repeats in
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to repeats do
+    let m = s.s_run () in
+    if m.Runner.host_s < !best then best := m.Runner.host_s;
+    last := Some m
+  done;
+  let m = Option.get !last in
+  {
+    r_name = s.s_name;
+    r_threads = m.Runner.threads;
+    r_ops = m.Runner.ops;
+    r_accesses =
+      m.Runner.reads + m.Runner.writes + m.Runner.cas + m.Runner.faa;
+    r_events = m.Runner.events;
+    r_host_s = Float.max 1e-9 !best;
+  }
+
+let run ?(repeats = 3) () = List.map (measure ~repeats) specs
+
+(* ------------------------------------------------------------------ *)
+(* JSON (line-oriented, hand-rolled)                                   *)
+
+let result_line r =
+  Printf.sprintf
+    "  {\"name\": %S, \"threads\": %d, \"ops\": %d, \"accesses\": %d, \
+     \"events\": %d, \"host_s\": %.6f, \"ops_per_hs\": %.1f, \
+     \"accesses_per_hs\": %.1f, \"events_per_hs\": %.1f}"
+    r.r_name r.r_threads r.r_ops r.r_accesses r.r_events r.r_host_s
+    (ops_per_hs r) (accesses_per_hs r) (events_per_hs r)
+
+let to_json results =
+  String.concat "\n"
+    ([ "{"; "  \"schema\": \"optik-hostperf-v1\","; "  \"results\": [" ]
+    @ [ String.concat ",\n" (List.map result_line results) ]
+    @ [ "  ]"; "}"; "" ])
+
+let write_json path results =
+  let oc = open_out path in
+  output_string oc (to_json results);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison                                                 *)
+
+(* Scan one [result_line]-shaped line for a ["key": value] field. *)
+let field_of_line line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat in
+  let llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then
+      let j = ref (i + plen) in
+      let k = ref !j in
+      while
+        !k < llen && (match line.[!k] with ',' | '}' -> false | _ -> true)
+      do
+        incr k
+      done;
+      Some (String.trim (String.sub line !j (!k - !j)))
+    else find (i + 1)
+  in
+  find 0
+
+let string_field line key =
+  match field_of_line line key with
+  | Some v
+    when String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+    ->
+      Some (Scanf.unescaped (String.sub v 1 (String.length v - 2)))
+  | _ -> None
+
+let float_field line key =
+  match field_of_line line key with
+  | Some v -> float_of_string_opt v
+  | None -> None
+
+(** Parse a committed [BENCH_sim.json] into
+    [(name, ops_per_hs, accesses_per_hs)] rows. *)
+let parse_baseline content =
+  String.split_on_char '\n' content
+  |> List.filter_map (fun line ->
+         match
+           ( string_field line "name",
+             float_field line "ops_per_hs",
+             float_field line "accesses_per_hs" )
+         with
+         | Some name, Some ops, Some acc -> Some (name, ops, acc)
+         | _ -> None)
+
+type regression = {
+  g_name : string;
+  g_metric : string;
+  g_measured : float;
+  g_floor : float;  (** baseline * (1 - tolerance) *)
+}
+
+(** Compare measured results against a baseline file's contents: any spec
+    whose simulated-ops/host-sec or accesses/host-sec falls more than
+    [tolerance_pct] percent below the committed number is a regression.
+    Baseline specs missing from the measured set are ignored (removed
+    workloads), measured specs missing from the baseline pass (new
+    workloads get their numbers committed on the next baseline refresh). *)
+let check_baseline ~baseline ~tolerance_pct results =
+  let base = parse_baseline baseline in
+  let frac = 1. -. (tolerance_pct /. 100.) in
+  List.concat_map
+    (fun r ->
+      match List.find_opt (fun (n, _, _) -> n = r.r_name) base with
+      | None -> []
+      | Some (_, b_ops, b_acc) ->
+          let check metric measured b =
+            let floor = b *. frac in
+            if measured < floor then
+              [ { g_name = r.r_name; g_metric = metric; g_measured = measured; g_floor = floor } ]
+            else []
+          in
+          check "ops_per_hs" (ops_per_hs r) b_ops
+          @ check "accesses_per_hs" (accesses_per_hs r) b_acc)
+    results
+
+let pp_table ppf results =
+  Format.fprintf ppf "%-22s %3s %12s %12s %10s %9s@\n" "spec" "thr"
+    "sim-ops/hs" "accesses/hs" "events/hs" "host-s";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-22s %3d %12.0f %12.0f %10.0f %9.4f@\n" r.r_name
+        r.r_threads (ops_per_hs r) (accesses_per_hs r) (events_per_hs r)
+        r.r_host_s)
+    results

@@ -13,6 +13,20 @@ open Cmdliner
 
 let out = print_endline
 
+(* Host wall-clock reporting goes to stderr so that every subcommand's
+   stdout stays byte-deterministic for a given seed (timings are the one
+   thing that varies run to run). *)
+let with_host_time label ops_done f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  let n = ops_done r in
+  Printf.eprintf "[host] %s: %.3fs wall-clock%s\n%!" label dt
+    (if n > 0 then
+       Printf.sprintf ", %.0f ops/host-sec" (float_of_int n /. dt)
+     else "");
+  r
+
 (* ---------------- figures ---------------- *)
 
 let figures_cmd =
@@ -46,12 +60,19 @@ let figures_cmd =
         exit 2
     | None -> ());
     let claims = ref [] in
-    List.iter
-      (fun id ->
-        let figs, cs = Figures.Experiments.run_id mode id in
-        List.iter (Figures.Render.figure out) figs;
-        claims := !claims @ cs)
-      ids;
+    with_host_time
+      (Printf.sprintf "figures %s" (String.concat "," ids))
+      (fun _ -> 0)
+      (fun () ->
+        List.iter
+          (fun id ->
+            with_host_time id
+              (fun _ -> 0)
+              (fun () ->
+                let figs, cs = Figures.Experiments.run_id mode id in
+                List.iter (Figures.Render.figure out) figs;
+                claims := !claims @ cs))
+          ids);
     Figures.Render.claims out !claims
   in
   Cmd.v
@@ -208,6 +229,9 @@ let run_cmd =
     List.iter
       (fun (k, v) -> Printf.printf "  counter %-28s %d\n" k v)
       m.Harness.Runner.counters;
+    Printf.eprintf "[host] run %s/%s: %.3fs wall-clock, %.0f ops/host-sec\n%!"
+      family structure m.Harness.Runner.host_s
+      (float_of_int m.Harness.Runner.ops /. m.Harness.Runner.host_s);
     match m.Harness.Runner.obs with
     | None -> ()
     | Some s ->
@@ -306,11 +330,18 @@ let chaos_cmd =
       | Some s -> (
           (* Replay resolves names against the full table, so a repro from
              a --quick run always parses. *)
-          try Chaos.replay ~entries:Chaos.default_entries s ppf
+          try
+            with_host_time "chaos replay"
+              (fun _ -> 1)
+              (fun () -> Chaos.replay ~entries:Chaos.default_entries s ppf)
           with Invalid_argument msg ->
             Printf.eprintf "%s\n" msg;
             exit 2)
-      | None -> Chaos.fuzz ~entries ~runs ~seed ppf
+      | None ->
+          with_host_time
+            (Printf.sprintf "chaos %d trials" runs)
+            (fun _ -> runs)
+            (fun () -> Chaos.fuzz ~entries ~runs ~seed ppf)
     in
     Format.pp_print_flush ppf ();
     if failures > 0 then exit 1
@@ -322,6 +353,90 @@ let chaos_cmd =
           with crash-aware linearizability, liveness and invariant oracles, \
           and counterexample shrinking.")
     Term.(const run $ runs $ seed $ structures $ quick $ replay)
+
+(* ---------------- hostperf ---------------- *)
+
+let hostperf_cmd =
+  let out_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the results as line-oriented JSON to $(docv) (the format \
+             of the committed BENCH_sim.json baseline).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare against a committed BENCH_sim.json and exit non-zero if \
+             any workload's simulated-ops/host-sec or accesses/host-sec \
+             falls more than the tolerance below it.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 20.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed regression vs the baseline, percent (default 20).")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:
+            "Run each workload $(docv) times and keep the best host time \
+             (the simulated side is identical every repeat).")
+  in
+  let run out_file baseline tolerance repeats =
+    let results = Host_bench.run ~repeats () in
+    Format.printf "%a@?" Host_bench.pp_table results;
+    (match out_file with
+    | None -> ()
+    | Some path ->
+        Host_bench.write_json path results;
+        Printf.eprintf "[host] wrote %s\n%!" path);
+    match baseline with
+    | None -> ()
+    | Some path ->
+        let content =
+          try In_channel.with_open_text path In_channel.input_all
+          with Sys_error msg ->
+            Printf.eprintf "cannot read baseline: %s\n" msg;
+            exit 2
+        in
+        if Host_bench.parse_baseline content = [] then begin
+          Printf.eprintf "baseline %s contains no results\n" path;
+          exit 2
+        end;
+        let regressions =
+          Host_bench.check_baseline ~baseline:content ~tolerance_pct:tolerance
+            results
+        in
+        if regressions = [] then
+          Printf.printf "hostperf: within %.0f%% of baseline %s\n" tolerance
+            path
+        else begin
+          List.iter
+            (fun g ->
+              Printf.eprintf
+                "hostperf REGRESSION: %s %s = %.0f, below floor %.0f (baseline \
+                 - %.0f%%)\n"
+                g.Host_bench.g_name g.Host_bench.g_metric g.Host_bench.g_measured
+                g.Host_bench.g_floor tolerance)
+            regressions;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "hostperf"
+       ~doc:
+         "Measure engine throughput in simulated-ops per host-second over \
+          fixed representative workloads, optionally gating against a \
+          committed baseline.")
+    Term.(const run $ out_file $ baseline $ tolerance $ repeats)
 
 (* ---------------- list ---------------- *)
 
@@ -361,4 +476,7 @@ let () =
     Cmd.info "optik_bench" ~version:"1.0"
       ~doc:"OPTIK (PPoPP'16) reproduction: benchmarks and ad-hoc runs"
   in
-  exit (Cmd.eval (Cmd.group info [ figures_cmd; run_cmd; chaos_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ figures_cmd; run_cmd; chaos_cmd; hostperf_cmd; list_cmd ]))

@@ -227,6 +227,9 @@ let fig5_point impl ~topology ~nthreads ~ops =
     writes = stats.Sched.writes;
     cas = stats.Sched.cas;
     cas_failed = stats.Sched.cas_failed;
+    faa = stats.Sched.faa;
+    events = stats.Sched.events;
+    host_s = 0.;
     lat = Array.make Runner.n_classes Harness.Pstats.empty_summary;
     counters = [];
     final_size = 0;
@@ -895,6 +898,9 @@ let stack_experiment mode =
                     writes = st.Sched.writes;
                     cas = st.Sched.cas;
                     cas_failed = st.Sched.cas_failed;
+                    faa = st.Sched.faa;
+                    events = st.Sched.events;
+                    host_s = 0.;
                     lat = Array.make Runner.n_classes Harness.Pstats.empty_summary;
                     counters = [];
                     final_size = S.size t;

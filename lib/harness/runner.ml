@@ -53,6 +53,12 @@ type measurement = {
   writes : int;
   cas : int;
   cas_failed : int;
+  faa : int;
+  events : int;  (** scheduler (slow-path) events; 0 for native runs *)
+  host_s : float;
+      (** host wall-clock seconds the measured window took to simulate
+          (or, for native runs, to execute — there it equals [wall_s]);
+          simulated-ops/host-second is [ops /. host_s] *)
   lat : Pstats.summary array;  (** indexed like {!class_names} *)
   counters : (string * int) list;
   final_size : int;
@@ -201,6 +207,7 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
   let lat = Array.init nthreads (fun _ -> Array.init n_classes (fun _ -> Pstats.create ())) in
   let effective = Array.make nthreads 0 in
   let myops = Array.make nthreads 0 in
+  let host0 = Unix.gettimeofday () in
   let stats, outcome, obs =
     with_obs record_obs (fun () ->
         run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
@@ -219,6 +226,7 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
               Sim.Sched.work (64 + Rng.below rng 64)
             done))
   in
+  let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
   let total_ops = Array.fold_left ( + ) 0 myops in
   let total_eff = Array.fold_left ( + ) 0 effective in
   let wall_s =
@@ -237,6 +245,9 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
     writes = stats.writes;
     cas = stats.cas;
     cas_failed = stats.cas_failed;
+    faa = stats.faa;
+    events = stats.events;
+    host_s;
     lat =
       Array.init n_classes (fun c ->
           Pstats.summarize (Array.to_list (Array.map (fun l -> l.(c)) lat)));
@@ -268,6 +279,7 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
   Sim.Sim_rt.Probe.reset_all ();
   let lat = Array.init nthreads (fun _ -> Array.init 3 (fun _ -> Pstats.create ())) in
   let myops = Array.make nthreads 0 in
+  let host0 = Unix.gettimeofday () in
   let stats, outcome, obs =
     with_obs record_obs (fun () ->
         run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
@@ -289,6 +301,7 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
               Sim.Sched.work (64 + Rng.below rng 64)
             done))
   in
+  let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
   let total_ops = Array.fold_left ( + ) 0 myops in
   {
     name = Qu.name;
@@ -302,6 +315,9 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
     writes = stats.writes;
     cas = stats.cas;
     cas_failed = stats.cas_failed;
+    faa = stats.faa;
+    events = stats.events;
+    host_s;
     lat =
       Array.init 3 (fun c ->
           Pstats.summarize (Array.to_list (Array.map (fun l -> l.(c)) lat)));
@@ -326,6 +342,7 @@ let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
   Sim.Sim_rt.Probe.reset_all ();
   let lat = Array.init nthreads (fun _ -> Array.init 3 (fun _ -> Pstats.create ())) in
   let myops = Array.make nthreads 0 in
+  let host0 = Unix.gettimeofday () in
   let stats, outcome, obs =
     with_obs record_obs (fun () ->
         run_sim_guarded ?faults ?watchdog ?max_events ~topology ~nthreads
@@ -347,6 +364,7 @@ let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
               Sim.Sched.work (64 + Rng.below rng 64)
             done))
   in
+  let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
   let total_ops = Array.fold_left ( + ) 0 myops in
   {
     name = St.name;
@@ -360,6 +378,9 @@ let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
     writes = stats.writes;
     cas = stats.cas;
     cas_failed = stats.cas_failed;
+    faa = stats.faa;
+    events = stats.events;
+    host_s;
     lat =
       Array.init 3 (fun c ->
           Pstats.summarize (Array.to_list (Array.map (fun l -> l.(c)) lat)));
@@ -438,6 +459,9 @@ let run_set_native ~nthreads ~ops_per_thread ?(seed = 42)
     writes = 0;
     cas = 0;
     cas_failed = 0;
+    faa = 0;
+    events = 0;
+    host_s = wall_s;
     lat = Array.make n_classes Pstats.empty_summary;
     counters = [];
     final_size = S.size t;
@@ -489,6 +513,9 @@ let run_queue_native ~nthreads ~ops_per_thread ?(seed = 42) ?(init = 4096)
     writes = 0;
     cas = 0;
     cas_failed = 0;
+    faa = 0;
+    events = 0;
+    host_s = wall_s;
     lat = Array.make n_classes Pstats.empty_summary;
     counters = [];
     final_size = Qu.size q;

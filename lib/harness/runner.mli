@@ -56,6 +56,13 @@ type measurement = {
   writes : int;
   cas : int;
   cas_failed : int;
+  faa : int;
+  events : int;  (** scheduler (slow-path) events; 0 for native runs *)
+  host_s : float;
+      (** host wall-clock seconds the measured window took to simulate
+          (for native runs it equals [wall_s]); simulated-ops/host-second
+          is [ops /. host_s] — the engine-throughput figure tracked by
+          [optik_bench hostperf] *)
   lat : Pstats.summary array;  (** indexed like {!class_names} *)
   counters : (string * int) list;
       (** non-zero probe counters, sorted by name (simulator runs only) *)

@@ -1,68 +1,133 @@
 (** A binary min-heap of scheduler events, keyed by (time, sequence number).
 
     The sequence number makes the pop order total and deterministic: two
-    events with the same virtual timestamp pop in insertion order. *)
+    events with the same virtual timestamp pop in insertion order.
+
+    Layout: three parallel unboxed arrays (times, seqs, payloads) rather
+    than one [(int * int * 'a) array]. A push allocates nothing (no tuple
+    per event), sift operations move machine words, and popped payload
+    slots are overwritten with [dummy] so the heap never retains a
+    completed thread's continuation closure after it has run. [dummy]
+    also fills the initial arrays — a proper empty representation instead
+    of an [Obj.magic] placeholder.
+
+    The pop order is fully determined by the (time, seq) keys, which are
+    unique per event, so the internal layout change cannot reorder
+    events: schedules are bit-identical to the boxed implementation. *)
 
 type 'a t = {
-  mutable arr : (int * int * 'a) array;  (** (time, seq, payload) *)
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable len : int;
   mutable seq : int;
+  dummy : 'a;
 }
 
-let create () = { arr = Array.make 64 (0, 0, Obj.magic 0); len = 0; seq = 0 }
+let create ~dummy =
+  {
+    times = Array.make 64 0;
+    seqs = Array.make 64 0;
+    payloads = Array.make 64 dummy;
+    len = 0;
+    seq = 0;
+    dummy;
+  }
 
 let length t = t.len
 let is_empty t = t.len = 0
 
-let lt (t1, s1, _) (t2, s2, _) = t1 < t2 || (t1 = t2 && s1 < s2)
-
 let grow t =
-  let arr' = Array.make (2 * Array.length t.arr) t.arr.(0) in
-  Array.blit t.arr 0 arr' 0 t.len;
-  t.arr <- arr'
+  let cap = Array.length t.times in
+  let times' = Array.make (2 * cap) 0 in
+  let seqs' = Array.make (2 * cap) 0 in
+  let payloads' = Array.make (2 * cap) t.dummy in
+  Array.blit t.times 0 times' 0 t.len;
+  Array.blit t.seqs 0 seqs' 0 t.len;
+  Array.blit t.payloads 0 payloads' 0 t.len;
+  t.times <- times';
+  t.seqs <- seqs';
+  t.payloads <- payloads'
 
 let push t time payload =
-  if t.len = Array.length t.arr then grow t;
+  if t.len = Array.length t.times then grow t;
   let seq = t.seq in
   t.seq <- seq + 1;
+  (* Sift up with a hole: shift larger parents down, write the new event
+     once at its final slot. Same decisions as the classic swap loop,
+     fewer stores and no intermediate state. *)
   let i = ref t.len in
   t.len <- t.len + 1;
-  t.arr.(!i) <- (time, seq, payload);
-  (* sift up *)
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if lt t.arr.(!i) t.arr.(parent) then (
-      let tmp = t.arr.(parent) in
-      t.arr.(parent) <- t.arr.(!i);
-      t.arr.(!i) <- tmp;
-      i := parent)
+    let p = (!i - 1) / 2 in
+    let pt = t.times.(p) in
+    if time < pt || (time = pt && seq < t.seqs.(p)) then begin
+      t.times.(!i) <- pt;
+      t.seqs.(!i) <- t.seqs.(p);
+      t.payloads.(!i) <- t.payloads.(p);
+      i := p
+    end
     else continue := false
-  done
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.payloads.(!i) <- payload
 
 (* Earliest pending timestamp; [max_int] when empty. Used by the
-   simulator's inline fast path to bound how far a thread may run ahead. *)
-let min_time t = if t.len = 0 then max_int else (fun (tm, _, _) -> tm) t.arr.(0)
+   simulator's inline fast path to bound how far a thread may run ahead —
+   the single hottest read in the engine, now one bounds check and one
+   unboxed load. *)
+let min_time t = if t.len = 0 then max_int else t.times.(0)
 
-let pop t =
+(* [pop_payload] is [pop] without the result tuple: the scheduler loop
+   runs one of these per event and never looks at the popped timestamp,
+   so returning the payload alone keeps the event loop allocation-free.
+   [pop] wraps it for callers (and tests) that want the key too. *)
+let pop_payload t =
   if t.len = 0 then invalid_arg "Eheap.pop: empty";
-  let (time, _, payload) = t.arr.(0) in
-  t.len <- t.len - 1;
-  if t.len > 0 then (
-    t.arr.(0) <- t.arr.(t.len);
-    (* sift down *)
+  let payload = t.payloads.(0) in
+  let last = t.len - 1 in
+  t.len <- last;
+  if last = 0 then
+    (* the heap is now empty: clear the root so the popped payload is
+       unreachable the moment it has run *)
+    t.payloads.(0) <- t.dummy
+  else begin
+    (* Move the last event into the root hole and sift down, clearing the
+       vacated slot. Hole-based like [push]: identical decisions to the
+       swap loop, one final write. *)
+    let mt = t.times.(last) and ms = t.seqs.(last) and mp = t.payloads.(last) in
+    t.payloads.(last) <- t.dummy;
     let i = ref 0 in
     let continue = ref true in
     while !continue do
       let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < t.len && lt t.arr.(l) t.arr.(!smallest) then smallest := l;
-      if r < t.len && lt t.arr.(r) t.arr.(!smallest) then smallest := r;
-      if !smallest <> !i then (
-        let tmp = t.arr.(!smallest) in
-        t.arr.(!smallest) <- t.arr.(!i);
-        t.arr.(!i) <- tmp;
-        i := !smallest)
+      let c =
+        if l >= last then -1
+        else if r >= last then l
+        else if
+          t.times.(r) < t.times.(l)
+          || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l))
+        then r
+        else l
+      in
+      if c >= 0 && (t.times.(c) < mt || (t.times.(c) = mt && t.seqs.(c) < ms))
+      then begin
+        t.times.(!i) <- t.times.(c);
+        t.seqs.(!i) <- t.seqs.(c);
+        t.payloads.(!i) <- t.payloads.(c);
+        i := c
+      end
       else continue := false
-    done);
+    done;
+    t.times.(!i) <- mt;
+    t.seqs.(!i) <- ms;
+    t.payloads.(!i) <- mp
+  end;
+  payload
+
+let pop t =
+  let time = if t.len = 0 then 0 else t.times.(0) in
+  let payload = pop_payload t in
   (time, payload)

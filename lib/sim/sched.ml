@@ -53,6 +53,9 @@ type line = {
   mutable sharers : int;  (** bitmask of ctxs sharing the line *)
   mutable exclusive : bool;
   mutable busy_until : int;  (** line serialization point for RMWs *)
+  mutable stalls : int;
+      (** serialized ops that stalled behind [busy_until] this run; the
+          per-line counter replacing the old per-access Hashtbl lookup *)
   streaming : bool;
       (** packed/contiguous data (arrays): cached reads cost ~1 cycle —
           independent loads pipeline — whereas pointer-chasing reads pay
@@ -99,6 +102,10 @@ type thread = {
       (** locks acquired minus released since last completed op *)
   mutable waiting : bool;  (** probed a held lock since last completed op *)
   mutable crashed : bool;  (** killed by fault injection; locks stay held *)
+  mutable self : thread option;
+      (** [Some th] for this very thread, tied once at creation so
+          installing it as the current thread on every dispatched event
+          reuses one option block instead of allocating a fresh one *)
 }
 
 type t = {
@@ -124,9 +131,21 @@ type t = {
       (** fast-path ops since run start; bounds runaway pure-inline spins
           that would otherwise never hit the event-count timeout *)
   wd : watchdog;
-  hot : (int, int) Hashtbl.t;
-      (** line id -> number of serialized ops that stalled behind the
-          line's [busy_until]; the stall report's "hot lines" *)
+  mutable hot_rev : line list;
+      (** lines that stalled at least once this run, most recent first
+          (i.e. reverse first-stall order); each carries its own [stalls]
+          count, folded into the stall report's "hot lines" lazily *)
+  (* Cost-model constants, hoisted out of [topo] so the per-access hot
+     path reads flat immediate fields instead of chasing the topology
+     record, plus the full transfer-cost matrix memoized into one flat
+     int array: [xfer.((src + 1) * nctx + dst)] = [Topology.transfer]
+     (row 0 is [src = -1], a cold miss from memory). *)
+  nctx : int;
+  xfer : int array;
+  m_hit : int;
+  m_store : int;
+  m_rmw : int;
+  m_inv : int;
 }
 
 (* The simulator is single-OS-threaded by construction; a pair of global
@@ -142,10 +161,19 @@ type _ Effect.t +=
 
 (* Run [f] with [th] installed as the current virtual thread. Every event
    action is wrapped in this: thread code (resumed continuations) must see
-   itself as [th], and the scheduler loop itself runs with no thread. *)
+   itself as [th], and the scheduler loop itself runs with no thread.
+   Hand-rolled instead of [Fun.protect] so dispatching an event allocates
+   nothing (no finally closure; [th.self] is tied at creation). Note that
+   when [f] suspends (performs an effect), control returns here normally —
+   the handler enqueues the continuation and returns — so the reset runs
+   at every suspension point, exactly as the [~finally] did. *)
 let dispatching th f () =
-  cur_thread := Some th;
-  Fun.protect ~finally:(fun () -> cur_thread := None) f
+  cur_thread := th.self;
+  match f () with
+  | () -> cur_thread := None
+  | exception e ->
+      cur_thread := None;
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* Locations                                                           *)
@@ -164,6 +192,7 @@ let fresh_line ?(streaming = false) () =
     sharers = 0;
     exclusive = false;
     busy_until = 0;
+    stalls = 0;
     streaming;
   }
 
@@ -204,7 +233,8 @@ let refresh line =
     line.writer <- -1;
     line.sharers <- 0;
     line.exclusive <- false;
-    line.busy_until <- 0)
+    line.busy_until <- 0;
+    line.stalls <- 0)
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -244,8 +274,10 @@ let fault_point (p : Fp.fault_point) =
       | Fp.Critical_exit | Fp.Before_cas | Fp.After_cas | Fp.Op_boundary ->
           ());
       (* Journal the checkpoint before the hook runs: a hook that crashes
-         the thread still leaves the reached checkpoint in the trace. *)
-      obs_emit (Obs.Journal.Point p);
+         the thread still leaves the reached checkpoint in the trace. The
+         recording test guards the [Point] block allocation itself: with
+         tracing off a checkpoint costs one flag load, nothing more. *)
+      if Obs.Journal.recording () then obs_emit (Obs.Journal.Point p);
       (match !fault_hook with None -> () | Some f -> f p);
       (* The depth decrement happens only after the hook ran: locks report
          [Critical_exit] before the releasing store, so a thread crashed at
@@ -276,16 +308,13 @@ let window_end_of th s t =
 (* Cost model                                                          *)
 
 let read_cost s th line =
-  let topo = s.topo in
   let me = th.ctx in
-  let hit =
-    if line.streaming || line == th.last_line then 1 else topo.Topology.c_hit
-  in
+  let hit = if line.streaming || line == th.last_line then 1 else s.m_hit in
   if line.exclusive && line.writer = me then hit
   else if (not line.exclusive) && line.sharers land (1 lsl me) <> 0 then hit
   else
     let src = if line.writer >= 0 then line.writer else -1 in
-    Topology.transfer topo ~src ~dst:me
+    s.xfer.(((src + 1) * s.nctx) + me)
 
 let apply_read th line =
   th.last_line <- line;
@@ -309,19 +338,18 @@ let popcount n =
   go n 0
 
 let own_cost s th line ~rmw =
-  let topo = s.topo in
   let me = th.ctx in
   let base =
-    if line.exclusive && line.writer = me then topo.Topology.c_store
+    if line.exclusive && line.writer = me then s.m_store
     else
-      let transfer = Topology.transfer topo ~src:line.writer ~dst:me in
+      let transfer = s.xfer.(((line.writer + 1) * s.nctx) + me) in
       let others =
         let mask = line.sharers land lnot (1 lsl me) in
         popcount mask
       in
-      transfer + (others * topo.Topology.c_inv_per_sharer)
+      transfer + (others * s.m_inv)
   in
-  if rmw then base + topo.Topology.c_rmw else base
+  if rmw then base + s.m_rmw else base
 
 let apply_own th line =
   th.last_line <- line;
@@ -342,30 +370,40 @@ let apply_own th line =
 (* ------------------------------------------------------------------ *)
 (* Operation engine                                                    *)
 
-(* Execute an operation for thread [th]: wait for the line if needed,
-   charge [cost], apply [sem]. Returns the operation's result. *)
-let exec_now s th line cost ~serialize sem =
+let budget_msg = "simulation exceeded the inline-operation budget"
+
+let[@inline] charge_budget s =
   s.inline_ops <- s.inline_ops + 1;
-  if s.inline_ops > s.max_inline_ops then
-    raise (Budget "simulation exceeded the inline-operation budget");
+  if s.inline_ops > s.max_inline_ops then raise (Budget budget_msg)
+
+(* Execute a line operation for thread [th]: wait for the line if needed,
+   charge [cost]; the caller applies the semantic action afterwards.
+   Split from the old closure-taking [exec_now] so the fast path runs
+   with no [option]/tuple/closure traffic at all. *)
+let exec_line s th (l : line) cost ~serialize =
+  charge_budget s;
   let start =
-    match line with
-    | Some l when l.busy_until > th.clock ->
-        if serialize then begin
-          Hashtbl.replace s.hot l.id
-            (1 + Option.value ~default:0 (Hashtbl.find_opt s.hot l.id));
-          if Obs.Journal.recording () then Obs.Journal.on_stall l.id
-        end;
-        l.busy_until
-    | _ -> th.clock
+    if l.busy_until > th.clock then begin
+      if serialize then begin
+        if l.stalls = 0 then s.hot_rev <- l :: s.hot_rev;
+        l.stalls <- l.stalls + 1;
+        if Obs.Journal.recording () then Obs.Journal.on_stall l.id
+      end;
+      l.busy_until
+    end
+    else th.clock
   in
   let fin = start + cost in
-  (match line with
-  | Some l when serialize -> l.busy_until <- fin
-  | _ -> ());
+  if serialize then l.busy_until <- fin;
   th.clock <- fin;
-  if fin > s.end_time then s.end_time <- fin;
-  sem ()
+  if fin > s.end_time then s.end_time <- fin
+
+(* Thread-private work: no line, never serializes. *)
+let exec_work s th cost =
+  charge_budget s;
+  let fin = th.clock + cost in
+  th.clock <- fin;
+  if fin > s.end_time then s.end_time <- fin
 
 (* The inline fast path: run the op without touching the scheduler iff it
    finishes before the earliest pending event and before the end of the
@@ -384,12 +422,8 @@ let exec_now s th line cost ~serialize sem =
    history. This is what lets traversal-heavy workloads (large linked
    lists) simulate at memory speed instead of one scheduler event per
    node. *)
-let can_inline s th line cost ~serialize =
-  let start =
-    match line with
-    | Some l when l.busy_until > th.clock -> l.busy_until
-    | _ -> th.clock
-  in
+let[@inline] can_inline_line s th (l : line) cost ~serialize =
+  let start = if l.busy_until > th.clock then l.busy_until else th.clock in
   let fin = start + cost in
   fin <= th.window_end
   &&
@@ -397,15 +431,23 @@ let can_inline s th line cost ~serialize =
   (* [bound] is [max_int] when the heap is empty: this thread is the
      only runnable one, so any interleaving question is moot — always
      inline. (Runaway pure-inline spins are caught by the inline-op
-     budget in [exec_now].) *)
+     budget in [charge_budget].) *)
   bound = max_int
   || if serialize then fin < bound else fin <= bound + s.read_slack
 
+let[@inline] can_inline_work s th cost =
+  let fin = th.clock + cost in
+  fin <= th.window_end
+  &&
+  let bound = Eheap.min_time s.q in
+  bound = max_int || fin <= bound + s.read_slack
+
 (* Slow path: suspend the thread; the scheduler pops the event, re-prices
-   the operation (line state may have changed) and resumes. *)
-let suspend_op (type a) s th (price : t -> thread -> line option * int * bool)
+   the operation (line state may have changed) and resumes. The closures
+   this allocates only exist on the suspension path, which allocates a
+   heap event and an effect continuation anyway. *)
+let suspend_op (type a) s (price : t -> thread -> line option * int * bool)
     (sem : unit -> a) : a =
-  ignore th;
   Effect.perform
     (Suspend
        (fun th k ->
@@ -415,14 +457,10 @@ let suspend_op (type a) s th (price : t -> thread -> line option * int * bool)
                 th.clock <- ready;
                 th.window_end <- window_end_of th s ready;
                 let line, cost, serialize = price s th in
-                let v = exec_now s th line cost ~serialize sem in
-                Effect.Deep.continue k v))))
-
-let op (type a) s th price (sem : unit -> a) : a =
-  let line, cost, serialize = price s th in
-  if can_inline s th line cost ~serialize then
-    exec_now s th line cost ~serialize sem
-  else suspend_op s th price sem
+                (match line with
+                | Some l -> exec_line s th l cost ~serialize
+                | None -> exec_work s th cost);
+                Effect.Deep.continue k (sem ())))))
 
 (* ------------------------------------------------------------------ *)
 (* Public memory operations                                            *)
@@ -432,26 +470,42 @@ let read (l : 'a loc) : 'a =
   | None -> l.v
   | Some th ->
       let s = match !cur_sched with Some s -> s | None -> assert false in
-      refresh l.line;
+      let line = l.line in
+      refresh line;
       s.n_reads <- s.n_reads + 1;
-      op s th
-        (fun s th -> (Some l.line, read_cost s th l.line, false))
-        (fun () ->
-          apply_read th l.line;
-          l.v)
+      let cost = read_cost s th line in
+      if can_inline_line s th line cost ~serialize:false then begin
+        exec_line s th line cost ~serialize:false;
+        apply_read th line;
+        l.v
+      end
+      else
+        suspend_op s
+          (fun s th -> (Some line, read_cost s th line, false))
+          (fun () ->
+            apply_read th line;
+            l.v)
 
 let write (l : 'a loc) (v : 'a) : unit =
   match !cur_thread with
   | None -> l.v <- v
   | Some th ->
       let s = match !cur_sched with Some s -> s | None -> assert false in
-      refresh l.line;
+      let line = l.line in
+      refresh line;
       s.n_writes <- s.n_writes + 1;
-      op s th
-        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:false, true))
-        (fun () ->
-          apply_own th l.line;
-          l.v <- v)
+      let cost = own_cost s th line ~rmw:false in
+      if can_inline_line s th line cost ~serialize:true then begin
+        exec_line s th line cost ~serialize:true;
+        apply_own th line;
+        l.v <- v
+      end
+      else
+        suspend_op s
+          (fun s th -> (Some line, own_cost s th line ~rmw:false, true))
+          (fun () ->
+            apply_own th line;
+            l.v <- v)
 
 let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
   match !cur_thread with
@@ -463,20 +517,35 @@ let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
   | Some th ->
       let s = match !cur_sched with Some s -> s | None -> assert false in
       fault_point Fp.Before_cas;
-      refresh l.line;
+      let line = l.line in
+      refresh line;
       s.n_cas <- s.n_cas + 1;
+      let cost = own_cost s th line ~rmw:true in
       let ok =
-        op s th
-          (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
-          (fun () ->
-            apply_own th l.line;
-            if l.v == expected then (
-              l.v <- desired;
-              true)
-            else (
-              s.n_cas_failed <- s.n_cas_failed + 1;
-              if Obs.Journal.recording () then Obs.Journal.on_cas_fail l.line.id;
-              false))
+        if can_inline_line s th line cost ~serialize:true then begin
+          exec_line s th line cost ~serialize:true;
+          apply_own th line;
+          if l.v == expected then (
+            l.v <- desired;
+            true)
+          else (
+            s.n_cas_failed <- s.n_cas_failed + 1;
+            if Obs.Journal.recording () then Obs.Journal.on_cas_fail line.id;
+            false)
+        end
+        else
+          suspend_op s
+            (fun s th -> (Some line, own_cost s th line ~rmw:true, true))
+            (fun () ->
+              apply_own th line;
+              if l.v == expected then (
+                l.v <- desired;
+                true)
+              else (
+                s.n_cas_failed <- s.n_cas_failed + 1;
+                if Obs.Journal.recording () then
+                  Obs.Journal.on_cas_fail line.id;
+                false))
       in
       fault_point Fp.After_cas;
       ok
@@ -489,15 +558,25 @@ let faa (l : int loc) (n : int) : int =
       old
   | Some th ->
       let s = match !cur_sched with Some s -> s | None -> assert false in
-      refresh l.line;
+      let line = l.line in
+      refresh line;
       s.n_faa <- s.n_faa + 1;
-      op s th
-        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
-        (fun () ->
-          apply_own th l.line;
-          let old = l.v in
-          l.v <- old + n;
-          old)
+      let cost = own_cost s th line ~rmw:true in
+      if can_inline_line s th line cost ~serialize:true then begin
+        exec_line s th line cost ~serialize:true;
+        apply_own th line;
+        let old = l.v in
+        l.v <- old + n;
+        old
+      end
+      else
+        suspend_op s
+          (fun s th -> (Some line, own_cost s th line ~rmw:true, true))
+          (fun () ->
+            apply_own th line;
+            let old = l.v in
+            l.v <- old + n;
+            old)
 
 let exchange (l : 'a loc) (v : 'a) : 'a =
   match !cur_thread with
@@ -507,15 +586,25 @@ let exchange (l : 'a loc) (v : 'a) : 'a =
       old
   | Some th ->
       let s = match !cur_sched with Some s -> s | None -> assert false in
-      refresh l.line;
+      let line = l.line in
+      refresh line;
       s.n_cas <- s.n_cas + 1;
-      op s th
-        (fun s th -> (Some l.line, own_cost s th l.line ~rmw:true, true))
-        (fun () ->
-          apply_own th l.line;
-          let old = l.v in
-          l.v <- v;
-          old)
+      let cost = own_cost s th line ~rmw:true in
+      if can_inline_line s th line cost ~serialize:true then begin
+        exec_line s th line cost ~serialize:true;
+        apply_own th line;
+        let old = l.v in
+        l.v <- v;
+        old
+      end
+      else
+        suspend_op s
+          (fun s th -> (Some line, own_cost s th line ~rmw:true, true))
+          (fun () ->
+            apply_own th line;
+            let old = l.v in
+            l.v <- v;
+            old)
 
 let work (n : int) : unit =
   if n > 0 then
@@ -523,7 +612,8 @@ let work (n : int) : unit =
     | None -> ()
     | Some th ->
         let s = match !cur_sched with Some s -> s | None -> assert false in
-        op s th (fun _ _ -> (None, n, false)) (fun () -> ())
+        if can_inline_work s th n then exec_work s th n
+        else suspend_op s (fun _ _ -> (None, n, false)) (fun () -> ())
 
 let pause_cost = 8
 
@@ -693,41 +783,70 @@ type report = {
 
 exception Stalled of report
 
+(* Classification runs on the periodic watchdog path (every
+   [check_events] scheduler events when enabled), so the Progress case —
+   the overwhelmingly common one — is a single counting pass over the
+   thread array with no list allocation at all. The starved-tid list is
+   only materialized on the abort path. *)
 let classify s =
-  let alive =
-    Array.to_list s.threads |> List.filter (fun th -> not th.finished)
-  in
-  let starved =
-    List.filter
-      (fun th -> s.end_time - th.last_op_clock > s.wd.starve_cycles)
-      alive
-  in
-  let dead_holders =
-    Array.to_list s.threads
-    |> List.filter (fun th -> th.crashed && th.crit_depth > 0)
-  in
-  match starved with
-  | [] -> Progress
-  | _ when dead_holders <> [] || List.length starved < List.length alive ->
-      Starved (List.map (fun th -> th.t_id) starved)
-  | _ -> Livelocked
+  let n = Array.length s.threads in
+  let alive = ref 0 and starved = ref 0 and dead_holders = ref 0 in
+  for i = 0 to n - 1 do
+    let th = s.threads.(i) in
+    if not th.finished then begin
+      incr alive;
+      if s.end_time - th.last_op_clock > s.wd.starve_cycles then incr starved
+    end;
+    if th.crashed && th.crit_depth > 0 then incr dead_holders
+  done;
+  if !starved = 0 then Progress
+  else if !dead_holders > 0 || !starved < !alive then begin
+    let tids = ref [] in
+    for i = n - 1 downto 0 do
+      let th = s.threads.(i) in
+      if
+        (not th.finished)
+        && s.end_time - th.last_op_clock > s.wd.starve_cycles
+      then tids := th.t_id :: !tids
+    done;
+    Starved !tids
+  end
+  else Livelocked
 
 let build_report s verdict reason =
-  let progress th =
-    {
-      tp_tid = th.t_id;
-      tp_ops = th.ops_done;
-      tp_clock = th.clock;
-      tp_last_op_clock = th.last_op_clock;
-      tp_restarts = th.restarts;
-      tp_crit_depth = th.crit_depth;
-      tp_waiting = th.waiting;
-      tp_crashed = th.crashed;
-      tp_finished = th.finished && not th.crashed;
-    }
-  in
+  (* One reverse pass over the thread array builds all three lists in
+     ascending-tid order, instead of the old 5 [Array.to_list]/
+     [List.filter] traversals. *)
+  let threads = ref [] and dead = ref [] and waiters = ref [] in
+  for i = Array.length s.threads - 1 downto 0 do
+    let th = s.threads.(i) in
+    threads :=
+      {
+        tp_tid = th.t_id;
+        tp_ops = th.ops_done;
+        tp_clock = th.clock;
+        tp_last_op_clock = th.last_op_clock;
+        tp_restarts = th.restarts;
+        tp_crit_depth = th.crit_depth;
+        tp_waiting = th.waiting;
+        tp_crashed = th.crashed;
+        tp_finished = th.finished && not th.crashed;
+      }
+      :: !threads;
+    if th.crashed && th.crit_depth > 0 then dead := th.t_id :: !dead;
+    if (not th.finished) && th.waiting then waiters := th.t_id :: !waiters
+  done;
   let hot =
-    Hashtbl.fold (fun id n acc -> (id, n) :: acc) s.hot []
+    (* The per-line [stalls] counters are folded through a scratch table
+       whose keys are inserted in first-stall order — the same insertion
+       sequence the retired per-access Hashtbl saw — so the fold order,
+       and with it the tie ordering of equal stall counts under the
+       stable sort below, is byte-identical to the historical report. *)
+    let scratch = Hashtbl.create 64 in
+    List.iter
+      (fun l -> Hashtbl.replace scratch l.id l.stalls)
+      (List.rev s.hot_rev);
+    Hashtbl.fold (fun id n acc -> (id, n) :: acc) scratch []
     |> List.sort (fun (_, a) (_, b) -> compare b a)
     |> List.filteri (fun i _ -> i < 8)
   in
@@ -735,15 +854,9 @@ let build_report s verdict reason =
     r_verdict = verdict;
     r_reason = reason;
     r_stats = stats_of s;
-    r_threads = Array.to_list s.threads |> List.map progress;
-    r_dead_holders =
-      Array.to_list s.threads
-      |> List.filter (fun th -> th.crashed && th.crit_depth > 0)
-      |> List.map (fun th -> th.t_id);
-    r_waiters =
-      Array.to_list s.threads
-      |> List.filter (fun th -> (not th.finished) && th.waiting)
-      |> List.map (fun th -> th.t_id);
+    r_threads = !threads;
+    r_dead_holders = !dead;
+    r_waiters = !waiters;
     r_hot_lines = hot;
   }
 
@@ -835,19 +948,30 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
           crit_depth = 0;
           waiting = false;
           crashed = false;
+          self = None (* tied below *);
         })
   in
   Array.iter
     (fun th ->
       th.residents <- per_ctx.(th.ctx);
-      th.window_end <- max_int)
+      th.window_end <- max_int;
+      th.self <- Some th)
     threads;
+  (* Memoize the full transfer matrix: the hot path replaces every
+     [Topology.transfer] call (context-record chasing and branch ladder)
+     with one flat array load. Row 0 is [src = -1], the cold miss. *)
+  let xfer = Array.make ((nctx + 1) * nctx) 0 in
+  for src = -1 to nctx - 1 do
+    for dst = 0 to nctx - 1 do
+      xfer.(((src + 1) * nctx) + dst) <- Topology.transfer topology ~src ~dst
+    done
+  done;
   let s =
     {
       topo = topology;
       quantum;
       threads;
-      q = Eheap.create ();
+      q = Eheap.create ~dummy:(fun () -> ());
       live = n;
       stop = false;
       max_events;
@@ -864,7 +988,13 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
       max_inline_ops;
       inline_ops = 0;
       wd = watchdog;
-      hot = Hashtbl.create 64;
+      hot_rev = [];
+      nctx;
+      xfer;
+      m_hit = topology.Topology.c_hit;
+      m_store = topology.Topology.c_store;
+      m_rmw = topology.Topology.c_rmw;
+      m_inv = topology.Topology.c_inv_per_sharer;
     }
   in
   cur_sched := Some s;
@@ -875,7 +1005,8 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
       {
         retc =
           (fun () ->
-            obs_emit (Obs.Journal.Instant ("thread.finish", None));
+            if Obs.Journal.recording () then
+              obs_emit (Obs.Journal.Instant ("thread.finish", None));
             th.finished <- true;
             s.live <- s.live - 1);
         exnc =
@@ -916,21 +1047,21 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
   in
   (try
      while s.live > 0 && not (Eheap.is_empty s.q) do
-       let _, action = Eheap.pop s.q in
+       let action = Eheap.pop_payload s.q in
        s.events <- s.events + 1;
        if s.events > s.max_events then (
-         let dump =
-           Printf.sprintf "ops=%d " s.ops
-           ^ (Array.to_list s.threads
-             |> List.map (fun th ->
-                    Printf.sprintf "t%d@%d%s" th.t_id th.clock
-                      (if th.finished then "(done)" else ""))
-             |> String.concat " ")
-         in
+         let b = Buffer.create 256 in
+         Printf.bprintf b "ops=%d " s.ops;
+         Array.iteri
+           (fun i th ->
+             if i > 0 then Buffer.add_char b ' ';
+             Printf.bprintf b "t%d@%d%s" th.t_id th.clock
+               (if th.finished then "(done)" else ""))
+           s.threads;
          raise
            (abort_exn s
               (Printf.sprintf "simulation exceeded %d events; threads: %s"
-                 s.max_events dump)));
+                 s.max_events (Buffer.contents b))));
        (* Periodic liveness check (opt-in): classify long before the event
           budget burns. Skipped while the run is winding down — once the
           ops target is hit, lagging threads are exiting, not starving. *)

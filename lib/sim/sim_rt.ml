@@ -30,7 +30,13 @@ let on_fault = Sched.fault_point
    plain refs (the simulator is single-OS-threaded), and every probe call
    additionally lands in the observability journal — stamped with the
    calling thread's virtual time by [Sched.obs_emit] — whenever a
-   recording is active. *)
+   recording is active.
+
+   Every journal emission below tests [Obs.Journal.recording] at the call
+   site, before the [Obs.Journal.kind] argument is built: otherwise each
+   probe call in an untraced run would still allocate a constructor block
+   (and [span] a [Fun.protect] closure) just to have [obs_emit] drop it.
+   With recording off a probe is its arithmetic plus one flag load. *)
 module Probe = struct
   module Hb = Rt.Rt_intf.Hbucket
 
@@ -50,11 +56,13 @@ module Probe = struct
 
   let incr c =
     Stdlib.incr c.cell;
-    Sched.obs_emit (Obs.Journal.Count (c.c_name, 1))
+    if Obs.Journal.recording () then
+      Sched.obs_emit (Obs.Journal.Count (c.c_name, 1))
 
   let add c n =
     c.cell := !(c.cell) + n;
-    Sched.obs_emit (Obs.Journal.Count (c.c_name, n))
+    if Obs.Journal.recording () then
+      Sched.obs_emit (Obs.Journal.Count (c.c_name, n))
 
   let count c = !(c.cell)
   let counter_name c = c.c_name
@@ -70,7 +78,8 @@ module Probe = struct
   let observe h v =
     let i = Hb.index v in
     h.cells.(i) <- h.cells.(i) + 1;
-    Sched.obs_emit (Obs.Journal.Sample (h.h_name, v))
+    if Obs.Journal.recording () then
+      Sched.obs_emit (Obs.Journal.Sample (h.h_name, v))
 
   let buckets h =
     let acc = ref [] in
@@ -81,13 +90,24 @@ module Probe = struct
 
   let histogram_name h = h.h_name
 
-  let event ?arg name = Sched.obs_emit (Obs.Journal.Instant (name, arg))
-  let span_begin name = Sched.obs_emit (Obs.Journal.Span_begin name)
-  let span_end name = Sched.obs_emit (Obs.Journal.Span_end name)
+  let event ?arg name =
+    if Obs.Journal.recording () then
+      Sched.obs_emit (Obs.Journal.Instant (name, arg))
+
+  let span_begin name =
+    if Obs.Journal.recording () then
+      Sched.obs_emit (Obs.Journal.Span_begin name)
+
+  let span_end name =
+    if Obs.Journal.recording () then
+      Sched.obs_emit (Obs.Journal.Span_end name)
 
   let span name f =
-    span_begin name;
-    Fun.protect ~finally:(fun () -> span_end name) f
+    if Obs.Journal.recording () then begin
+      Sched.obs_emit (Obs.Journal.Span_begin name);
+      Fun.protect ~finally:(fun () -> span_end name) f
+    end
+    else f ()
 
   let with_site = Obs.Journal.with_site
 

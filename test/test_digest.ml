@@ -1,0 +1,172 @@
+(* Golden-digest determinism tests.
+
+   The simulator's seeded outputs are part of its contract: chaos repro
+   strings, soak failure tuples and trace exports must stay byte-identical
+   across engine changes (inline fast path, event heap layout, contention
+   accounting), or every recorded repro and committed trace silently goes
+   stale. These tests pin MD5 digests of representative seeded outputs:
+
+   - a fixed-seed chaos fuzzing session (trial strings + verdicts),
+   - a fixed-trial chaos replay,
+   - a soak-style randomized sweep summary (workload tuple + full stats),
+   - a Chrome trace_event export and its JSONL twin.
+
+   The digests were recorded before the PR-4 hot-path overhaul and must
+   survive it unchanged. If an *intentional* output-format change breaks
+   them, regenerate with:
+
+     GOLDEN_PRINT=1 dune exec test/test_digest.exe
+
+   and update the constants below — never update them to paper over an
+   unintended schedule change. *)
+
+module R = Harness.Registry
+
+let digest s = Digest.to_hex (Digest.string s)
+
+(* ------------------------------------------------------------------ *)
+(* Output producers                                                    *)
+
+let with_ppf f =
+  let buf = Buffer.create 8192 in
+  let ppf = Format.formatter_of_buffer buf in
+  let x = f ppf in
+  Format.pp_print_flush ppf ();
+  (x, Buffer.contents buf)
+
+(* A fixed-seed fuzzing session over the CI smoke set. *)
+let chaos_output () =
+  let failed, out =
+    with_ppf (fun ppf ->
+        Chaos.fuzz ~entries:Chaos.quick_entries ~runs:8 ~seed:3 ppf)
+  in
+  Printf.sprintf "failed=%d\n%s" failed out
+
+(* Replay of a pinned trial string (drawn deterministically so the string
+   itself is also covered by the digest). *)
+let replay_output () =
+  let rng = Harness.Rng.create 99 in
+  let tr = Chaos.gen_trial Chaos.quick_entries rng in
+  let s = Chaos.to_string tr in
+  let failures, out = with_ppf (fun ppf -> Chaos.replay s ppf) in
+  Printf.sprintf "trial=%s\nfailures=%d\n%s" s failures out
+
+(* A soak-style sweep: same sampling shape as test/soak.ml, pinned seed,
+   full stats per run so any scheduling change shows up. *)
+let soak_output () =
+  let b = Buffer.create 4096 in
+  let rng = Harness.Rng.create 424242 in
+  let topologies =
+    [ Sim.Topology.xeon; Sim.Topology.opteron; Sim.Topology.uniform ~n:4 () ]
+  in
+  let module SB = R.Sim_backend in
+  let all_sets = SB.maps @ SB.lists @ SB.hashtables in
+  for i = 1 to 6 do
+    let seed = Harness.Rng.next rng land 0xFFFFFF in
+    let topo = List.nth topologies (Harness.Rng.below rng 3) in
+    let nthreads = 1 + Harness.Rng.below rng 16 in
+    let size = 4 lsl Harness.Rng.below rng 7 in
+    let updates = 10 + Harness.Rng.below rng 80 in
+    let skewed = Harness.Rng.below rng 2 = 0 in
+    let ops = 1_000 + Harness.Rng.below rng 4_000 in
+    let (module S : R.SET_OPS) =
+      List.nth all_sets (Harness.Rng.below rng (List.length all_sets))
+    in
+    let w =
+      let base =
+        if skewed then
+          Harness.Runner.skewed_workload ~init_size:size ~update_pct:updates ()
+        else
+          Harness.Runner.uniform_workload ~init_size:size ~update_pct:updates ()
+      in
+      { base with Harness.Runner.capacity = Some (2 * size) }
+    in
+    Dstruct.Sl_common.reset_states ();
+    let m = Harness.Runner.run_set_sim ~topology:topo ~nthreads ~ops ~seed (module S) w in
+    Printf.bprintf b
+      "%d %s topo=%s thr=%d size=%d upd=%d skew=%b ops=%d seed=%d -> \
+       ops=%d mops=%.6f wall=%.9f reads=%d writes=%d cas=%d casf=%d \
+       size=%d valid=%b complete=%b\n"
+      i S.name topo.Sim.Topology.name nthreads size updates skewed ops seed
+      m.Harness.Runner.ops m.Harness.Runner.mops m.Harness.Runner.wall_s
+      m.Harness.Runner.reads m.Harness.Runner.writes m.Harness.Runner.cas
+      m.Harness.Runner.cas_failed m.Harness.Runner.final_size
+      m.Harness.Runner.valid
+      (match m.Harness.Runner.outcome with
+      | Harness.Runner.Complete -> true
+      | Harness.Runner.Aborted _ -> false)
+  done;
+  Buffer.contents b
+
+(* Trace exports of a recorded run: the Chrome trace_event JSON and the
+   JSONL journal must both be byte-stable. *)
+let trace_outputs () =
+  let (module S : R.SET_OPS) =
+    R.Sim_backend.find_named R.Sim_backend.lists "optik"
+  in
+  let w = Harness.Runner.uniform_workload ~init_size:256 ~update_pct:40 () in
+  let m =
+    Harness.Runner.run_set_sim ~topology:Sim.Topology.xeon ~nthreads:8
+      ~ops:4_000 ~seed:11 ~record_obs:true
+      (module S)
+      w
+  in
+  match m.Harness.Runner.obs with
+  | None -> Alcotest.fail "expected an observability summary"
+  | Some s ->
+      ( Obs.Trace.to_chrome s.Obs.Profile.s_record,
+        Obs.Trace.to_jsonl s.Obs.Profile.s_record )
+
+(* ------------------------------------------------------------------ *)
+(* Recorded digests (pre-PR-4 engine)                                  *)
+
+let golden_chaos = "8029953889ca251b8fbaa4daa4094b23"
+let golden_replay = "9305587bce9c034a34108a66ecdc1e6a"
+let golden_soak = "c1eccf8222670fdf0e454345635e8d65"
+let golden_chrome = "4be3b000f60d75c1c06c7749c6902013"
+let golden_jsonl = "ccfaab6e963e82e8799a70e15bda9afa"
+
+(* ------------------------------------------------------------------ *)
+
+let check_digest name golden data =
+  Alcotest.(check string) (name ^ " digest") golden (digest data)
+
+let test_chaos () = check_digest "chaos fuzz" golden_chaos (chaos_output ())
+let test_replay () = check_digest "chaos replay" golden_replay (replay_output ())
+let test_soak () = check_digest "soak sweep" golden_soak (soak_output ())
+
+let test_traces () =
+  let chrome, jsonl = trace_outputs () in
+  check_digest "chrome trace" golden_chrome chrome;
+  check_digest "jsonl trace" golden_jsonl jsonl
+
+(* Two back-to-back productions digest identically: determinism within a
+   process, independent of the recorded constants (catches state leaking
+   from one run into the next). *)
+let test_self_stable () =
+  Alcotest.(check string) "chaos twice" (digest (chaos_output ()))
+    (digest (chaos_output ()));
+  Alcotest.(check string) "soak twice" (digest (soak_output ()))
+    (digest (soak_output ()))
+
+let () =
+  if Sys.getenv_opt "GOLDEN_PRINT" <> None then begin
+    Printf.printf "let golden_chaos = %S\n" (digest (chaos_output ()));
+    Printf.printf "let golden_replay = %S\n" (digest (replay_output ()));
+    Printf.printf "let golden_soak = %S\n" (digest (soak_output ()));
+    let chrome, jsonl = trace_outputs () in
+    Printf.printf "let golden_chrome = %S\n" (digest chrome);
+    Printf.printf "let golden_jsonl = %S\n" (digest jsonl);
+    exit 0
+  end;
+  Alcotest.run "digest"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "chaos fuzz" `Quick test_chaos;
+          Alcotest.test_case "chaos replay" `Quick test_replay;
+          Alcotest.test_case "soak sweep" `Quick test_soak;
+          Alcotest.test_case "trace exports" `Quick test_traces;
+          Alcotest.test_case "self-stable" `Quick test_self_stable;
+        ] );
+    ]

@@ -15,6 +15,9 @@ let mk_measurement ?(name = "x") ~threads ~mops () =
     writes = 0;
     cas = 0;
     cas_failed = 0;
+    faa = 0;
+    events = 0;
+    host_s = 0.1;
     lat =
       Array.make Harness.Runner.n_classes Harness.Pstats.empty_summary;
     counters = [];

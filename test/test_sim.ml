@@ -11,7 +11,7 @@ let uniform4 = Topology.uniform ~n:4 ()
 (* Event heap                                                          *)
 
 let test_eheap_order () =
-  let h = Sim.Eheap.create () in
+  let h = Sim.Eheap.create ~dummy:(-1) in
   List.iter (fun t -> Sim.Eheap.push h t t) [ 5; 3; 9; 1; 7; 3; 0 ];
   let out = ref [] in
   while not (Sim.Eheap.is_empty h) do
@@ -22,7 +22,7 @@ let test_eheap_order () =
   Alcotest.(check (list int)) "sorted" [ 9; 7; 5; 3; 3; 1; 0 ] !out
 
 let test_eheap_fifo_ties () =
-  let h = Sim.Eheap.create () in
+  let h = Sim.Eheap.create ~dummy:"" in
   Sim.Eheap.push h 4 "a";
   Sim.Eheap.push h 4 "b";
   Sim.Eheap.push h 4 "c";
@@ -33,7 +33,7 @@ let test_eheap_fifo_ties () =
     [ a; b; c ]
 
 let test_eheap_min_time () =
-  let h = Sim.Eheap.create () in
+  let h = Sim.Eheap.create ~dummy:() in
   Alcotest.(check int) "empty = max_int" max_int (Sim.Eheap.min_time h);
   Sim.Eheap.push h 42 ();
   Sim.Eheap.push h 17 ();
@@ -43,13 +43,77 @@ let eheap_qcheck =
   Tutil.qcheck_case ~count:100 "eheap pops sorted"
     QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 10_000))
     (fun keys ->
-      let h = Sim.Eheap.create () in
+      let h = Sim.Eheap.create ~dummy:(-1) in
       List.iter (fun k -> Sim.Eheap.push h k k) keys;
       let out = ref [] in
       while not (Sim.Eheap.is_empty h) do
         out := fst (Sim.Eheap.pop h) :: !out
       done;
       List.rev !out = List.sort compare keys)
+
+(* Pop order is a total order — (time, seq) keys are unique — so an
+   interleaved push/pop workload must drain to exactly the sorted
+   (key, insertion-index) sequence, FIFO within equal keys. This is the
+   property that makes the heap's internal layout irrelevant to
+   simulator determinism. *)
+let eheap_qcheck_total_order =
+  Tutil.qcheck_case ~count:100 "eheap pop order total (FIFO ties)"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 50))
+    (fun keys ->
+      let h = Sim.Eheap.create ~dummy:(0, 0) in
+      let expected = List.mapi (fun i k -> (k, i)) keys in
+      let out = ref [] in
+      (* interleave: after every third push, pop one *)
+      List.iteri
+        (fun i (k, idx) ->
+          Sim.Eheap.push h k (k, idx);
+          if i mod 3 = 2 && not (Sim.Eheap.is_empty h) then
+            out := snd (Sim.Eheap.pop h) :: !out)
+        expected;
+      while not (Sim.Eheap.is_empty h) do
+        out := snd (Sim.Eheap.pop h) :: !out
+      done;
+      (* Every popped element's key must be <= any key still in the heap
+         at pop time; globally, a full drain (no interleaved pushes after
+         a pop) would be the stable sort. Check the weaker invariant that
+         holds under interleaving: the multiset matches, and within equal
+         keys the insertion order is preserved in the final sequence of a
+         pure drain. *)
+      let popped = List.rev !out in
+      List.sort compare popped = List.sort compare expected
+      &&
+      (* pure-drain FIFO check on the same keys *)
+      let h2 = Sim.Eheap.create ~dummy:(0, 0) in
+      List.iter (fun (k, i) -> Sim.Eheap.push h2 k (k, i)) expected;
+      let out2 = ref [] in
+      while not (Sim.Eheap.is_empty h2) do
+        out2 := snd (Sim.Eheap.pop h2) :: !out2
+      done;
+      List.rev !out2 = List.stable_sort (fun (a, _) (b, _) -> compare a b) expected)
+
+(* Popped payload slots must not retain their values: push boxed
+   payloads, pop them all, and check through a [Weak] pointer that the
+   heap no longer keeps them alive (the space-leak fix — a completed
+   thread's continuation closure used to stay reachable in the popped
+   slot until overwritten by a later push). *)
+let test_eheap_no_retention () =
+  let h = Sim.Eheap.create ~dummy:[||] in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let payload = Array.make 64 i in
+    Weak.set w i (Some payload);
+    Sim.Eheap.push h i payload
+  done;
+  while not (Sim.Eheap.is_empty h) do
+    ignore (Sim.Eheap.pop h)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected after pop" i)
+      false (Weak.check w i)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Topologies                                                          *)
@@ -431,6 +495,9 @@ let () =
           Alcotest.test_case "fifo on ties" `Quick test_eheap_fifo_ties;
           Alcotest.test_case "min_time" `Quick test_eheap_min_time;
           eheap_qcheck;
+          eheap_qcheck_total_order;
+          Alcotest.test_case "no payload retention" `Quick
+            test_eheap_no_retention;
         ] );
       ( "topology",
         [
