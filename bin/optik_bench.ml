@@ -7,6 +7,8 @@
      optik_bench figures --full
      optik_bench run --structure optik --family list --threads 12 \
                      --size 1024 --updates 40 --skewed
+     optik_bench run --family list --structure optik --seed 5 --report a.json
+     optik_bench diff a.json b.json
      optik_bench list *)
 
 open Cmdliner
@@ -27,6 +29,29 @@ let with_host_time label ops_done f =
      else "");
   r
 
+(* ---------------- run reports ---------------- *)
+
+module J = Obs.Report
+
+(* Every subcommand takes [--report FILE] and emits a schema-versioned
+   JSON run report there (see DESIGN.md, "Run reports"). Reports carry
+   only deterministic data: same command line + same seed => byte-
+   identical file, diffable with [optik_bench diff]. *)
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a schema-versioned JSON run report to $(docv): probe \
+           counters, scheduler stats, latency summaries and the normalized \
+           wasted-work section for every measured run. Deterministic for a \
+           given seed; compare two reports with $(b,optik_bench diff).")
+
+let write_report path (j : J.json) =
+  Harness.Report.write path j;
+  Printf.eprintf "[host] wrote report %s\n%!" path
+
 (* ---------------- figures ---------------- *)
 
 let figures_cmd =
@@ -40,9 +65,21 @@ let figures_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Dense thread sweeps (slower).")
   in
-  let run ids full =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Workload seed threaded into every runner call (default 42, the \
+             seed the committed figures use). Two seeds make an A/B pair \
+             for $(b,optik_bench diff).")
+  in
+  let run ids full seed report =
     let mode =
-      if full then Figures.Experiments.full else Figures.Experiments.quick
+      let base =
+        if full then Figures.Experiments.full else Figures.Experiments.quick
+      in
+      { base with Figures.Experiments.seed }
     in
     let ids =
       match ids with
@@ -73,11 +110,67 @@ let figures_cmd =
                 List.iter (Figures.Render.figure out) figs;
                 claims := !claims @ cs))
           ids);
-    Figures.Render.claims out !claims
+    Figures.Render.claims out !claims;
+    let runs = Figures.Experiments.drain_measurements () in
+    match report with
+    | None -> ()
+    | Some path ->
+        write_report path
+          (Harness.Report.make ~subcommand:"figures" ~seed:(Some seed)
+             ~params:
+               [
+                 ("ids", J.Str (String.concat "," ids));
+                 ("full", J.Bool full);
+               ]
+             runs)
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Regenerate the paper's figures (simulator).")
-    Term.(const run $ ids $ full)
+    Term.(const run $ ids $ full $ seed $ report_arg)
+
+(* ---------------- fault ---------------- *)
+
+let fault_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fault-plan and workload seed: same seed, same schedule, same \
+             fault times, same verdicts.")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Larger per-row op budgets.")
+  in
+  let run seed full report =
+    let mode =
+      let base =
+        if full then Figures.Experiments.full else Figures.Experiments.quick
+      in
+      { base with Figures.Experiments.seed }
+    in
+    with_host_time "fault"
+      (fun _ -> 0)
+      (fun () ->
+        let figs, cs = Figures.Experiments.run_id mode "fault" in
+        List.iter (Figures.Render.figure out) figs;
+        Figures.Render.claims out cs);
+    let runs = Figures.Experiments.drain_measurements () in
+    match report with
+    | None -> ()
+    | Some path ->
+        write_report path
+          (Harness.Report.make ~subcommand:"fault" ~seed:(Some seed)
+             ~params:[ ("full", J.Bool full) ]
+             runs)
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Fault-injection experiment: crash/stall threads inside critical \
+          sections and compare blocking vs lock-free behavior under the \
+          liveness watchdog.")
+    Term.(const run $ seed $ full $ report_arg)
 
 (* ---------------- single ad-hoc run ---------------- *)
 
@@ -159,7 +252,7 @@ let run_cmd =
              time series and per-thread totals.")
   in
   let run family structure threads size updates skewed machine ops seed trace
-      profile =
+      profile report =
     let topology =
       match machine with
       | "xeon" -> Sim.Topology.xeon
@@ -197,7 +290,10 @@ let run_cmd =
       | "map" | "hashtable" -> { base with Harness.Runner.capacity = Some size }
       | _ -> base
     in
-    let record_obs = profile || trace <> None in
+    (* A report wants hot-line stall attribution, so it records the
+       journal like --profile does; recording never perturbs the
+       simulated clock, so the printed figures are unchanged. *)
+    let record_obs = profile || trace <> None || report <> None in
     let m =
       Harness.Runner.run_set_sim ~topology ~nthreads:threads ~ops ~seed
         ~record_obs (module S) w
@@ -232,7 +328,7 @@ let run_cmd =
     Printf.eprintf "[host] run %s/%s: %.3fs wall-clock, %.0f ops/host-sec\n%!"
       family structure m.Harness.Runner.host_s
       (float_of_int m.Harness.Runner.ops /. m.Harness.Runner.host_s);
-    match m.Harness.Runner.obs with
+    (match m.Harness.Runner.obs with
     | None -> ()
     | Some s ->
         (match trace with
@@ -241,13 +337,129 @@ let run_cmd =
             Obs.Trace.write_file path s.Obs.Profile.s_record;
             Printf.printf "  trace           %s (%d events)\n" path
               s.Obs.Profile.s_events);
-        if profile then Format.printf "%a@?" Obs.Profile.pp s
+        if profile then Format.printf "%a@?" Obs.Profile.pp s);
+    match report with
+    | None -> ()
+    | Some path ->
+        write_report path
+          (Harness.Report.make ~subcommand:"run" ~seed:(Some seed)
+             ~params:
+               [
+                 ("family", J.Str family);
+                 ("structure", J.Str structure);
+                 ("threads", J.Int threads);
+                 ("size", J.Int size);
+                 ("updates", J.Int updates);
+                 ("skewed", J.Bool skewed);
+                 ("machine", J.Str machine);
+                 ("ops", J.Int ops);
+               ]
+             [ (Printf.sprintf "%s/%s" family structure, m) ])
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload against one structure.")
     Term.(
       const run $ family $ structure $ threads $ size $ updates $ skewed
-      $ machine $ ops $ seed $ trace $ profile)
+      $ machine $ ops $ seed $ trace $ profile $ report_arg)
+
+(* ---------------- soak ---------------- *)
+
+(* A bounded, deterministic soak sweep: the sampling shape of
+   test/soak.ml, but runs-bounded instead of time-bounded so its output
+   (and report) is reproducible. The unbounded wall-clock soak remains
+   test/soak.exe. *)
+let soak_cmd =
+  let runs_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of randomized runs (default 6).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 424242
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Sweep seed (default 424242, the golden-digest seed): drives \
+             structure, topology, thread-count and workload sampling.")
+  in
+  let run runs seed report =
+    let module R = Harness.Registry in
+    let rng = Harness.Rng.create seed in
+    let topologies =
+      [ Sim.Topology.xeon; Sim.Topology.opteron; Sim.Topology.uniform ~n:4 () ]
+    in
+    let module SB = R.Sim_backend in
+    let all_sets = SB.maps @ SB.lists @ SB.hashtables in
+    let failures = ref 0 in
+    let measured = ref [] in
+    with_host_time
+      (Printf.sprintf "soak %d runs" runs)
+      (fun _ -> 0)
+      (fun () ->
+        for i = 1 to runs do
+          let run_seed = Harness.Rng.next rng land 0xFFFFFF in
+          let topo = List.nth topologies (Harness.Rng.below rng 3) in
+          let nthreads = 1 + Harness.Rng.below rng 16 in
+          let size = 4 lsl Harness.Rng.below rng 7 in
+          let updates = 10 + Harness.Rng.below rng 80 in
+          let skewed = Harness.Rng.below rng 2 = 0 in
+          let ops = 1_000 + Harness.Rng.below rng 4_000 in
+          let (module S : R.SET_OPS) =
+            List.nth all_sets (Harness.Rng.below rng (List.length all_sets))
+          in
+          let w =
+            let base =
+              if skewed then
+                Harness.Runner.skewed_workload ~init_size:size
+                  ~update_pct:updates ()
+              else
+                Harness.Runner.uniform_workload ~init_size:size
+                  ~update_pct:updates ()
+            in
+            { base with Harness.Runner.capacity = Some (2 * size) }
+          in
+          Dstruct.Sl_common.reset_states ();
+          let m =
+            Harness.Runner.run_set_sim ~topology:topo ~nthreads ~ops
+              ~seed:run_seed
+              ~watchdog:
+                { Sim.Sched.check_events = 500_000;
+                  starve_cycles = 50_000_000 }
+              (module S)
+              w
+          in
+          let complete =
+            match m.Harness.Runner.outcome with
+            | Harness.Runner.Complete -> true
+            | Harness.Runner.Aborted _ -> false
+          in
+          if (not complete) || not m.Harness.Runner.valid then incr failures;
+          Printf.printf
+            "%d %s topo=%s thr=%d size=%d upd=%d skew=%b ops=%d seed=%d -> \
+             ops=%d mops=%.6f valid=%b complete=%b\n"
+            i S.name topo.Sim.Topology.name nthreads size updates skewed ops
+            run_seed m.Harness.Runner.ops m.Harness.Runner.mops
+            m.Harness.Runner.valid complete;
+          measured :=
+            (Printf.sprintf "soak/%02d/%s" i S.name, m) :: !measured
+        done);
+    Printf.printf "soak finished: %d runs, %d failures\n" runs !failures;
+    (match report with
+    | None -> ()
+    | Some path ->
+        write_report path
+          (Harness.Report.make ~subcommand:"soak" ~seed:(Some seed)
+             ~params:[ ("runs", J.Int runs) ]
+             (List.rev !measured)));
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Bounded deterministic soak sweep: randomized structures, \
+          topologies and workloads from one seed, invariant-checked; \
+          reproducible, unlike the time-bounded test/soak.exe.")
+    Term.(const run $ runs_arg $ seed $ report_arg)
 
 (* ---------------- chaos ---------------- *)
 
@@ -290,7 +502,7 @@ let chaos_cmd =
             "Replay one trial string (as emitted in a repro line) instead of \
              fuzzing, and print its verdict.")
   in
-  let run runs seed structures quick replay =
+  let run runs seed structures quick replay report =
     let entries =
       if quick then Chaos.quick_entries else Chaos.default_entries
     in
@@ -324,7 +536,13 @@ let chaos_cmd =
       Printf.eprintf "no structures selected\n";
       exit 2
     end;
-    let ppf = Format.std_formatter in
+    (* With --report the trial stream renders into a buffer so the same
+       lines can land both on stdout (unchanged bytes) and in the report. *)
+    let buf = Buffer.create 8192 in
+    let ppf =
+      if report = None then Format.std_formatter
+      else Format.formatter_of_buffer buf
+    in
     let failures =
       match replay with
       | Some s -> (
@@ -344,6 +562,35 @@ let chaos_cmd =
             (fun () -> Chaos.fuzz ~entries ~runs ~seed ppf)
     in
     Format.pp_print_flush ppf ();
+    (match report with
+    | None -> ()
+    | Some path ->
+        let output = Buffer.contents buf in
+        print_string output;
+        let lines =
+          String.split_on_char '\n' output
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        write_report path
+          (J.make ~subcommand:"chaos" ~seed:(Some seed)
+             ~params:
+               [
+                 ("runs", J.Int runs);
+                 ("quick", J.Bool quick);
+                 ( "structures",
+                   match structures with
+                   | None -> J.Null
+                   | Some s -> J.Str s );
+                 ( "replay",
+                   match replay with None -> J.Null | Some s -> J.Str s );
+               ]
+             ~runs:[]
+             ~sections:
+               [
+                 ("failures", J.Int failures);
+                 ("trials", J.Arr (List.map (fun l -> J.Str l) lines));
+               ]);
+        Printf.eprintf "[host] wrote report %s\n%!" path);
     if failures > 0 then exit 1
   in
   Cmd.v
@@ -352,7 +599,7 @@ let chaos_cmd =
          "Randomized fault/schedule fuzzing over the registry structures, \
           with crash-aware linearizability, liveness and invariant oracles, \
           and counterexample shrinking.")
-    Term.(const run $ runs $ seed $ structures $ quick $ replay)
+    Term.(const run $ runs $ seed $ structures $ quick $ replay $ report_arg)
 
 (* ---------------- hostperf ---------------- *)
 
@@ -390,7 +637,7 @@ let hostperf_cmd =
             "Run each workload $(docv) times and keep the best host time \
              (the simulated side is identical every repeat).")
   in
-  let run out_file baseline tolerance repeats =
+  let run out_file baseline tolerance repeats report =
     let results = Host_bench.run ~repeats () in
     Format.printf "%a@?" Host_bench.pp_table results;
     (match out_file with
@@ -398,6 +645,39 @@ let hostperf_cmd =
     | Some path ->
         Host_bench.write_json path results;
         Printf.eprintf "[host] wrote %s\n%!" path);
+    (match report with
+    | None -> ()
+    | Some path ->
+        (* Only the simulated side of hostperf is deterministic; host
+           seconds stay out of the report (they live in --out / stderr). *)
+        let runs =
+          List.map
+            (fun (r : Host_bench.result) ->
+              J.Obj
+                [
+                  ("id", J.Str r.Host_bench.r_name);
+                  ("name", J.Str r.Host_bench.r_name);
+                  ("threads", J.Int r.Host_bench.r_threads);
+                  ( "metrics",
+                    J.Obj
+                      [
+                        ("ops", J.Int r.Host_bench.r_ops);
+                        ("accesses", J.Int r.Host_bench.r_accesses);
+                        ("events", J.Int r.Host_bench.r_events);
+                      ] );
+                ])
+            results
+        in
+        let j =
+          J.make ~subcommand:"hostperf" ~seed:None
+            ~params:[ ("repeats", J.Int repeats) ]
+            ~runs ~sections:[]
+        in
+        (match J.validate j with
+        | Ok () -> ()
+        | Error e -> invalid_arg ("hostperf report invalid: " ^ e));
+        J.write_file path j;
+        Printf.eprintf "[host] wrote report %s\n%!" path);
     match baseline with
     | None -> ()
     | Some path ->
@@ -436,7 +716,58 @@ let hostperf_cmd =
          "Measure engine throughput in simulated-ops per host-second over \
           fixed representative workloads, optionally gating against a \
           committed baseline.")
-    Term.(const run $ out_file $ baseline $ tolerance $ repeats)
+    Term.(const run $ out_file $ baseline $ tolerance $ repeats $ report_arg)
+
+(* ---------------- diff ---------------- *)
+
+let diff_cmd =
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"A.json" ~doc:"Baseline report file.")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"B.json" ~doc:"Report file to compare against A.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K"
+          ~doc:"How many top regressions to rank (default 10).")
+  in
+  let run file_a file_b top =
+    let load label path =
+      match J.read_file path with
+      | Ok j -> (
+          match J.validate j with
+          | Ok () -> j
+          | Error e ->
+              Printf.eprintf "report %s (%s) failed validation: %s\n" label
+                path e;
+              exit 2)
+      | Error e ->
+          Printf.eprintf "cannot parse %s (%s): %s\n" label path e;
+          exit 2
+    in
+    let a = load "A" file_a and b = load "B" file_b in
+    match J.diff ~top a b with
+    | Ok text -> print_string text
+    | Error e ->
+        Printf.eprintf "diff failed: %s\n" e;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two run reports (seed-vs-seed, structure-vs-structure, \
+          commit-vs-commit): deterministic per-metric deltas, top-K \
+          regressions, and hot-line stall attribution when both reports \
+          carry profiles.")
+    Term.(const run $ file_a $ file_b $ top)
 
 (* ---------------- list ---------------- *)
 
@@ -479,4 +810,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figures_cmd; run_cmd; chaos_cmd; hostperf_cmd; list_cmd ]))
+          [
+            figures_cmd;
+            fault_cmd;
+            run_cmd;
+            soak_cmd;
+            chaos_cmd;
+            hostperf_cmd;
+            diff_cmd;
+            list_cmd;
+          ]))

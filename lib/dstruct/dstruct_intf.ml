@@ -49,11 +49,22 @@ module type STACK = sig
 end
 
 (** Monomorphic (int-valued) views used by the generic test and benchmark
-    drivers, where first-class modules need concrete types. *)
+    drivers, where first-class modules need concrete types.
+
+    [probe_prefix] declares the rep's wasted-work probes under the
+    [<rep>.<metric>] naming convention (see DESIGN.md, "Run reports"):
+    [Some p] promises that running the structure registers counters named
+    [p ^ ".<metric>"] — at least [p ^ ".restarts"], or a documented
+    restart-equivalent — which the run report's wasted-work section
+    aggregates per structure. [None] marks a purely blocking rep whose
+    only wasted work is lock waiting, visible in the scheduler's stall
+    statistics instead of probe counters. A registry-walking test
+    enforces the promise. *)
 module type SET_OPS = sig
   type t
 
   val name : string
+  val probe_prefix : string option
   val create : ?capacity:int -> unit -> t
   val search : t -> int -> int option
   val insert : t -> int -> int -> bool
@@ -66,6 +77,7 @@ module type QUEUE_OPS = sig
   type t
 
   val name : string
+  val probe_prefix : string option
   val create : unit -> t
   val enqueue : t -> int -> unit
   val dequeue : t -> int option
@@ -76,6 +88,7 @@ module type STACK_OPS = sig
   type t
 
   val name : string
+  val probe_prefix : string option
   val create : unit -> t
   val push : t -> int -> unit
   val pop : t -> int option
@@ -109,11 +122,13 @@ module Mono_set
     (S : SET_CORE)
     (C : sig
       val name : string
+      val probe_prefix : string option
       val create : ?capacity:int -> unit -> int S.t
     end) : SET_OPS = struct
   type t = int S.t
 
   let name = C.name
+  let probe_prefix = C.probe_prefix
   let create = C.create
   let search = S.search
   let insert = S.insert
@@ -134,11 +149,13 @@ module Mono_queue
     (Q : QUEUE_CORE)
     (C : sig
       val name : string
+      val probe_prefix : string option
       val create : unit -> int Q.t
     end) : QUEUE_OPS = struct
   type t = int Q.t
 
   let name = C.name
+  let probe_prefix = C.probe_prefix
   let create = C.create
   let enqueue = Q.enqueue
   let dequeue = Q.dequeue
@@ -157,11 +174,13 @@ module Mono_stack
     (S : STACK_CORE)
     (C : sig
       val name : string
+      val probe_prefix : string option
       val create : unit -> int S.t
     end) : STACK_OPS = struct
   type t = int S.t
 
   let name = C.name
+  let probe_prefix = C.probe_prefix
   let create = C.create
   let push = S.push
   let pop = S.pop

@@ -25,6 +25,12 @@ module Make (Rt : RT) = struct
 
   let name = "pq-optik"
 
+  (* Wasted work above what the underlying skip list already counts
+     (under "sl-optik"): an insert redone with a fresh sequence number
+     after a key collision, or an extractor losing the delete race and
+     moving on to the next candidate. *)
+  let restarts = Rt.Probe.counter "pq-optik.restarts"
+
   let create () = { sl = Sl.create ~variant:`Restart (); seq = Rt.atomic 0 }
 
   let max_prio = (max_int lsr (seq_bits + 1)) - 1
@@ -36,7 +42,10 @@ module Make (Rt : RT) = struct
       let key = (prio lsl seq_bits) lor seq in
       (* key collision with a concurrent equal-priority insert: take a
          fresh sequence number and retry *)
-      if Sl.insert t.sl key v then () else attempt ()
+      if Sl.insert t.sl key v then ()
+      else (
+        Rt.Probe.incr restarts;
+        attempt ())
     in
     attempt ()
 
@@ -54,7 +63,10 @@ module Make (Rt : RT) = struct
           then
             match Sl.delete t.sl next.Sl.key with
             | Some v -> Some (next.Sl.key lsr seq_bits, v)
-            | None -> walk next (* lost the race; try the next node *)
+            | None ->
+                (* lost the race; try the next node *)
+                Rt.Probe.incr restarts;
+                walk next
           else walk next
     in
     walk t.sl.Sl.head

@@ -63,6 +63,11 @@ module Make (Rt : RT) = struct
 
     let name = "ms-lf"
 
+    (* Wasted work: a CAS on [last.next] (enqueue) or [t.head] (dequeue)
+       that lost the race, forcing a fresh traversal of the two-pointer
+       state. Helping a lagging tail is not counted — that work lands. *)
+    let restarts = Rt.Probe.counter "q-ms-lf.restarts"
+
     let create () =
       let d = dummy () in
       { head = Rt.atomic d; tail = Rt.atomic d; qsbr = Q.create () }
@@ -83,6 +88,7 @@ module Make (Rt : RT) = struct
               if Rt.cas last.next nread n_opt then
                 ignore (Rt.cas t.tail last n : bool)
               else (
+                Rt.Probe.incr restarts;
                 B.once b;
                 loop ())
           | Some nxt ->
@@ -117,6 +123,7 @@ module Make (Rt : RT) = struct
                   Q.retire t.qsbr first;
                   Some v)
                 else (
+                  Rt.Probe.incr restarts;
                   B.once b;
                   loop ())
         else loop ()
@@ -196,6 +203,12 @@ module Make (Rt : RT) = struct
 
     let validated = Rt.Probe.counter "q-optik0.validated"
 
+    (* The blocking [lock_version] always acquires; when the version
+       moved meanwhile the optimistic preparation is wasted and the
+       dequeue re-prepares under the lock — a validation failure, the
+       only wasted work this variant can exhibit. *)
+    let vfail_lock = Rt.Probe.counter "q-optik0.vfail-lock"
+
     (* The C struct lays the dequeue lock next to the head pointer (and
        the enqueue lock next to the tail): one hot line per queue end,
        not two. *)
@@ -229,7 +242,8 @@ module Make (Rt : RT) = struct
       let h0 = Rt.get t.head in
       let n0 = Rt.get h0.next in
       let same = OL.lock_version t.hlock v0 in
-      if same then Rt.Probe.incr validated;
+      if same then Rt.Probe.incr validated
+      else Rt.Probe.incr vfail_lock;
       (* Version validated: no dequeue completed since [v0], so the
          prepared (h0, n0) still holds. Otherwise re-prepare in the
          critical section, as a classic locked dequeue would. *)
@@ -369,6 +383,7 @@ module Make (Rt : RT) = struct
               if Rt.cas last.next nread n_opt then
                 ignore (Rt.cas t.tail last n : bool)
               else (
+                Rt.Probe.incr restarts;
                 B.once b;
                 loop ())
           | Some nxt ->

@@ -22,6 +22,10 @@ module Make (Rt : RT) = struct
 
     let name = "stack-treiber"
 
+    (* Wasted work: every failed CAS on [top] throws the prepared node
+       (push) or the read top (pop) away and retries. *)
+    let restarts = Rt.Probe.counter "stack-treiber.restarts"
+
     let create () =
       Rt.Probe.with_site "stack-treiber.top" (fun () ->
           { top = Rt.atomic None; qsbr = Q.create () })
@@ -33,6 +37,7 @@ module Make (Rt : RT) = struct
         let cur = Rt.get t.top in
         let n = Some { value = v; next = cur } in
         if not (Rt.cas t.top cur n) then (
+          Rt.Probe.incr restarts;
           B.once b;
           loop ())
       in
@@ -51,6 +56,7 @@ module Make (Rt : RT) = struct
               Q.retire t.qsbr node;
               Some node.value)
             else (
+              Rt.Probe.incr restarts;
               B.once b;
               loop ())
       in
@@ -178,6 +184,9 @@ module Make (Rt : RT) = struct
 
     let eliminated = Rt.Probe.counter "stack-elim.eliminated"
 
+    (* A retry that neither the CAS nor the elimination layer absorbed. *)
+    let restarts = Rt.Probe.counter "stack-elim.restarts"
+
     let default_slots = 4
     let spin_budget = 32
 
@@ -277,7 +286,10 @@ module Make (Rt : RT) = struct
         let cur = Rt.get t.top in
         let n = Some { value = v; next = cur } in
         if not (Rt.cas t.top cur n) then
-          if try_eliminate_push t v then () else loop ()
+          if try_eliminate_push t v then ()
+          else (
+            Rt.Probe.incr restarts;
+            loop ())
       in
       loop ();
       Q.op_end t.qsbr
@@ -295,7 +307,9 @@ module Make (Rt : RT) = struct
             else (
               match try_eliminate_pop t with
               | Some v -> Some v
-              | None -> loop ())
+              | None ->
+                  Rt.Probe.incr restarts;
+                  loop ())
       in
       let res = loop () in
       Q.op_end t.qsbr;

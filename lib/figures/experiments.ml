@@ -17,6 +17,7 @@ let opteron = Topology.opteron
 type mode = {
   threads_of : Topology.t -> int list;
   ops_scale : float;  (** multiplier on per-point op budgets *)
+  seed : int;  (** workload seed threaded into every runner call *)
 }
 
 let quick =
@@ -26,6 +27,7 @@ let quick =
         if Topology.n_contexts topo >= 48 then [ 1; 4; 10; 20; 32; 48; 56 ]
         else [ 1; 4; 10; 20; 30; 40; 56 ]);
     ops_scale = 1.;
+    seed = 42;
   }
 
 let full =
@@ -36,9 +38,31 @@ let full =
           [ 1; 2; 4; 6; 8; 12; 16; 20; 24; 32; 40; 48; 56; 64 ]
         else [ 1; 2; 4; 6; 8; 10; 14; 18; 22; 26; 32; 36; 40; 48; 56; 64 ]);
     ops_scale = 2.;
+    seed = 42;
   }
 
 let scaled mode ops = int_of_float (float_of_int ops *. mode.ops_scale)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement sink
+
+   Figures print rendered tables, not raw measurements; run reports
+   need the measurements themselves. Every experiment deposits each
+   measurement here as it is produced, labelled with a short
+   description; [drain_measurements] hands them to the report emitter,
+   numbered in production order so the same command line always yields
+   the same run ids (required for diffing two seeds). *)
+
+let sink : (string * Runner.measurement) list ref = ref []
+
+let emit desc (m : Runner.measurement) =
+  sink := (desc, m) :: !sink;
+  m
+
+let drain_measurements () =
+  let ms = List.rev !sink in
+  sink := [];
+  List.mapi (fun i (d, m) -> (Printf.sprintf "r%03d:%s" i d, m)) ms
 
 (* ------------------------------------------------------------------ *)
 (* Generic sweeps                                                      *)
@@ -51,9 +75,12 @@ let set_series mode ~topology ~ops ~workload (module S : Harness.Registry.SET_OP
       List.map
         (fun n ->
           ( n,
-            Runner.run_set_sim ~topology ~nthreads:n ~ops:(scaled mode ops)
-              (module S)
-              workload ))
+            emit
+              (Printf.sprintf "%s/%s@t%d" topology.Topology.name S.name n)
+              (Runner.run_set_sim ~topology ~nthreads:n ~ops:(scaled mode ops)
+                 ~seed:mode.seed
+                 (module S)
+                 workload) ))
         (mode.threads_of topology);
   }
 
@@ -65,18 +92,26 @@ let queue_series mode ~topology ~ops ~enqueue_pct
       List.map
         (fun n ->
           ( n,
-            Runner.run_queue_sim ~topology ~nthreads:n ~ops:(scaled mode ops)
-              ~enqueue_pct
-              (module Q) ))
+            emit
+              (Printf.sprintf "%s/%s@t%d" topology.Topology.name Q.name n)
+              (Runner.run_queue_sim ~topology ~nthreads:n ~ops:(scaled mode ops)
+                 ~seed:mode.seed ~enqueue_pct
+                 (module Q)) ))
         (List.filter (fun n -> n >= 2) (mode.threads_of topology));
   }
 
-let single_point_set ~topology ~nthreads ~ops ~workload
+let single_point_set mode ~topology ~nthreads ~ops ~workload
     (module S : Harness.Registry.SET_OPS) =
   {
     Render.label = S.name;
     points =
-      [ (nthreads, Runner.run_set_sim ~topology ~nthreads ~ops (module S) workload) ];
+      [
+        ( nthreads,
+          emit
+            (Printf.sprintf "%s/%s@t%d" topology.Topology.name S.name nthreads)
+            (Runner.run_set_sim ~topology ~nthreads ~ops ~seed:mode.seed
+               (module S) workload) );
+      ];
   }
 
 (* Claims helpers: average throughput ratio of two labelled series over
@@ -131,6 +166,11 @@ module F5_ot = Optik.Ticket (Sim.Sim_rt)
 module F5_backoff = Rt.Backoff.Make (Sim.Sim_rt)
 
 let fig5_point impl ~topology ~nthreads ~ops =
+  (* Figure 5 drives the scheduler directly (no harness runner), so it
+     resets and collects probe counters itself — the OPTIK variants
+     count their failed trylocks, which the run report's wasted-work
+     section picks up. *)
+  Sim.Sim_rt.Probe.reset_all ();
   let stats, succeeded =
     match impl with
     | Ttas_version ->
@@ -218,6 +258,8 @@ let fig5_point impl ~topology ~nthreads ~ops =
   in
   {
     Runner.name = f5_name impl;
+    topo_name = topology.Topology.name;
+    seed = 0;
     threads = nthreads;
     mops = Sched.mops topology { stats with Sched.ops = succeeded };
     ops = succeeded;
@@ -231,7 +273,8 @@ let fig5_point impl ~topology ~nthreads ~ops =
     events = stats.Sched.events;
     host_s = 0.;
     lat = Array.make Runner.n_classes Harness.Pstats.empty_summary;
-    counters = [];
+    lat_classes = Runner.class_names;
+    counters = Sim.Sim_rt.Probe.dump ();
     final_size = 0;
     valid = true;
     outcome = Runner.Complete;
@@ -248,7 +291,11 @@ let fig5 mode =
           Render.label = f5_name impl;
           points =
             List.map
-              (fun n -> (n, fig5_point impl ~topology:xeon ~nthreads:n ~ops))
+              (fun n ->
+                ( n,
+                  emit
+                    (Printf.sprintf "f5/%s@t%d" (f5_name impl) n)
+                    (fig5_point impl ~topology:xeon ~nthreads:n ~ops) ))
               threads;
         })
       [ Ttas_version; Optik_ticket; Optik_versioned ]
@@ -319,8 +366,8 @@ let fig7 mode =
     in
     let lat_series =
       List.map
-        (single_point_set ~topology:xeon ~nthreads:10 ~ops:(scaled mode ops)
-           ~workload:w)
+        (single_point_set mode ~topology:xeon ~nthreads:10
+           ~ops:(scaled mode ops) ~workload:w)
         R.maps
     in
     ( {
@@ -615,9 +662,12 @@ let fig12 mode =
             points =
               [
                 ( 10,
-                  Runner.run_queue_sim ~topology:xeon ~nthreads:10
-                    ~ops:(scaled mode 20_000) ~enqueue_pct:50
-                    (module Q) );
+                  emit
+                    (Printf.sprintf "xeon/%s@t10" Q.name)
+                    (Runner.run_queue_sim ~topology:xeon ~nthreads:10
+                       ~ops:(scaled mode 20_000) ~seed:mode.seed
+                       ~enqueue_pct:50
+                       (module Q)) );
               ];
           })
         R.queues
@@ -684,6 +734,7 @@ let map_ticket_ops : (module Harness.Registry.SET_OPS) =
     type t = int Map_ticket.t
 
     let name = "optik[tkt]"
+    let probe_prefix = Some "map-optik"
     let create ?capacity () = Map_ticket.create ?capacity ()
     let search = Map_ticket.search
     let insert = Map_ticket.insert
@@ -699,6 +750,7 @@ let ll_ticket_ops : (module Harness.Registry.SET_OPS) =
     type t = int Ll_ticket.t
 
     let name = "optik[tkt]"
+    let probe_prefix = Some "ll-optik"
     let create ?capacity:_ () = Ll_ticket.create ()
     let search = Ll_ticket.search
     let insert = Ll_ticket.insert
@@ -763,8 +815,10 @@ let ablation_cache mode =
         let w = Runner.uniform_workload ~init_size:size ~update_pct:40 () in
         let ops = scaled mode (max 2_000 (400_000 / size)) in
         let m_cache =
-          Runner.run_set_sim ~topology:xeon ~nthreads:10 ~ops
-            R.ll_optik_cache w
+          emit
+            (Printf.sprintf "cache/optik-cache@s%d" size)
+            (Runner.run_set_sim ~topology:xeon ~nthreads:10 ~ops
+               ~seed:mode.seed R.ll_optik_cache w)
         in
         let hits =
           try List.assoc "ll-optik.cache-hits" m_cache.Runner.counters
@@ -775,7 +829,10 @@ let ablation_cache mode =
           with Not_found -> 1
         in
         let m_plain =
-          Runner.run_set_sim ~topology:xeon ~nthreads:10 ~ops R.ll_optik w
+          emit
+            (Printf.sprintf "cache/optik@s%d" size)
+            (Runner.run_set_sim ~topology:xeon ~nthreads:10 ~ops
+               ~seed:mode.seed R.ll_optik w)
         in
         (size, m_cache, m_plain, float_of_int hits /. float_of_int (max 1 tries)))
       sizes
@@ -874,6 +931,7 @@ let stack_experiment mode =
                 for i = 1 to 1024 do
                   S.push t i
                 done;
+                Sim.Sim_rt.Probe.reset_all ();
                 let st =
                   Sched.run ~topology:xeon ~nthreads:n ~ops_target:ops
                     (fun tid ->
@@ -887,8 +945,12 @@ let stack_experiment mode =
                       done)
                 in
                 ( n,
+                  emit
+                    (Printf.sprintf "stack/%s@t%d" S.name n)
                   {
                     Runner.name = S.name;
+                    topo_name = xeon.Topology.name;
+                    seed = 0;
                     threads = n;
                     mops = Sched.mops xeon st;
                     ops = st.Sched.ops;
@@ -902,7 +964,8 @@ let stack_experiment mode =
                     events = st.Sched.events;
                     host_s = 0.;
                     lat = Array.make Runner.n_classes Harness.Pstats.empty_summary;
-                    counters = [];
+                    lat_classes = Runner.queue_class_names;
+                    counters = Sim.Sim_rt.Probe.dump ();
                     final_size = S.size t;
                     valid = true;
                     outcome = Runner.Complete;
@@ -941,6 +1004,7 @@ let map_eager_ops : (module Harness.Registry.SET_OPS) =
     type t = int Map_eager.t
 
     let name = "optik-eager"
+    let probe_prefix = Some "map-optik"
     let create ?capacity () = Map_eager.create ?capacity ~eager_search:true ()
     let search = Map_eager.search
     let insert = Map_eager.insert
@@ -1107,7 +1171,7 @@ type fault_row = {
 }
 
 let fault_experiment mode =
-  let seed = 42 in
+  let seed = mode.seed in
   let nthreads = 10 in
   let watchdog = { Sched.check_events = 10_000; starve_cycles = 2_000_000 } in
   let max_events = 80_000_000 in
@@ -1122,6 +1186,13 @@ let fault_experiment mode =
      [Before_cas] — mid-operation, the worst spot available to them. *)
   let row family kind fault run =
     let fr_meas = run () in
+    (* The FAULT figure renders notes only (no series), so the sink is
+       the sole route these measurements take into a run report. *)
+    ignore
+      (emit
+         (Printf.sprintf "fault/%s/%s/%s/%s" family kind fault
+            fr_meas.Runner.name)
+         fr_meas);
     { fr_family = family; fr_kind = kind; fr_fault = fault; fr_meas;
       fr_events = Sim.Fault.events () }
   in

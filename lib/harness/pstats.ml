@@ -47,7 +47,10 @@ let summarize (ts : t list) =
         Array.blit t.samples 0 all !off k;
         off := !off + k)
       ts;
-    Array.sort compare all;
+    (* Monomorphic compare: the polymorphic one walks the runtime
+       representation per comparison, which is hot when merging many
+       full 16K buffers. *)
+    Array.sort Int.compare all;
     let pct p =
       let idx = int_of_float (p *. float_of_int (total - 1)) in
       all.(idx)

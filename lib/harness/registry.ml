@@ -42,12 +42,14 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   let map_mcs : (module SET_OPS) =
     (module Mono_set (Map_lock) (struct
       let name = "mcs"
+      let probe_prefix = None
       let create ?capacity () = Map_lock.create ?capacity ()
     end))
 
   let map_optik : (module SET_OPS) =
     (module Mono_set (Map_optik) (struct
       let name = "optik"
+      let probe_prefix = Some "map-optik"
       let create ?capacity () = Map_optik.create ?capacity ()
     end))
 
@@ -58,42 +60,49 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   let ll_harris : (module SET_OPS) =
     (module Mono_set (Ll_harris) (struct
       let name = "harris"
+      let probe_prefix = Some "ll-harris"
       let create ?capacity:_ () = Ll_harris.create ()
     end))
 
   let ll_lazy_ : (module SET_OPS) =
     (module Mono_set (Ll_lazy) (struct
       let name = "lazy"
+      let probe_prefix = Some "ll-lazy"
       let create ?capacity:_ () = Ll_lazy.create ()
     end))
 
   let ll_lazy_cache : (module SET_OPS) =
     (module Mono_set (Ll_lazy) (struct
       let name = "lazy-cache"
+      let probe_prefix = Some "ll-lazy"
       let create ?capacity:_ () = Ll_lazy.create ~cache:true ()
     end))
 
   let ll_mcs_gl_opt : (module SET_OPS) =
     (module Mono_set (Ll_gl_mcs) (struct
       let name = "mcs-gl-opt"
+      let probe_prefix = None
       let create ?capacity:_ () = Ll_gl_mcs.create ()
     end))
 
   let ll_optik_gl : (module SET_OPS) =
     (module Mono_set (Ll_optik_gl) (struct
       let name = "optik-gl"
+      let probe_prefix = Some "ll-optik-gl"
       let create ?capacity:_ () = Ll_optik_gl.create ()
     end))
 
   let ll_optik : (module SET_OPS) =
     (module Mono_set (Ll_optik) (struct
       let name = "optik"
+      let probe_prefix = Some "ll-optik"
       let create ?capacity:_ () = Ll_optik.create ()
     end))
 
   let ll_optik_cache : (module SET_OPS) =
     (module Mono_set (Ll_optik) (struct
       let name = "optik-cache"
+      let probe_prefix = Some "ll-optik"
       let create ?capacity:_ () = Ll_optik.create ~cache:true ()
     end))
 
@@ -175,42 +184,49 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   let ht_lazy_gl : (module SET_OPS) =
     (module Mono_set (Ht_lazy_gl) (struct
       let name = "lazy-gl"
+      let probe_prefix = None
       let create ?capacity () = Ht_lazy_gl.create ?capacity ()
     end))
 
   let ht_java : (module SET_OPS) =
     (module Mono_set (Ht_java) (struct
       let name = "java"
+      let probe_prefix = None
       let create ?capacity () = Ht_java.create ?capacity ()
     end))
 
   let ht_java_optik : (module SET_OPS) =
     (module Mono_set (Ht_java_optik) (struct
       let name = "java-optik"
+      let probe_prefix = Some "ht-java-optik"
       let create ?capacity () = Ht_java_optik.create ?capacity ()
     end))
 
   let ht_optik : (module SET_OPS) =
     (module Mono_set (Ht_optik) (struct
       let name = "optik"
+      let probe_prefix = Some "ll-optik"
       let create ?capacity () = Ht_optik.create ?capacity ()
     end))
 
   let ht_optik_gl : (module SET_OPS) =
     (module Mono_set (Ht_optik_gl) (struct
       let name = "optik-gl"
+      let probe_prefix = Some "ll-optik-gl"
       let create ?capacity () = Ht_optik_gl.create ?capacity ()
     end))
 
   let ht_map_optik : (module SET_OPS) =
     (module Mono_set (Ht_map_optik) (struct
       let name = "optik-map"
+      let probe_prefix = Some "map-optik"
       let create ?capacity () = Ht_map_optik.create ?capacity ()
     end))
 
   let ht_harris : (module SET_OPS) =
     (module Mono_set (Ht_harris) (struct
       let name = "harris-ht"
+      let probe_prefix = Some "ll-harris"
       let create ?capacity () = Ht_harris.create ?capacity ()
     end))
 
@@ -224,30 +240,35 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   let sl_fraser : (module SET_OPS) =
     (module Mono_set (Sl_fraser) (struct
       let name = "fraser"
+      let probe_prefix = Some "sl-fraser"
       let create ?capacity:_ () = Sl_fraser.create ()
     end))
 
   let sl_herlihy : (module SET_OPS) =
     (module Mono_set (Sl_herlihy) (struct
       let name = "herlihy"
+      let probe_prefix = Some "sl-herlihy"
       let create ?capacity:_ () = Sl_herlihy.create ()
     end))
 
   let sl_herlihy_optik : (module SET_OPS) =
     (module Mono_set (Sl_herlihy) (struct
       let name = "herl-optik"
+      let probe_prefix = Some "sl-herlihy"
       let create ?capacity:_ () = Sl_herlihy.create ~optik:true ()
     end))
 
   let sl_optik1 : (module SET_OPS) =
     (module Mono_set (Sl_optik) (struct
       let name = "optik1"
+      let probe_prefix = Some "sl-optik"
       let create ?capacity:_ () = Sl_optik.create ~variant:`Validate ()
     end))
 
   let sl_optik2 : (module SET_OPS) =
     (module Mono_set (Sl_optik) (struct
       let name = "optik2"
+      let probe_prefix = Some "sl-optik"
       let create ?capacity:_ () = Sl_optik.create ~variant:`Restart ()
     end))
 
@@ -258,36 +279,42 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   let q_ms_lf : (module QUEUE_OPS) =
     (module Mono_queue (Queues.Ms_lf) (struct
       let name = "ms-lf"
+      let probe_prefix = Some "q-ms-lf"
       let create () = Queues.Ms_lf.create ()
     end))
 
   let q_ms_lb : (module QUEUE_OPS) =
     (module Mono_queue (Queues.Ms_lb) (struct
       let name = "ms-lb"
+      let probe_prefix = None
       let create () = Queues.Ms_lb.create ()
     end))
 
   let q_optik0 : (module QUEUE_OPS) =
     (module Mono_queue (Queues.Optik0) (struct
       let name = "optik0"
+      let probe_prefix = Some "q-optik0"
       let create () = Queues.Optik0.create ()
     end))
 
   let q_optik1 : (module QUEUE_OPS) =
     (module Mono_queue (Queues.Optik1) (struct
       let name = "optik1"
+      let probe_prefix = Some "q-optik1"
       let create () = Queues.Optik1.create ()
     end))
 
   let q_optik2 : (module QUEUE_OPS) =
     (module Mono_queue (Queues.Optik2) (struct
       let name = "optik2"
+      let probe_prefix = Some "q-optik2"
       let create () = Queues.Optik2.create ()
     end))
 
   let q_optik3 : (module QUEUE_OPS) =
     (module Mono_queue (Queues.Optik3) (struct
       let name = "optik3"
+      let probe_prefix = Some "q-optik3"
       let create () = Queues.Optik3.create ()
     end))
 
@@ -298,18 +325,21 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   let stack_treiber : (module STACK_OPS) =
     (module Mono_stack (Stacks.Treiber) (struct
       let name = "treiber"
+      let probe_prefix = Some "stack-treiber"
       let create () = Stacks.Treiber.create ()
     end))
 
   let stack_optik : (module STACK_OPS) =
     (module Mono_stack (Stacks.Optik_stack) (struct
       let name = "optik"
+      let probe_prefix = Some "stack-optik"
       let create () = Stacks.Optik_stack.create ()
     end))
 
   let stack_elimination : (module STACK_OPS) =
     (module Mono_stack (Stacks.Elimination) (struct
       let name = "elimination"
+      let probe_prefix = Some "stack-elim"
       let create () = Stacks.Elimination.create ()
     end))
 
@@ -320,12 +350,14 @@ module ForRt (Rt : Rt.Rt_intf.RT) = struct
   let bst_optik : (module SET_OPS) =
     (module Mono_set (Bst_optik) (struct
       let name = "bst-optik"
+      let probe_prefix = Some "bst-optik"
       let create ?capacity:_ () = Bst_optik.create ()
     end))
 
   let bst_gl : (module SET_OPS) =
     (module Mono_set (Bst_gl) (struct
       let name = "bst-gl"
+      let probe_prefix = None
       let create ?capacity:_ () = Bst_gl.create ()
     end))
 

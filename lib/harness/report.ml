@@ -1,0 +1,132 @@
+(** Measurement → run-report JSON.
+
+    {!Obs.Report} owns the JSON representation, schema and diff;
+    this module owns the rendering of a harness {!Runner.measurement}
+    into one run entry of that schema, because only the harness layer
+    knows the measurement record. Everything emitted here is
+    deterministic for a given seed: host wall-clock ([host_s]) is
+    deliberately {e excluded} so seeded report files are byte-identical
+    across machines and can be golden-digested. *)
+
+module J = Obs.Report
+
+let outcome_string (m : Runner.measurement) =
+  match m.outcome with
+  | Runner.Complete -> "complete"
+  | Runner.Aborted r ->
+      Format.asprintf "aborted: %a" Sim.Sched.pp_verdict r.Sim.Sched.r_verdict
+
+(* Latency summaries as an object keyed by class name, empty classes
+   omitted: the diff's numeric-leaf flattener then yields stable
+   [latency.<class>.<pct>] paths with no array special-casing. *)
+let latency_json (m : Runner.measurement) =
+  let n = min (Array.length m.lat) (Array.length m.lat_classes) in
+  let entries = ref [] in
+  for c = n - 1 downto 0 do
+    let s = m.lat.(c) in
+    if s.Pstats.n > 0 then
+      entries :=
+        ( m.lat_classes.(c),
+          J.Obj
+            [
+              ("n", J.Int s.Pstats.n);
+              ("p05", J.Int s.Pstats.p05);
+              ("p25", J.Int s.Pstats.p25);
+              ("p50", J.Int s.Pstats.p50);
+              ("p75", J.Int s.Pstats.p75);
+              ("p95", J.Int s.Pstats.p95);
+              ("mean", J.Float s.Pstats.mean);
+            ] )
+        :: !entries
+  done;
+  J.Obj !entries
+
+(* Hot-line profile (when the run recorded the journal), keyed by site so
+   the diff can attribute stall deltas to allocation sites. *)
+let hotlines_json (m : Runner.measurement) =
+  match m.obs with
+  | None -> []
+  | Some s ->
+      let per_site = Hashtbl.create 8 in
+      List.iter
+        (fun (h : Obs.Profile.hotline) ->
+          let l, t, c, b, st =
+            Option.value ~default:(0, 0, 0, 0, 0)
+              (Hashtbl.find_opt per_site h.hl_site)
+          in
+          Hashtbl.replace per_site h.hl_site
+            ( l + 1,
+              t + h.hl_transfers,
+              c + h.hl_cas_fails,
+              b + h.hl_bounces,
+              st + h.hl_stalls ))
+        s.Obs.Profile.s_hotlines;
+      let sites =
+        Hashtbl.fold
+          (fun site (l, t, c, b, st) acc ->
+            ( site,
+              J.Obj
+                [
+                  ("lines", J.Int l);
+                  ("transfers", J.Int t);
+                  ("cas_fails", J.Int c);
+                  ("bounces", J.Int b);
+                  ("stalls", J.Int st);
+                ] )
+            :: acc)
+          per_site []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      if sites = [] then [] else [ ("hotlines", J.Obj sites) ]
+
+(** One run entry of the report schema. [id] defaults to the structure
+    name; callers comparing many runs in one report give each a unique,
+    reproducible id ([r003:f5/ll-optik@t8] …). *)
+let run_entry ?id (m : Runner.measurement) : J.json =
+  let id = Option.value ~default:m.name id in
+  J.Obj
+    ([
+       ("id", J.Str id);
+       ("name", J.Str m.name);
+       ("topology", J.Str m.topo_name);
+       ("threads", J.Int m.threads);
+       ("run_seed", J.Int m.seed);
+       ("outcome", J.Str (outcome_string m));
+       ("final_size", J.Int m.final_size);
+       ("valid", J.Bool m.valid);
+       ( "metrics",
+         J.Obj
+           [
+             ("ops", J.Int m.ops);
+             ("mops", J.Float m.mops);
+             ("wall_s", J.Float m.wall_s);
+             ("eff_update_pct", J.Float m.eff_update_pct);
+             ("reads", J.Int m.reads);
+             ("writes", J.Int m.writes);
+             ("cas", J.Int m.cas);
+             ("cas_failed", J.Int m.cas_failed);
+             ("faa", J.Int m.faa);
+             ("events", J.Int m.events);
+           ] );
+       ( "wasted",
+         J.wasted ~ops:m.ops ~cas_failed:m.cas_failed ~counters:m.counters );
+       ("latency", latency_json m);
+       ( "counters",
+         J.Obj (List.map (fun (k, v) -> (k, J.Int v)) m.counters) );
+     ]
+    @ hotlines_json m)
+
+(** Assemble a full report from labelled measurements. *)
+let make ~subcommand ~seed ~params (runs : (string * Runner.measurement) list)
+    : J.json =
+  J.make ~subcommand ~seed ~params
+    ~runs:(List.map (fun (id, m) -> run_entry ~id m) runs)
+    ~sections:[]
+
+(** Validate and write a report; a schema violation here is a bug in the
+    emitter, so it fails loudly rather than writing a bad file. *)
+let write path (j : J.json) =
+  (match J.validate j with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Report.write: emitted invalid report: " ^ e));
+  J.write_file path j

@@ -44,6 +44,8 @@ type outcome = Complete | Aborted of Sim.Sched.report
 
 type measurement = {
   name : string;
+  topo_name : string;  (** topology the run simulated, or ["native"] *)
+  seed : int;
   threads : int;
   mops : float;
   ops : int;
@@ -59,7 +61,9 @@ type measurement = {
       (** host wall-clock seconds the measured window took to simulate
           (or, for native runs, to execute — there it equals [wall_s]);
           simulated-ops/host-second is [ops /. host_s] *)
-  lat : Pstats.summary array;  (** indexed like {!class_names} *)
+  lat : Pstats.summary array;  (** indexed like {!lat_classes} *)
+  lat_classes : string array;
+      (** names of the latency classes [lat] is indexed by *)
   counters : (string * int) list;
   final_size : int;
   valid : bool;
@@ -234,6 +238,8 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
   in
   {
     name = S.name;
+    topo_name = topology.Sim.Topology.name;
+    seed;
     threads = nthreads;
     mops = Sim.Sched.mops topology stats;
     ops = total_ops;
@@ -251,6 +257,7 @@ let run_set_sim ~topology ~nthreads ~ops ?(seed = 42) ?faults ?watchdog
     lat =
       Array.init n_classes (fun c ->
           Pstats.summarize (Array.to_list (Array.map (fun l -> l.(c)) lat)));
+    lat_classes = class_names;
     counters = collect_sim_counters ();
     final_size = S.size t;
     valid = S.validate t;
@@ -305,6 +312,8 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
   let total_ops = Array.fold_left ( + ) 0 myops in
   {
     name = Qu.name;
+    topo_name = topology.Sim.Topology.name;
+    seed;
     threads = nthreads;
     mops = Sim.Sched.mops topology stats;
     ops = total_ops;
@@ -321,6 +330,7 @@ let run_queue_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = queue_init_size
     lat =
       Array.init 3 (fun c ->
           Pstats.summarize (Array.to_list (Array.map (fun l -> l.(c)) lat)));
+    lat_classes = queue_class_names;
     counters = collect_sim_counters ();
     final_size = Qu.size q;
     valid = true;
@@ -368,6 +378,8 @@ let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
   let total_ops = Array.fold_left ( + ) 0 myops in
   {
     name = St.name;
+    topo_name = topology.Sim.Topology.name;
+    seed;
     threads = nthreads;
     mops = Sim.Sched.mops topology stats;
     ops = total_ops;
@@ -384,6 +396,7 @@ let run_stack_sim ~topology ~nthreads ~ops ?(seed = 42) ?(init = 4096)
     lat =
       Array.init 3 (fun c ->
           Pstats.summarize (Array.to_list (Array.map (fun l -> l.(c)) lat)));
+    lat_classes = queue_class_names;
     counters = collect_sim_counters ();
     final_size = St.size st;
     valid = true;
@@ -447,6 +460,8 @@ let run_set_native ~nthreads ~ops_per_thread ?(seed = 42)
   let wall_s = Float.max 1e-9 (!t_stop -. !t_start) in
   {
     name = S.name;
+    topo_name = "native";
+    seed;
     threads = nthreads;
     mops = float_of_int total_ops /. wall_s /. 1e6;
     ops = total_ops;
@@ -463,6 +478,7 @@ let run_set_native ~nthreads ~ops_per_thread ?(seed = 42)
     events = 0;
     host_s = wall_s;
     lat = Array.make n_classes Pstats.empty_summary;
+    lat_classes = class_names;
     counters = [];
     final_size = S.size t;
     valid = S.validate t;
@@ -504,6 +520,8 @@ let run_queue_native ~nthreads ~ops_per_thread ?(seed = 42) ?(init = 4096)
   let wall_s = Float.max 1e-9 (!t_stop -. !t_start) in
   {
     name = Qu.name;
+    topo_name = "native";
+    seed;
     threads = nthreads;
     mops = float_of_int total_ops /. wall_s /. 1e6;
     ops = total_ops;
@@ -517,6 +535,7 @@ let run_queue_native ~nthreads ~ops_per_thread ?(seed = 42) ?(init = 4096)
     events = 0;
     host_s = wall_s;
     lat = Array.make n_classes Pstats.empty_summary;
+    lat_classes = queue_class_names;
     counters = [];
     final_size = Qu.size q;
     valid = true;

@@ -47,6 +47,8 @@ type outcome = Complete | Aborted of Sim.Sched.report
 
 type measurement = {
   name : string;
+  topo_name : string;  (** topology the run simulated, or ["native"] *)
+  seed : int;
   threads : int;
   mops : float;
   ops : int;
@@ -63,7 +65,10 @@ type measurement = {
           (for native runs it equals [wall_s]); simulated-ops/host-second
           is [ops /. host_s] — the engine-throughput figure tracked by
           [optik_bench hostperf] *)
-  lat : Pstats.summary array;  (** indexed like {!class_names} *)
+  lat : Pstats.summary array;  (** indexed like {!lat_classes} *)
+  lat_classes : string array;
+      (** names of the latency classes [lat] is indexed by
+          ({!class_names} or {!queue_class_names}) *)
   counters : (string * int) list;
       (** non-zero probe counters, sorted by name (simulator runs only) *)
   final_size : int;

@@ -109,6 +109,12 @@ module Versioned (Rt : RT) = struct
 
   let name = "versioned"
 
+  (* A failed trylock_version is the OPTIK pattern's lock-acquire
+     failure: counted (not just journalled) so run reports can fold it
+     into the wasted-work accounting. Same-named counters share storage
+     across functor instantiations within a backend. *)
+  let trylock_fails = Rt.Probe.counter "optik.trylock-fail"
+
   let create () = Rt.atomic 0
 
   let get_version l = Rt.get l
@@ -135,12 +141,12 @@ module Versioned (Rt : RT) = struct
      to even); the equality check merely avoids doomed CAS attempts. *)
   let trylock_version l targetv =
     if is_locked targetv || Rt.get l <> targetv then (
-      Rt.Probe.event "optik.trylock-fail";
+      Rt.Probe.incr trylock_fails;
       false)
     else
       let ok = Rt.cas l targetv (targetv + 1) in
       if ok then Rt.on_fault Fp.Critical_enter
-      else Rt.Probe.event "optik.trylock-fail";
+      else Rt.Probe.incr trylock_fails;
       ok
 
   let lock_version l targetv =
@@ -216,6 +222,9 @@ module Ticket (Rt : RT) = struct
 
   let name = "ticket"
 
+  (* Shared with {!Versioned}'s counter of the same name (per backend). *)
+  let trylock_fails = Rt.Probe.counter "optik.trylock-fail"
+
   let bits = 31
   let mask = (1 lsl bits) - 1
   let one_ticket = 1 lsl bits
@@ -250,7 +259,7 @@ module Ticket (Rt : RT) = struct
 
   let trylock_version l targetv =
     if is_locked targetv then (
-      Rt.Probe.event "optik.trylock-fail";
+      Rt.Probe.incr trylock_fails;
       false)
     else
       let v = curr_of targetv in
@@ -260,7 +269,7 @@ module Ticket (Rt : RT) = struct
         && Rt.cas l expected (pack ~curr:v ~next:v + one_ticket)
       in
       if ok then Rt.on_fault Fp.Critical_enter
-      else Rt.Probe.event "optik.trylock-fail";
+      else Rt.Probe.incr trylock_fails;
       ok
 
   let lock_version l targetv =

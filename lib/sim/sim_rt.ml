@@ -126,4 +126,13 @@ module Probe = struct
       (fun name c acc -> if !(c.cell) > 0 then (name, !(c.cell)) :: acc else acc)
       counters []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (** Has a counter with this exact name been created (by any functor
+      instantiation so far)? Used by the probe-coverage audit. *)
+  let registered name = Hashtbl.mem counters name
+
+  (** Every registered counter name (zero or not), sorted. *)
+  let counter_names () =
+    Hashtbl.fold (fun name _ acc -> name :: acc) counters []
+    |> List.sort String.compare
 end

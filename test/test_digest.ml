@@ -117,14 +117,52 @@ let trace_outputs () =
       ( Obs.Trace.to_chrome s.Obs.Profile.s_record,
         Obs.Trace.to_jsonl s.Obs.Profile.s_record )
 
+(* A seeded run report: the same bytes [optik_bench run ... --report]
+   writes, so the report schema and the deterministic JSON printer are
+   both pinned. Two structures (OPTIK vs lazy lists) and their diff. *)
+let report_output name =
+  let (module S : R.SET_OPS) =
+    R.Sim_backend.find_named R.Sim_backend.lists name
+  in
+  let w = Harness.Runner.uniform_workload ~init_size:256 ~update_pct:40 () in
+  let m =
+    Harness.Runner.run_set_sim ~topology:Sim.Topology.xeon ~nthreads:8
+      ~ops:4_000 ~seed:11 ~record_obs:true
+      (module S)
+      w
+  in
+  Obs.Report.to_string
+    (Harness.Report.make ~subcommand:"run" ~seed:(Some 11)
+       ~params:[ ("structure", Obs.Report.Str name) ]
+       [ ("list/" ^ name, m) ])
+
+let diff_output () =
+  let parse s =
+    match Obs.Report.parse s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "report reparse failed: %s" e
+  in
+  let a = parse (report_output "optik") in
+  let b = parse (report_output "lazy") in
+  match Obs.Report.diff a b with
+  | Ok text -> text
+  | Error e -> Alcotest.failf "diff failed: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Recorded digests (pre-PR-4 engine)                                  *)
 
 let golden_chaos = "8029953889ca251b8fbaa4daa4094b23"
 let golden_replay = "9305587bce9c034a34108a66ecdc1e6a"
 let golden_soak = "c1eccf8222670fdf0e454345635e8d65"
-let golden_chrome = "4be3b000f60d75c1c06c7749c6902013"
-let golden_jsonl = "ccfaab6e963e82e8799a70e15bda9afa"
+(* PR-5 note: golden_chrome/golden_jsonl were regenerated when the OPTIK
+   trylock-fail probe changed from a journal event to a counter (the
+   journal now records Count rows instead of Instant rows); the
+   chaos/replay/soak digests survived that change unchanged, which is the
+   point — probes never touch the virtual clock. *)
+let golden_chrome = "850006d657dbd05b7a13595366e44cd0"
+let golden_jsonl = "954b88fc23c121c30a979276b9581b49"
+let golden_report = "94a7f3fe7323799681f171ac22758f08"
+let golden_diff = "a50b0131df687c663b60b4756783ba52"
 
 (* ------------------------------------------------------------------ *)
 
@@ -139,6 +177,11 @@ let test_traces () =
   let chrome, jsonl = trace_outputs () in
   check_digest "chrome trace" golden_chrome chrome;
   check_digest "jsonl trace" golden_jsonl jsonl
+
+let test_report () =
+  check_digest "run report" golden_report (report_output "optik")
+
+let test_diff () = check_digest "report diff" golden_diff (diff_output ())
 
 (* Two back-to-back productions digest identically: determinism within a
    process, independent of the recorded constants (catches state leaking
@@ -157,6 +200,8 @@ let () =
     let chrome, jsonl = trace_outputs () in
     Printf.printf "let golden_chrome = %S\n" (digest chrome);
     Printf.printf "let golden_jsonl = %S\n" (digest jsonl);
+    Printf.printf "let golden_report = %S\n" (digest (report_output "optik"));
+    Printf.printf "let golden_diff = %S\n" (digest (diff_output ()));
     exit 0
   end;
   Alcotest.run "digest"
@@ -167,6 +212,8 @@ let () =
           Alcotest.test_case "chaos replay" `Quick test_replay;
           Alcotest.test_case "soak sweep" `Quick test_soak;
           Alcotest.test_case "trace exports" `Quick test_traces;
+          Alcotest.test_case "run report" `Quick test_report;
+          Alcotest.test_case "report diff" `Quick test_diff;
           Alcotest.test_case "self-stable" `Quick test_self_stable;
         ] );
     ]

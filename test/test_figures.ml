@@ -6,6 +6,8 @@
 let mk_measurement ?(name = "x") ~threads ~mops () =
   {
     Harness.Runner.name;
+    topo_name = "xeon";
+    seed = 0;
     threads;
     mops;
     ops = 1000;
@@ -20,6 +22,7 @@ let mk_measurement ?(name = "x") ~threads ~mops () =
     host_s = 0.1;
     lat =
       Array.make Harness.Runner.n_classes Harness.Pstats.empty_summary;
+    lat_classes = Harness.Runner.class_names;
     counters = [];
     final_size = 0;
     valid = true;
@@ -138,6 +141,7 @@ let test_tiny_experiment_runs () =
     {
       Figures.Experiments.threads_of = (fun _ -> [ 2 ]);
       ops_scale = 0.02;
+      seed = 42;
     }
   in
   let figs, claims = Figures.Experiments.run_id tiny "stack" in

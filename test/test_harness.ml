@@ -69,6 +69,24 @@ let test_pstats_ring_overflow () =
   Alcotest.(check int) "summary capped at capacity" Harness.Pstats.capacity
     s.Harness.Pstats.n
 
+(* After wrapping, the summary must be computed from exactly the last
+   [capacity] samples, numerically sorted: record 1..capacity+500 and the
+   retained window is 501..capacity+500, so every percentile is pinned. *)
+let test_pstats_wrap_percentiles () =
+  let cap = Harness.Pstats.capacity in
+  let p = Harness.Pstats.create () in
+  for i = 1 to cap + 500 do
+    Harness.Pstats.record p i
+  done;
+  let s = Harness.Pstats.summarize [ p ] in
+  let expect pct = 500 + 1 + int_of_float (pct *. float_of_int (cap - 1)) in
+  Alcotest.(check int) "p05" (expect 0.05) s.Harness.Pstats.p05;
+  Alcotest.(check int) "p50" (expect 0.50) s.Harness.Pstats.p50;
+  Alcotest.(check int) "p95" (expect 0.95) s.Harness.Pstats.p95;
+  Alcotest.(check (float 0.01)) "mean of the retained window"
+    (float_of_int (500 + 1 + cap + 500) /. 2.)
+    s.Harness.Pstats.mean
+
 let test_pstats_merge () =
   let a = Harness.Pstats.create () and b = Harness.Pstats.create () in
   for i = 1 to 10 do
@@ -172,6 +190,8 @@ let () =
         [
           Alcotest.test_case "percentiles" `Quick test_pstats_percentiles;
           Alcotest.test_case "ring overflow" `Quick test_pstats_ring_overflow;
+          Alcotest.test_case "wrap percentiles" `Quick
+            test_pstats_wrap_percentiles;
           Alcotest.test_case "merge" `Quick test_pstats_merge;
         ] );
       ( "runners",
