@@ -77,6 +77,26 @@ let specs =
     set_spec "chaos-smoke" R.Sim_backend.lists "optik"
       ~topology:(Sim.Topology.uniform ~n:4 ())
       ~nthreads:8 ~ops:60_000 ~size:48 ~updates:50 ~capacity:false;
+    (* The KV service end-to-end: shard routing, health refresh,
+       retry/backoff and the history log on top of the store accesses —
+       tracks the service-layer overhead, not just the structures. *)
+    {
+      s_name = "kv/ht-optik";
+      s_run =
+        (fun () ->
+          let cfg =
+            {
+              Kv.default_config with
+              Kv.ops = 12_000;
+              seed = 7;
+              plan =
+                Some
+                  (Kv.rolling_plan ~seed:7 ~nshards:4 ~count:2
+                     ~down_for:60_000 ~stagger:4_000 ());
+            }
+          in
+          fst (Kv.run cfg));
+    };
   ]
 
 let measure ?(repeats = 3) (s : spec) =

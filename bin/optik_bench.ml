@@ -601,6 +601,328 @@ let chaos_cmd =
           and counterexample shrinking.")
     Term.(const run $ runs $ seed $ structures $ quick $ replay $ report_arg)
 
+(* ---------------- kv ---------------- *)
+
+let kv_cmd =
+  let rep =
+    Arg.(
+      value
+      & opt string "ht-optik"
+      & info [ "rep" ] ~docv:"REP"
+          ~doc:
+            ("Shard store representation: "
+           ^ String.concat " | " Kv.rep_names ^ "."))
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard count (each shard is a primary + replica store pair).")
+  in
+  let threads =
+    Arg.(
+      value & opt int 8
+      & info [ "threads" ] ~docv:"N" ~doc:"Open-loop client threads.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 6_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Requests to serve.")
+  in
+  let keys =
+    Arg.(
+      value & opt int 4096
+      & info [ "keys" ] ~docv:"N" ~doc:"Key space [1..N], zipf 0.9 popularity.")
+  in
+  let read =
+    Arg.(
+      value & opt int 70
+      & info [ "read" ] ~docv:"PCT" ~doc:"Read (get) percentage.")
+  in
+  let scan =
+    Arg.(
+      value & opt int 10
+      & info [ "scan" ] ~docv:"PCT"
+          ~doc:"Scan percentage (the rest after reads and scans is puts).")
+  in
+  let machine =
+    Arg.(
+      value & opt string "xeon"
+      & info [ "machine" ] ~docv:"M" ~doc:"xeon | opteron")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Workload seed: same seed (and same fault plan), byte-identical \
+             output and report.")
+  in
+  let deadline =
+    Arg.(
+      value & opt int Kv.default_policy.Kv.deadline
+      & info [ "deadline" ] ~docv:"CYCLES"
+          ~doc:"Per-request deadline from intended arrival.")
+  in
+  let retries =
+    Arg.(
+      value & opt int Kv.default_policy.Kv.max_retries
+      & info [ "retries" ] ~docv:"N" ~doc:"Retry budget per request.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan (Fault.of_string grammar), e.g. \
+             '7;shardcrash(0:120000)@op-boundary,h500'. Store index i is \
+             shard i's primary, shards+i its replica.")
+  in
+  let rolling =
+    Arg.(
+      value & opt int 0
+      & info [ "rolling" ] ~docv:"N"
+          ~doc:
+            "Roll a crash across the primaries of the first $(docv) shards \
+             (one per pair: the f=1 budget the oracle's exactly-once promise \
+             is stated under). Ignored when --faults is given.")
+  in
+  let down_for =
+    Arg.(
+      value & opt int 120_000
+      & info [ "down-for" ] ~docv:"CYCLES"
+          ~doc:"How long each rolling crash keeps the store down.")
+  in
+  let stagger =
+    Arg.(
+      value & opt int 0
+      & info [ "stagger" ] ~docv:"N"
+          ~doc:
+            "Requests between rolling crashes (default: ops / (rolling+1)).")
+  in
+  let broken_retry =
+    Arg.(
+      value & flag
+      & info [ "broken-retry" ]
+          ~doc:
+            "Deliberately broken retry policy: every retry writes a fresh \
+             element instead of re-writing the same one, so a retry after a \
+             lost ack duplicates the visible effect. The oracle must FAIL \
+             under crashes — the negative control.")
+  in
+  let no_replication =
+    Arg.(
+      value & flag
+      & info [ "no-replication" ]
+          ~doc:
+            "Write only the primary copy. A primary crash then loses acked \
+             writes: the oracle must FAIL — the other negative control.")
+  in
+  let fuzz =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Instead of one run: fuzz $(docv) random KV trials (shard \
+             crashes, client crashes, stalls, storms) under the service \
+             oracles, shrinking failures to one-line repros.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TRIAL"
+          ~doc:"Replay one KV trial string (as emitted by --fuzz).")
+  in
+  let run rep shards threads ops keys read scan machine seed deadline retries
+      faults rolling down_for stagger broken_retry no_replication fuzz replay
+      report =
+    let topo =
+      match machine with
+      | "xeon" -> Sim.Topology.xeon
+      | "opteron" -> Sim.Topology.opteron
+      | m ->
+          Printf.eprintf "unknown machine %S (use xeon or opteron)\n" m;
+          exit 2
+    in
+    if not (List.mem rep Kv.rep_names) then begin
+      Printf.eprintf "unknown rep %S; known: %s\n" rep
+        (String.concat ", " Kv.rep_names);
+      exit 2
+    end;
+    if read + scan > 100 then begin
+      Printf.eprintf "--read + --scan must be at most 100\n";
+      exit 2
+    end;
+    match (fuzz, replay) with
+    | n, _ when n > 0 ->
+        let failed =
+          with_host_time
+            (Printf.sprintf "kv fuzz %d trials" n)
+            (fun _ -> n)
+            (fun () -> Chaos.fuzz_kv ~runs:n ~seed Format.std_formatter)
+        in
+        if failed > 0 then exit 1
+    | _, Some s ->
+        let failures =
+          try
+            with_host_time "kv replay"
+              (fun _ -> 1)
+              (fun () -> Chaos.replay_kv s Format.std_formatter)
+          with Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2
+        in
+        if failures > 0 then exit 1
+    | _ ->
+        let plan =
+          match faults with
+          | Some s -> (
+              try Some (Sim.Fault.of_string s)
+              with Invalid_argument msg ->
+                Printf.eprintf "%s\n" msg;
+                exit 2)
+          | None ->
+              if rolling > 0 then
+                let count = min rolling shards in
+                let stagger =
+                  if stagger > 0 then stagger else max 1 (ops / (count + 1))
+                in
+                Some
+                  (Kv.rolling_plan ~seed ~nshards:shards ~count ~down_for
+                     ~stagger ())
+              else None
+        in
+        let policy =
+          {
+            Kv.default_policy with
+            Kv.deadline;
+            max_retries = retries;
+            idempotent = not broken_retry;
+            replicate = not no_replication;
+          }
+        in
+        let cfg =
+          {
+            Kv.rep;
+            nshards = shards;
+            threads;
+            ops;
+            seed;
+            topo;
+            workload =
+              {
+                Kv.default_workload with
+                Kv.keys;
+                read_pct = read;
+                scan_pct = scan;
+              };
+            policy;
+            plan;
+          }
+        in
+        let m, r =
+          with_host_time
+            (Printf.sprintf "kv %s" rep)
+            (fun (m, _) -> m.Harness.Runner.ops)
+            (fun () -> Kv.run cfg)
+        in
+        Printf.printf
+          "kv/%s on %s, %d shards (primary+replica), %d clients, %d requests, \
+           %d%% reads %d%% scans, seed %d\n"
+          rep machine shards threads ops read scan seed;
+        Printf.printf "  faults          %s\n"
+          (match plan with
+          | None -> "none"
+          | Some p -> Sim.Fault.to_string p);
+        (match m.Harness.Runner.outcome with
+        | Harness.Runner.Complete -> ()
+        | Harness.Runner.Aborted rep ->
+            Printf.printf "  ABORTED: %s\n"
+              (Format.asprintf "%a" Sim.Sched.pp_verdict
+                 rep.Sim.Sched.r_verdict));
+        Printf.printf "  throughput      %.3f Mreq/s (simulated)\n"
+          m.Harness.Runner.mops;
+        Printf.printf "  acked writes    %d (%.1f%% of requests)\n"
+          r.Kv.res_oracle.Kv.acked_writes m.Harness.Runner.eff_update_pct;
+        let ctr name =
+          Option.value ~default:0
+            (List.assoc_opt name m.Harness.Runner.counters)
+        in
+        Printf.printf
+          "  retries %d  timeouts %d  sheds %d  failovers %d  backoff-cycles \
+           %d\n"
+          (ctr "kv.retries") (ctr "kv.timeouts") (ctr "kv.sheds")
+          (ctr "kv.failovers")
+          (ctr "kv.backoff-cycles");
+        Array.iteri
+          (fun i cls ->
+            let l = m.Harness.Runner.lat.(i) in
+            if l.Harness.Pstats.n > 0 then
+              Printf.printf
+                "  %-8s n=%-6d p50=%-8d p95=%-8d p99=%-8d p999=%d cycles\n" cls
+                l.Harness.Pstats.n l.Harness.Pstats.p50 l.Harness.Pstats.p95
+                l.Harness.Pstats.p99 l.Harness.Pstats.p999)
+          m.Harness.Runner.lat_classes;
+        List.iter
+          (fun (k, v) -> Printf.printf "  counter %-24s %d\n" k v)
+          m.Harness.Runner.counters;
+        Array.iteri
+          (fun i (p, rr) ->
+            let s = r.Kv.res_shard_lat.(i) in
+            Printf.printf
+              "  shard s%-2d       primary=%-6d replica=%-6d p99=%-8d p999=%d\n"
+              i p rr s.Harness.Pstats.p99 s.Harness.Pstats.p999)
+          r.Kv.res_shard_sizes;
+        if r.Kv.res_events <> [] then begin
+          Printf.printf "  failover timeline:\n";
+          List.iter (fun e -> Printf.printf "    %s\n" e) r.Kv.res_events
+        end;
+        Printf.printf "  %s\n"
+          (Format.asprintf "%a" Kv.pp_oracle r.Kv.res_oracle);
+        (match report with
+        | None -> ()
+        | Some path ->
+            write_report path
+              (Harness.Report.make ~subcommand:"kv" ~seed:(Some seed)
+                 ~params:
+                   [
+                     ("rep", J.Str rep);
+                     ("shards", J.Int shards);
+                     ("threads", J.Int threads);
+                     ("ops", J.Int ops);
+                     ("keys", J.Int keys);
+                     ("read", J.Int read);
+                     ("scan", J.Int scan);
+                     ("machine", J.Str machine);
+                     ( "faults",
+                       match plan with
+                       | None -> J.Null
+                       | Some p -> J.Str (Sim.Fault.to_string p) );
+                     ("broken_retry", J.Bool broken_retry);
+                     ("no_replication", J.Bool no_replication);
+                   ]
+                 ~sections:[ Kv.report_section cfg r ]
+                 [ ("kv/" ^ rep, m) ]));
+        if
+          (not r.Kv.res_oracle.Kv.ok)
+          || Harness.Runner.aborted m
+          || not m.Harness.Runner.valid
+        then exit 1
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:
+         "Sharded KV service over the registry structures: open-loop zipfian \
+          clients, deadlines, retry/backoff, replica failover, scan \
+          shedding, rolling shard crashes, and the acknowledged-write \
+          exactly-once oracle.")
+    Term.(
+      const run $ rep $ shards $ threads $ ops $ keys $ read $ scan $ machine
+      $ seed $ deadline $ retries $ faults $ rolling $ down_for $ stagger
+      $ broken_retry $ no_replication $ fuzz $ replay $ report_arg)
+
 (* ---------------- hostperf ---------------- *)
 
 let hostperf_cmd =
@@ -816,6 +1138,7 @@ let () =
             run_cmd;
             soak_cmd;
             chaos_cmd;
+            kv_cmd;
             hostperf_cmd;
             diff_cmd;
             list_cmd;

@@ -201,7 +201,9 @@ let crash_events () =
     (fun (e : Fault.event) ->
       match e.e_spec.f_action with
       | Fault.Crash -> Some (e.e_tid, e.e_spec.f_point)
-      | Fault.Stall _ | Fault.Storm _ -> None)
+      | Fault.Stall _ | Fault.Storm _ | Fault.Shard_crash _
+      | Fault.Shard_recover _ ->
+          None)
     (Fault.events ())
 
 (* Oracle (b): liveness by family. Lock-free structures must survive any
@@ -780,3 +782,327 @@ let replay ?(entries = default_entries) s ppf =
        (List.length o.o_failures)
    end);
   List.length o.o_failures
+
+(* ------------------------------------------------------------------ *)
+(* KV service fuzzing                                                  *)
+
+(* Trials over the sharded KV service: the structure-level oracles above
+   do not apply (the service retries, fails over and sheds on purpose);
+   the oracles here are the service's own — the run terminates, the
+   stores stay valid, and no acknowledged write is lost or duplicated.
+
+   The generator keeps every plan inside the service's warranties:
+   - at most one shard crash per (primary, replica) pair — the f = 1
+     budget the exactly-once promise is stated under;
+   - client-thread crashes only at op-boundary (between requests, outside
+     any structure lock protocol), so an abort is never excusable;
+   - stall/storm durations far below the watchdog's starvation horizon.
+   Any failure a fuzz run finds is therefore a real robustness bug, not
+   an out-of-warranty plan. *)
+
+type kv_trial = {
+  kv_rep : string;
+  kv_topo : string;
+  kv_shards : int;
+  kv_threads : int;
+  kv_ops : int;
+  kv_keys : int;
+  kv_read : int;  (** read percentage *)
+  kv_scan : int;  (** scan percentage *)
+  kv_wseed : int;
+  kv_plan : Fault.plan;
+}
+
+let kv_to_string tr =
+  Printf.sprintf "kv/%s@%s s%d t%d o%d k%d R%d C%d w%d f%s" tr.kv_rep
+    tr.kv_topo tr.kv_shards tr.kv_threads tr.kv_ops tr.kv_keys tr.kv_read
+    tr.kv_scan tr.kv_wseed
+    (Fault.to_string tr.kv_plan)
+
+let kv_of_string s =
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun t -> t <> "")
+  with
+  | [] -> parse_error "empty kv trial"
+  | head :: toks ->
+      let name, topo =
+        match String.rindex_opt head '@' with
+        | Some i ->
+            ( String.sub head 0 i,
+              String.sub head (i + 1) (String.length head - i - 1) )
+        | None -> parse_error "missing @topology in %S" head
+      in
+      if not (has_prefix "kv/" name) then
+        parse_error "kv trial must start with kv/<rep>, got %S" name;
+      let rep = String.sub name 3 (String.length name - 3) in
+      if not (List.mem rep Kv.rep_names) then
+        parse_error "unknown kv rep %S (known: %s)" rep
+          (String.concat ", " Kv.rep_names);
+      ignore (topology_of_name topo : Sim.Topology.t);
+      let tr =
+        ref
+          {
+            kv_rep = rep;
+            kv_topo = topo;
+            kv_shards = 1;
+            kv_threads = 2;
+            kv_ops = 100;
+            kv_keys = 64;
+            kv_read = 50;
+            kv_scan = 10;
+            kv_wseed = 0;
+            kv_plan = { Fault.seed = 0; specs = [] };
+          }
+      in
+      List.iter
+        (fun tok ->
+          if String.length tok < 2 then parse_error "bad token %S" tok
+          else
+            let v = String.sub tok 1 (String.length tok - 1) in
+            match tok.[0] with
+            | 's' -> tr := { !tr with kv_shards = parse_int "shards" v }
+            | 't' -> tr := { !tr with kv_threads = parse_int "threads" v }
+            | 'o' -> tr := { !tr with kv_ops = parse_int "ops" v }
+            | 'k' -> tr := { !tr with kv_keys = parse_int "keys" v }
+            | 'R' -> tr := { !tr with kv_read = parse_int "read pct" v }
+            | 'C' -> tr := { !tr with kv_scan = parse_int "scan pct" v }
+            | 'w' -> tr := { !tr with kv_wseed = parse_int "workload seed" v }
+            | 'f' -> tr := { !tr with kv_plan = Fault.of_string v }
+            | _ -> parse_error "bad token %S" tok)
+        toks;
+      let tr = !tr in
+      if tr.kv_shards < 1 || tr.kv_threads < 1 || tr.kv_ops < 1 then
+        parse_error "shards/threads/ops must be positive";
+      tr
+
+let kv_config tr : Kv.config =
+  {
+    Kv.default_config with
+    Kv.rep = tr.kv_rep;
+    nshards = tr.kv_shards;
+    threads = tr.kv_threads;
+    ops = tr.kv_ops;
+    seed = tr.kv_wseed;
+    topo = topology_of_name tr.kv_topo;
+    workload =
+      {
+        Kv.default_workload with
+        Kv.keys = tr.kv_keys;
+        read_pct = tr.kv_read;
+        scan_pct = tr.kv_scan;
+      };
+    plan = Some tr.kv_plan;
+  }
+
+let run_kv_trial tr =
+  let m, r = Kv.run (kv_config tr) in
+  let live =
+    match m.Harness.Runner.outcome with
+    | Harness.Runner.Complete -> []
+    | Harness.Runner.Aborted rep ->
+        [
+          {
+            f_oracle = "liveness";
+            f_detail =
+              Format.asprintf "service aborted: %a" Sched.pp_verdict
+                rep.Sched.r_verdict;
+          };
+        ]
+  in
+  let valid =
+    if m.Harness.Runner.valid then []
+    else [ { f_oracle = "validate"; f_detail = "a shard store is invalid" } ]
+  in
+  let o = r.Kv.res_oracle in
+  let acked =
+    if o.Kv.ok then []
+    else
+      [
+        {
+          f_oracle = "acked-write";
+          f_detail =
+            Printf.sprintf "%d lost, %d duplicated (of %d acked)"
+              (List.length o.Kv.lost)
+              (List.length o.Kv.duplicated)
+              o.Kv.acked_writes;
+        };
+      ]
+  in
+  (m, r, live @ valid @ acked)
+
+let kv_reps = [| "ht-optik"; "ll-optik"; "ll-harris"; "sl-optik" |]
+
+let gen_kv_trial rng =
+  let kv_rep = pick rng kv_reps in
+  let kv_topo = pick rng topo_names in
+  let kv_shards = 1 + Rng.below rng 4 in
+  let kv_threads = 2 + Rng.below rng 5 in
+  let kv_ops = 200 + Rng.below rng 1_000 in
+  let kv_keys = 64 + Rng.below rng 448 in
+  let kv_read = Rng.below rng 90 in
+  let kv_scan = Rng.below rng (91 - kv_read) in
+  let kv_wseed = Rng.below rng 1_000_000 in
+  let seed = Rng.below rng 1_000_000 in
+  let specs = ref [] in
+  (* Shard faults: per pair, maybe one crash of the primary or the
+     replica (never both — the f = 1 budget), down for a finite window,
+     until a recover later in the plan, or forever. *)
+  for i = 0 to kv_shards - 1 do
+    if Rng.below rng 2 = 0 then begin
+      let store = if Rng.below rng 2 = 0 then i else kv_shards + i in
+      let point = points.(Rng.below rng (Array.length points)) in
+      let hits = 1 + Rng.below rng (min 200 kv_ops) in
+      let r = Rng.below rng 3 in
+      let down_for = if r = 0 then 0 else 2_000 + Rng.below rng 100_000 in
+      specs :=
+        Fault.shard_crash ~hits ~down_for store point :: !specs;
+      if r = 0 && Rng.below rng 2 = 0 then
+        specs :=
+          Fault.shard_recover ~hits:(hits + 1 + Rng.below rng 50) store
+            Rt.Rt_intf.Op_boundary
+          :: !specs
+    end
+  done;
+  (* Client faults: crashes only between requests (op-boundary — outside
+     any lock protocol, so aborts are never excusable), stalls and storms
+     anywhere, all far below the watchdog horizon. *)
+  let nclient = Rng.below rng 3 in
+  let ncrashes = ref 0 in
+  for _ = 1 to nclient do
+    let r = Rng.below rng 10 in
+    if r < 3 && !ncrashes < kv_threads - 1 then begin
+      incr ncrashes;
+      specs :=
+        Fault.crash
+          ~tid:(Rng.below rng kv_threads)
+          ~hits:(1 + Rng.below rng (min 100 kv_ops))
+          Rt.Rt_intf.Op_boundary
+        :: !specs
+    end
+    else
+      let point = points.(Rng.below rng (Array.length points)) in
+      let hits = 1 + Rng.below rng 50 in
+      if r < 7 then
+        specs := Fault.stall ~hits (500 + Rng.below rng 50_000) point :: !specs
+      else
+        specs := Fault.storm ~hits (500 + Rng.below rng 50_000) point :: !specs
+  done;
+  {
+    kv_rep;
+    kv_topo;
+    kv_shards;
+    kv_threads;
+    kv_ops;
+    kv_keys;
+    kv_read;
+    kv_scan;
+    kv_wseed;
+    kv_plan = { Fault.seed; specs = List.rev !specs };
+  }
+
+(* Shrink-lite for kv trials: drop fault specs, shorten windows, shave
+   client threads and ops. Shard count stays put — replica store indices
+   are [nshards + i], so changing it would re-address the plan. *)
+let kv_candidates tr =
+  let specs = tr.kv_plan.Fault.specs in
+  let with_specs sp =
+    { tr with kv_plan = { tr.kv_plan with Fault.specs = sp } }
+  in
+  let drops =
+    List.mapi
+      (fun i _ -> with_specs (List.filteri (fun j _ -> j <> i) specs))
+      specs
+  in
+  let windows =
+    List.concat
+      (List.mapi
+         (fun i (sp : Fault.spec) ->
+           match sp.f_action with
+           | Fault.Shard_crash { shard; down_for } when down_for > 4_000 ->
+               [
+                 with_specs
+                   (replace_nth i
+                      {
+                        sp with
+                        f_action =
+                          Fault.Shard_crash { shard; down_for = down_for / 2 };
+                      }
+                      specs);
+               ]
+           | _ -> [])
+         specs)
+  in
+  let dims =
+    (if tr.kv_threads > 2 then [ { tr with kv_threads = tr.kv_threads - 1 } ]
+     else [])
+    @ (if tr.kv_ops > 100 then [ { tr with kv_ops = tr.kv_ops / 2 } ] else [])
+    @ if tr.kv_keys > 64 then [ { tr with kv_keys = tr.kv_keys / 2 } ] else []
+  in
+  drops @ windows @ dims
+
+let kv_fails tr =
+  let _, _, fs = run_kv_trial tr in
+  fs <> []
+
+let kv_shrink ?(budget = 60) tr0 =
+  if not (kv_fails tr0) then tr0
+  else begin
+    let runs = ref 1 in
+    let cur = ref tr0 in
+    let improved = ref true in
+    while !improved && !runs < budget do
+      improved := false;
+      (try
+         List.iter
+           (fun c ->
+             if !runs < budget then begin
+               incr runs;
+               if kv_fails c then begin
+                 cur := c;
+                 improved := true;
+                 raise Exit
+               end
+             end)
+           (kv_candidates !cur)
+       with Exit -> ())
+    done;
+    !cur
+  end
+
+let fuzz_kv ~runs ~seed ppf =
+  let failed = ref 0 in
+  for i = 0 to runs - 1 do
+    let rng = Rng.create (seed + (i * 1_000_003)) in
+    let tr = gen_kv_trial rng in
+    let _, _, fs = run_kv_trial tr in
+    if fs = [] then
+      Format.fprintf ppf "trial %4d ok   %s@." i (kv_to_string tr)
+    else begin
+      incr failed;
+      Format.fprintf ppf "trial %4d FAIL %s@." i (kv_to_string tr);
+      report_failures ppf fs;
+      let small = kv_shrink tr in
+      Format.fprintf ppf "           shrunk to %s@." (kv_to_string small);
+      Format.fprintf ppf
+        "           repro: optik_bench kv --replay '%s'@."
+        (kv_to_string small)
+    end
+  done;
+  Format.fprintf ppf "chaos-kv: %d/%d trials failed (seed %d)@." !failed runs
+    seed;
+  !failed
+
+let replay_kv s ppf =
+  let tr = kv_of_string s in
+  let _, r, fs = run_kv_trial tr in
+  Format.fprintf ppf "replay %s@." (kv_to_string tr);
+  Format.fprintf ppf "%s@."
+    (Format.asprintf "%a" Kv.pp_oracle r.Kv.res_oracle);
+  (if fs = [] then Format.fprintf ppf "verdict: PASS@."
+   else begin
+     report_failures ppf fs;
+     Format.fprintf ppf "verdict: FAIL (%d oracle failures)@."
+       (List.length fs)
+   end);
+  List.length fs

@@ -110,3 +110,46 @@ val fuzz :
 val replay : ?entries:entry list -> string -> Format.formatter -> int
 (** Parse a repro string, run it, report the verdict; returns the number
     of oracle failures (0 = passes). *)
+
+(** {1 KV service fuzzing}
+
+    Randomized trials over the sharded KV service ({!Kv}): shard
+    crash/recover faults, client crashes (op-boundary only), stalls and
+    storms, generated inside the service's warranties — at most one
+    shard crash per (primary, replica) pair, the f = 1 budget of the
+    exactly-once promise — so any reported failure is a real bug. The
+    oracles are the service's own: the run terminates, the stores stay
+    valid, and no acknowledged write is lost or duplicated. *)
+
+type kv_trial = {
+  kv_rep : string;  (** service representation ({!Kv.rep_names}) *)
+  kv_topo : string;
+  kv_shards : int;
+  kv_threads : int;
+  kv_ops : int;
+  kv_keys : int;
+  kv_read : int;
+  kv_scan : int;
+  kv_wseed : int;
+  kv_plan : Sim.Fault.plan;
+}
+
+val kv_to_string : kv_trial -> string
+(** [kv/REP@topo sN tN oN kN RN CN wN fPLAN]. *)
+
+val kv_of_string : string -> kv_trial
+(** Inverse of {!kv_to_string}; raises [Invalid_argument] on parse
+    errors. *)
+
+val gen_kv_trial : Harness.Rng.t -> kv_trial
+val kv_config : kv_trial -> Kv.config
+
+val run_kv_trial :
+  kv_trial -> Harness.Runner.measurement * Kv.result * failure list
+
+val fuzz_kv : runs:int -> seed:int -> Format.formatter -> int
+(** Like {!fuzz} over KV trials (same seeding scheme and output shape);
+    returns the number of failing trials. *)
+
+val replay_kv : string -> Format.formatter -> int
+(** Replay one KV trial string; returns its oracle-failure count. *)

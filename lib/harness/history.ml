@@ -61,3 +61,40 @@ module Make (Spec : Lincheck.SPEC) = struct
                { L.p_tid = tid; p_inv = widen_inv widen inv; p_input = input })
              o)
 end
+
+(** Spec-free variant of {!Make} for service-level oracles that do not go
+    through {!Lincheck}: the same crash semantics (an exception leaves the
+    in-flight record behind as a pending operation) but over arbitrary
+    request records, so an oracle can reason about acknowledged effects
+    instead of input/output pairs. The KV acked-write oracle records one
+    mutable request per client call here and sweeps [completed]
+    {e and} [inflight] afterwards — a request whose thread crashed after
+    the acknowledgment still carries its obligation. *)
+module Log = struct
+  type 'r t = {
+    completed : 'r list array;  (** per-thread, newest first *)
+    inflight : 'r option array;
+  }
+
+  let create ~nthreads =
+    { completed = Array.make nthreads []; inflight = Array.make nthreads None }
+
+  (* Deliberately no exception handler: a crash must leave the in-flight
+     record set — that IS the pending request. *)
+  let record t r (f : unit -> 'a) : 'a =
+    let tid = Sim.Sched.tid () in
+    t.inflight.(tid) <- Some r;
+    let x = f () in
+    t.completed.(tid) <- r :: t.completed.(tid);
+    t.inflight.(tid) <- None;
+    x
+
+  (* Completed requests in per-thread recording order, then any pending
+     ones: every request ever [record]ed appears exactly once. *)
+  let all t =
+    let done_ = Array.to_list t.completed |> List.concat_map List.rev in
+    let pending = Array.to_list t.inflight |> List.filter_map Fun.id in
+    done_ @ pending
+
+  let iter t f = List.iter f (all t)
+end

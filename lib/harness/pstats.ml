@@ -28,11 +28,23 @@ type summary = {
   p50 : int;
   p75 : int;
   p95 : int;
+  p99 : int;
+  p999 : int;
   mean : float;
 }
 
 let empty_summary =
-  { n = 0; p05 = 0; p25 = 0; p50 = 0; p75 = 0; p95 = 0; mean = 0. }
+  {
+    n = 0;
+    p05 = 0;
+    p25 = 0;
+    p50 = 0;
+    p75 = 0;
+    p95 = 0;
+    p99 = 0;
+    p999 = 0;
+    mean = 0.;
+  }
 
 (* Merge several collectors and summarize. *)
 let summarize (ts : t list) =
@@ -55,6 +67,15 @@ let summarize (ts : t list) =
       let idx = int_of_float (p *. float_of_int (total - 1)) in
       all.(idx)
     in
+    (* Tail percentiles use the ceiling nearest-rank convention instead:
+       with few samples the floor index collapses p99/p999 onto the
+       median, hiding exactly the tail these exist to expose. Under
+       ceiling-rank a sparse class (say 5 timeouts) reports its maximum
+       as p999, which is the honest answer. *)
+    let pct_hi p =
+      let r = int_of_float (Float.ceil (p *. float_of_int total)) - 1 in
+      all.(min (total - 1) (max 0 r))
+    in
     let sum = Array.fold_left ( + ) 0 all in
     {
       n = total;
@@ -63,10 +84,13 @@ let summarize (ts : t list) =
       p50 = pct 0.50;
       p75 = pct 0.75;
       p95 = pct 0.95;
+      p99 = pct_hi 0.99;
+      p999 = pct_hi 0.999;
       mean = float_of_int sum /. float_of_int total;
     }
   end
 
 let pp fmt s =
-  Format.fprintf fmt "n=%d p05=%d p25=%d p50=%d p75=%d p95=%d mean=%.0f" s.n
-    s.p05 s.p25 s.p50 s.p75 s.p95 s.mean
+  Format.fprintf fmt
+    "n=%d p05=%d p25=%d p50=%d p75=%d p95=%d p99=%d p999=%d mean=%.0f" s.n
+    s.p05 s.p25 s.p50 s.p75 s.p95 s.p99 s.p999 s.mean

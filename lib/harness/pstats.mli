@@ -29,6 +29,8 @@ type summary = {
   p50 : int;
   p75 : int;
   p95 : int;
+  p99 : int;  (** ceiling nearest-rank: honest on sparse tails *)
+  p999 : int;  (** ceiling nearest-rank: max of a class with < 1000 samples *)
   mean : float;
 }
 

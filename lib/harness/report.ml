@@ -35,6 +35,8 @@ let latency_json (m : Runner.measurement) =
               ("p50", J.Int s.Pstats.p50);
               ("p75", J.Int s.Pstats.p75);
               ("p95", J.Int s.Pstats.p95);
+              ("p99", J.Int s.Pstats.p99);
+              ("p999", J.Int s.Pstats.p999);
               ("mean", J.Float s.Pstats.mean);
             ] )
         :: !entries
@@ -116,12 +118,14 @@ let run_entry ?id (m : Runner.measurement) : J.json =
      ]
     @ hotlines_json m)
 
-(** Assemble a full report from labelled measurements. *)
-let make ~subcommand ~seed ~params (runs : (string * Runner.measurement) list)
-    : J.json =
+(** Assemble a full report from labelled measurements. [sections] carries
+    subcommand-specific extras (the KV service attaches its oracle verdict
+    and failover timeline there). *)
+let make ~subcommand ~seed ~params ?(sections = [])
+    (runs : (string * Runner.measurement) list) : J.json =
   J.make ~subcommand ~seed ~params
     ~runs:(List.map (fun (id, m) -> run_entry ~id m) runs)
-    ~sections:[]
+    ~sections
 
 (** Validate and write a report; a schema violation here is a bug in the
     emitter, so it fails loudly rather than writing a bad file. *)

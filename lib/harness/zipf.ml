@@ -36,3 +36,10 @@ let rank_of t u =
 let sample t rng =
   let rank = rank_of t (Rng.float rng) in
   t.range - rank
+
+(* The key at popularity [rank] (0 = hottest). Hot-key storms target the
+   same keys the sampler already favors, so a storm concentrates — rather
+   than shifts — the distribution. *)
+let popular t rank =
+  if rank < 0 || rank >= t.range then invalid_arg "Zipf.popular: bad rank";
+  t.range - rank

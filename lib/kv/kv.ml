@@ -1,0 +1,876 @@
+(** Sharded in-memory KV service over the OPTIK structure registry.
+
+    The microbenchmarks measure structures in isolation; this module
+    composes them into a production-shaped service and measures what the
+    composition adds: a hash-partitioned store whose shards are registry
+    structures (one primary + one replica store per shard), fronted by an
+    open-loop client population (zipfian key popularity, read/write/scan
+    mixes, hot-key storms, flash-crowd bursts) and hardened with
+
+    - per-request deadlines,
+    - bounded retry with seeded exponential backoff + jitter,
+    - shard health tracking with failover to the replica,
+    - graceful degradation: scans are shed before point ops suffer.
+
+    Rolling shard crashes come from {!Sim.Fault} ([Shard_crash] /
+    [Shard_recover] actions): a crash conceptually loses the store's
+    contents — the service observes the epoch bump, wipes the backing
+    structure, and serves from the surviving copy.
+
+    {2 The acknowledged-write oracle}
+
+    The service promises {e exactly-once visible effect per acknowledged
+    write}: after the run (and after wiping stores whose crash the
+    service never observed), every acked put must have exactly one of its
+    attempt-elements present in its shard pair — zero means an ack was
+    lost to a crash, two or more means a retry duplicated an effect the
+    client was already acked for. Requests are recorded crash-aware
+    through {!Harness.History.Log}: a client thread that crashes
+    mid-request leaves its request in flight, and the ack flag on the
+    request record — not its completed/pending position — decides whether
+    it carries an obligation.
+
+    Every attempt writes a globally unique element (uid ⋅ 64 under the
+    idempotent policy, uid ⋅ 64 + attempt under the deliberately broken
+    one), so visibility is countable per request even though the registry
+    structures cannot be enumerated.
+
+    {2 The f = 1 warranty}
+
+    Replication degree is 2 and the structures have no enumeration, so a
+    wiped store cannot be resynced from its peer. The exactly-once
+    promise therefore holds for plans with {e at most one crash per
+    (primary, replica) pair over the run} — the classic f = 1 failure
+    budget. Single-copy acks (peer down at refresh) are sound because
+    they only happen once the pair's budget is already spent.
+    {!rolling_plan} and the chaos generator respect the budget; the
+    negative tests break the policy instead of the budget. *)
+
+module R = Harness.Registry
+module Rng = Harness.Rng
+module Probe = Sim.Sim_rt.Probe
+
+(* ------------------------------------------------------------------ *)
+(* Policies and workloads                                              *)
+
+type policy = {
+  deadline : int;  (** per-request budget, cycles from intended arrival *)
+  max_retries : int;
+  backoff_base : int;  (** attempt [n] backs off base ⋅ 2{^n} + jitter *)
+  backoff_cap : int;
+  replicate : bool;  (** write both copies (off: the loss negative test) *)
+  idempotent : bool;
+      (** retries re-write the same element (off: the duplication
+          negative test — every retry writes a fresh element, so a retry
+          after a lost ack duplicates the visible effect) *)
+  degraded_cycles : int;
+      (** a freshly recovered node reports [Recovering] for this long;
+          scans shed on it, point ops proceed *)
+}
+
+let default_policy =
+  {
+    deadline = 400_000;
+    max_retries = 8;
+    backoff_base = 256;
+    backoff_cap = 16_384;
+    replicate = true;
+    idempotent = true;
+    degraded_cycles = 50_000;
+  }
+
+let broken_retry_policy = { default_policy with idempotent = false }
+let no_replication_policy = { default_policy with replicate = false }
+
+type workload = {
+  keys : int;  (** key space [1 .. keys] *)
+  alpha : float;  (** zipf skew *)
+  read_pct : int;
+  scan_pct : int;  (** remainder after reads and scans is puts *)
+  scan_width : int;
+  gap : int;  (** open-loop inter-arrival gap per client, cycles *)
+  storm_every : int;  (** hot-key storm period (0 disables) *)
+  storm_len : int;  (** storm window length *)
+  hot_keys : int;  (** storm draws uniformly from the top-k keys *)
+  burst_every : int;  (** flash-crowd period (0 disables) *)
+  burst_len : int;
+  burst_factor : int;  (** arrival gap divides by this inside a burst *)
+}
+
+let default_workload =
+  {
+    keys = 4096;
+    alpha = 0.9;
+    read_pct = 70;
+    scan_pct = 10;
+    scan_width = 8;
+    gap = 1_500;
+    storm_every = 400_000;
+    storm_len = 80_000;
+    hot_keys = 8;
+    burst_every = 550_000;
+    burst_len = 60_000;
+    burst_factor = 8;
+  }
+
+type config = {
+  rep : string;  (** registry representation backing every store *)
+  nshards : int;
+  threads : int;  (** open-loop client threads *)
+  ops : int;  (** requests to serve (ticks) *)
+  seed : int;
+  topo : Sim.Topology.t;
+  workload : workload;
+  policy : policy;
+  plan : Sim.Fault.plan option;
+}
+
+let default_config =
+  {
+    rep = "ht-optik";
+    nshards = 4;
+    threads = 8;
+    ops = 6_000;
+    seed = 42;
+    topo = Sim.Topology.xeon;
+    workload = default_workload;
+    policy = default_policy;
+    plan = None;
+  }
+
+(* Shard representations by CLI name. The registry names collide across
+   families ("optik" is a list and a map), so the service uses qualified
+   names of its own. *)
+let reps : (string * (module R.SET_OPS)) list =
+  [
+    ("map-optik", R.Sim_backend.map_optik);
+    ("ht-optik", R.Sim_backend.ht_optik);
+    ("ll-optik", R.Sim_backend.ll_optik);
+    ("ll-harris", R.Sim_backend.ll_harris);
+    ("sl-optik", R.Sim_backend.sl_optik2);
+  ]
+
+let rep_names = List.map fst reps
+
+let rep_module name =
+  match List.assoc_opt name reps with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Kv: unknown rep %S (known: %s)" name
+           (String.concat ", " rep_names))
+
+(* ------------------------------------------------------------------ *)
+(* Stores, nodes, shards                                               *)
+
+(* A store is one registry structure behind an existential: wiping
+   replaces the structure wholesale (a crash loses the contents), which
+   is why [st] is mutable and [capacity] is remembered. *)
+type store =
+  | Store : {
+      sops : (module R.SET_OPS with type t = 'a);
+      mutable st : 'a;
+      capacity : int;
+    }
+      -> store
+
+let store_make (module S : R.SET_OPS) capacity =
+  Store { sops = (module S); st = S.create ~capacity (); capacity }
+
+let store_insert (Store { sops = (module S); st; _ }) e = S.insert st e e
+let store_mem (Store { sops = (module S); st; _ }) e = S.search st e <> None
+let store_size (Store { sops = (module S); st; _ }) = S.size st
+let store_valid (Store { sops = (module S); st; _ }) = S.validate st
+
+let store_wipe (Store ({ sops = (module S); _ } as s)) =
+  s.st <- S.create ~capacity:s.capacity ()
+
+(* One physical copy: primary or replica of a shard. [n_id] is the
+   logical store index the fault engine addresses ([Shard_crash]); the
+   convention is primary of shard i = i, replica of shard i =
+   nshards + i. [n_epoch] is the last crash count the service observed —
+   a mismatch against [Fault.shard_crash_count] means the store crashed
+   (and conceptually lost everything) since we last looked. *)
+type node = {
+  n_id : int;
+  n_label : string;
+  n_store : store;
+  mutable n_epoch : int;
+  mutable n_was_down : bool;
+  mutable n_recovered_at : int;
+}
+
+type shard = { primary : node; replica : node }
+type health = Up | Recovering | Down
+
+type shard_counters = {
+  c_restarts : Probe.counter;  (** request retries attributed here *)
+  c_timeouts : Probe.counter;
+  c_sheds : Probe.counter;
+  c_failovers : Probe.counter;  (** requests served by the replica *)
+  c_wipes : Probe.counter;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Requests and the oracle                                             *)
+
+type kind = Get | Put | Scan
+
+(* One client request, recorded crash-aware in a [History.Log]. Mutable
+   because the oracle reads the final ack state off the same record the
+   request loop updates — a thread that crashes right after setting
+   [q_acked] leaves an in-flight record that still carries the
+   obligation. *)
+type req = {
+  q_uid : int;
+  q_key : int;
+  q_kind : kind;
+  mutable q_elems : int list;  (** every element any attempt wrote *)
+  mutable q_acked : bool;
+  mutable q_attempts : int;
+}
+
+type oracle = {
+  ok : bool;
+  acked_writes : int;
+  lost : (int * int) list;  (** (uid, key): acked, nothing visible *)
+  duplicated : (int * int * int) list;
+      (** (uid, key, copies): acked, several attempt-elements visible *)
+  ghost_writes : int;
+      (** unacked puts with a visible effect — allowed (the ack may have
+          been lost after the effect landed), reported for visibility *)
+}
+
+type result = {
+  res_oracle : oracle;
+  res_events : string list;  (** failover timeline, chronological *)
+  res_shard_sizes : (int * int) array;  (** (primary, replica) per shard *)
+  res_shard_lat : Harness.Pstats.summary array;
+      (** request latency per home shard (the shard the key routes to),
+          all request classes pooled — localizes a crash's tail damage *)
+}
+
+let lat_classes = [| "get"; "put"; "scan"; "timeout"; "shed" |]
+let class_get = 0
+let class_put = 1
+let class_scan = 2
+let class_timeout = 3
+let class_shed = 4
+
+(* ------------------------------------------------------------------ *)
+(* The service                                                         *)
+
+type t = {
+  cfg : config;
+  shards : shard array;
+  shard_ctr : shard_counters array;
+  shard_lat : Harness.Pstats.t array;
+      (** per home shard; shared across clients — safe, the simulator
+          runs on one OS thread *)
+  last_acked : int array;  (** per key: last acked element, 0 = none *)
+  mutable next_uid : int;
+  log : req Harness.History.Log.t;
+  mutable events_rev : (int * string) list;
+  (* service-level counters *)
+  k_retries : Probe.counter;
+  k_timeouts : Probe.counter;
+  k_sheds : Probe.counter;
+  k_failovers : Probe.counter;
+  k_backoff : Probe.counter;
+  k_acked : Probe.counter;
+  k_wipes : Probe.counter;
+}
+
+let push_event t msg = t.events_rev <- (Sim.Sched.now (), msg) :: t.events_rev
+
+let shard_of t key = key mod Array.length t.shards
+
+let create (cfg : config) : t =
+  if cfg.nshards <= 0 then invalid_arg "Kv.create: nshards must be positive";
+  let (module S : R.SET_OPS) = rep_module cfg.rep in
+  (* Buckets per store. Elements are unique per acked put, so a store
+     holds at most ~ops/nshards of them; chained buckets at load factor
+     2-4 are fine for a simulated store, and each simulated bucket is
+     expensive host-side (its atomics are tracked cache lines), so do
+     NOT scale buckets linearly with ops. *)
+  let capacity =
+    max 256 (min 1024 (cfg.ops / (2 * max 1 cfg.nshards)))
+  in
+  let node id label =
+    {
+      n_id = id;
+      n_label = label;
+      n_store = store_make (module S) capacity;
+      n_epoch = 0;
+      n_was_down = false;
+      n_recovered_at = 0;
+    }
+  in
+  let shards =
+    Array.init cfg.nshards (fun i ->
+        {
+          primary = node i (Printf.sprintf "s%d" i);
+          replica = node (cfg.nshards + i) (Printf.sprintf "s%dr" i);
+        })
+  in
+  let shard_ctr =
+    Array.init cfg.nshards (fun i ->
+        let c m = Probe.counter (Printf.sprintf "kv-s%d.%s" i m) in
+        {
+          c_restarts = c "restarts";
+          c_timeouts = c "timeouts";
+          c_sheds = c "sheds";
+          c_failovers = c "failovers";
+          c_wipes = c "wipes";
+        })
+  in
+  {
+    cfg;
+    shards;
+    shard_ctr;
+    shard_lat = Array.init cfg.nshards (fun _ -> Harness.Pstats.create ());
+    last_acked = Array.make (cfg.workload.keys + 1) 0;
+    next_uid = 1;
+    log = Harness.History.Log.create ~nthreads:cfg.threads;
+    events_rev = [];
+    k_retries = Probe.counter "kv.retries";
+    k_timeouts = Probe.counter "kv.timeouts";
+    k_sheds = Probe.counter "kv.sheds";
+    k_failovers = Probe.counter "kv.failovers";
+    k_backoff = Probe.counter "kv.backoff-cycles";
+    k_acked = Probe.counter "kv.acked-writes";
+    k_wipes = Probe.counter "kv.wipes";
+  }
+
+(* Observe one node: detect crashes (epoch bump → wipe, the contents are
+   lost), then report health. Returns the epoch {e this caller} observed
+   so a writer can later detect a crash that raced its own insert —
+   comparing against [n_epoch] would miss a crash another thread already
+   refreshed away. *)
+let refresh t shard_idx node : health * int =
+  let e = Sim.Fault.shard_crash_count node.n_id in
+  if e <> node.n_epoch then begin
+    node.n_epoch <- e;
+    store_wipe node.n_store;
+    Probe.incr t.k_wipes;
+    Probe.incr t.shard_ctr.(shard_idx).c_wipes;
+    node.n_recovered_at <- Sim.Sched.now ();
+    push_event t
+      (Printf.sprintf "%s crashed (epoch %d): store wiped" node.n_label e)
+  end;
+  if Sim.Fault.shard_down node.n_id then begin
+    if not node.n_was_down then begin
+      node.n_was_down <- true;
+      push_event t (Printf.sprintf "%s down" node.n_label)
+    end;
+    (Down, e)
+  end
+  else begin
+    if node.n_was_down then begin
+      node.n_was_down <- false;
+      node.n_recovered_at <- Sim.Sched.now ();
+      push_event t (Printf.sprintf "%s back up" node.n_label)
+    end;
+    if
+      node.n_epoch > 0
+      && Sim.Sched.now () - node.n_recovered_at < t.cfg.policy.degraded_cycles
+    then (Recovering, e)
+    else (Up, e)
+  end
+
+(* Post-run sweep: wipe stores whose crash the service never observed
+   (the crash fired after the last request touched them), so the oracle
+   never reads conceptually lost contents. Runs outside the simulation,
+   where [Sched.now () = 0], so it must not consult [shard_down] — an
+   unexpired finite window would look permanently down; epoch comparison
+   alone is the crash signal. *)
+let quiesce t =
+  Array.iteri
+    (fun i sh ->
+      List.iter
+        (fun node ->
+          let e = Sim.Fault.shard_crash_count node.n_id in
+          if e <> node.n_epoch then begin
+            node.n_epoch <- e;
+            store_wipe node.n_store;
+            Probe.incr t.k_wipes;
+            Probe.incr t.shard_ctr.(i).c_wipes;
+            t.events_rev <-
+              ( max_int,
+                Printf.sprintf "%s crashed (epoch %d): wiped post-run"
+                  node.n_label e )
+              :: t.events_rev
+          end)
+        [ sh.primary; sh.replica ])
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+
+(* Exponential backoff with seeded jitter; counted so reports can show
+   cycles burned waiting rather than working. *)
+let backoff t rng n =
+  let p = t.cfg.policy in
+  let b =
+    min p.backoff_cap (p.backoff_base lsl min n 20) + Rng.below rng p.backoff_base
+  in
+  Probe.add t.k_backoff b;
+  Sim.Sched.work b
+
+let deadline_passed t ~arrival =
+  Sim.Sched.now () - arrival > t.cfg.policy.deadline
+
+(* One write attempt against a shard pair. The ack rule:
+
+   - [confirmed]: at least one copy that was up at refresh took (or
+     already had) the element and its store has not crashed since the
+     refresh this attempt made.
+   - [missing]: a copy that was up at refresh did not confirm — retry so
+     an ack always reflects every copy that was writable.
+   - [ambiguous]: a copy took the element but its store crashed before we
+     could decide — the effect may or may not survive elsewhere, which is
+     exactly the lost-ack window; never ack on it, retry instead. Under
+     the idempotent policy the retry re-writes the same element (safe);
+     under the broken policy it writes a fresh one, and if the first
+     attempt's element survived somewhere the oracle sees a duplicate. *)
+let attempt_put t req =
+  let p = t.cfg.policy in
+  let si = shard_of t req.q_key in
+  let sh = t.shards.(si) in
+  req.q_attempts <- req.q_attempts + 1;
+  let elem =
+    if p.idempotent then req.q_uid * 64
+    else (req.q_uid * 64) + (req.q_attempts land 63)
+  in
+  if not (List.mem elem req.q_elems) then req.q_elems <- elem :: req.q_elems;
+  let p_h, p_epoch = refresh t si sh.primary in
+  let r_h, r_epoch =
+    if p.replicate then refresh t si sh.replica else (Down, 0)
+  in
+  if p_h = Down && r_h <> Down then begin
+    Probe.incr t.k_failovers;
+    Probe.incr t.shard_ctr.(si).c_failovers
+  end;
+  let apply node h =
+    h <> Down && (store_insert node.n_store elem || store_mem node.n_store elem)
+  in
+  let applied_p = apply sh.primary p_h in
+  let applied_r = p.replicate && apply sh.replica r_h in
+  (* Re-check against the epochs this attempt observed: a crash that
+     raced the insert invalidates it even if another thread has already
+     refreshed the node. *)
+  let p_crashed = Sim.Fault.shard_crash_count sh.primary.n_id <> p_epoch in
+  let r_crashed =
+    p.replicate && Sim.Fault.shard_crash_count sh.replica.n_id <> r_epoch
+  in
+  let p_ok = applied_p && not p_crashed in
+  let r_ok = applied_r && not r_crashed in
+  let confirmed = p_ok || r_ok in
+  let missing =
+    (p_h <> Down && not p_ok) || (p.replicate && r_h <> Down && not r_ok)
+  in
+  let ambiguous = (applied_p && p_crashed) || (applied_r && r_crashed) in
+  if confirmed && (not missing) && not ambiguous then begin
+    req.q_acked <- true;
+    t.last_acked.(req.q_key) <- elem;
+    Probe.incr t.k_acked;
+    true
+  end
+  else false
+
+let do_put t rng ~arrival req =
+  let si = shard_of t req.q_key in
+  let rec go n =
+    if attempt_put t req then class_put
+    else if n >= t.cfg.policy.max_retries || deadline_passed t ~arrival then begin
+      Probe.incr t.k_timeouts;
+      Probe.incr t.shard_ctr.(si).c_timeouts;
+      class_timeout
+    end
+    else begin
+      Probe.incr t.k_retries;
+      Probe.incr t.shard_ctr.(si).c_restarts;
+      backoff t rng n;
+      go (n + 1)
+    end
+  in
+  go 0
+
+(* Reads route to the primary, failing over to the replica when the
+   primary is down; both down means retry/backoff until the deadline.
+   The probed element is the key's last acked write when there is one —
+   so reads traverse the structure to real depth — and the bare key (a
+   guaranteed miss at realistic cost) otherwise. *)
+let do_get t rng ~arrival key =
+  let si = shard_of t key in
+  let sh = t.shards.(si) in
+  let probe = if t.last_acked.(key) <> 0 then t.last_acked.(key) else key in
+  let rec go n =
+    let p_h, _ = refresh t si sh.primary in
+    let node =
+      if p_h <> Down then Some sh.primary
+      else begin
+        let r_h, _ = refresh t si sh.replica in
+        if r_h <> Down then begin
+          Probe.incr t.k_failovers;
+          Probe.incr t.shard_ctr.(si).c_failovers;
+          Some sh.replica
+        end
+        else None
+      end
+    in
+    match node with
+    | Some node ->
+        ignore (store_mem node.n_store probe);
+        class_get
+    | None ->
+        if n >= t.cfg.policy.max_retries || deadline_passed t ~arrival then begin
+          Probe.incr t.k_timeouts;
+          Probe.incr t.shard_ctr.(si).c_timeouts;
+          class_timeout
+        end
+        else begin
+          Probe.incr t.k_retries;
+          Probe.incr t.shard_ctr.(si).c_restarts;
+          backoff t rng n;
+          go (n + 1)
+        end
+  in
+  go 0
+
+(* Scans degrade first: a scan is shed — a cheap rejection, no store
+   touched — when the request is already far behind its intended arrival
+   (the service is overloaded) or the first touched shard is freshly
+   recovered (it is rebuilding; point ops may proceed, bulk reads wait).
+   An executed scan probes [scan_width] consecutive keys with per-key
+   failover; any key with both copies down times the scan out. *)
+let do_scan t ~arrival key =
+  let w = t.cfg.workload in
+  let si0 = shard_of t key in
+  let behind = Sim.Sched.now () - arrival > t.cfg.policy.deadline / 2 in
+  let first_h, _ = refresh t si0 t.shards.(si0).primary in
+  if behind || first_h = Recovering then begin
+    Probe.incr t.k_sheds;
+    Probe.incr t.shard_ctr.(si0).c_sheds;
+    class_shed
+  end
+  else begin
+    let hi = min w.keys (key + w.scan_width - 1) in
+    let all_served = ref true in
+    let k = ref key in
+    while !all_served && !k <= hi do
+      let si = shard_of t !k in
+      let sh = t.shards.(si) in
+      let p_h, _ = refresh t si sh.primary in
+      let node =
+        if p_h <> Down then Some sh.primary
+        else begin
+          let r_h, _ = refresh t si sh.replica in
+          if r_h <> Down then begin
+            Probe.incr t.k_failovers;
+            Probe.incr t.shard_ctr.(si).c_failovers;
+            Some sh.replica
+          end
+          else None
+        end
+      in
+      (match node with
+      | Some node ->
+          let probe = if t.last_acked.(!k) <> 0 then t.last_acked.(!k) else !k in
+          ignore (store_mem node.n_store probe);
+          Sim.Sched.work 32
+      | None -> all_served := false);
+      incr k
+    done;
+    if !all_served then class_scan
+    else begin
+      Probe.incr t.k_timeouts;
+      Probe.incr t.shard_ctr.(si0).c_timeouts;
+      class_timeout
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Client loop                                                         *)
+
+(* Open-loop arrivals: each client advances an intended-arrival clock by
+   gap + jitter per request, independent of completions. Ahead of
+   schedule means idle until the arrival; behind schedule means the
+   request queued, and its measured latency includes the queueing delay —
+   the open-loop property that makes overload visible as tail latency
+   instead of silently throttling the load. *)
+let client t lat tid =
+  let w = t.cfg.workload in
+  let rng = Rng.create ((t.cfg.seed * 65_599) + tid) in
+  let z = Harness.Zipf.create ~range:w.keys ~alpha:w.alpha in
+  let next_arrival = ref 0 in
+  while not (Sim.Sched.stop_requested ()) do
+    let arrival = !next_arrival in
+    let now = Sim.Sched.now () in
+    if now < arrival then Sim.Sched.work (arrival - now);
+    let in_burst =
+      w.burst_every > 0 && arrival mod w.burst_every < w.burst_len
+    in
+    let gap = if in_burst then max 1 (w.gap / w.burst_factor) else w.gap in
+    next_arrival := arrival + gap + Rng.below rng (max 1 (gap / 4));
+    let in_storm =
+      w.storm_every > 0 && arrival mod w.storm_every < w.storm_len
+    in
+    let key =
+      if in_storm then
+        Harness.Zipf.popular z (Rng.below rng (min w.hot_keys w.keys))
+      else Harness.Zipf.sample z rng
+    in
+    let r = Rng.below rng 100 in
+    Sim.Sim_rt.on_fault Rt.Rt_intf.Op_boundary;
+    let cls =
+      if r < w.read_pct then do_get t rng ~arrival key
+      else if r < w.read_pct + w.scan_pct then do_scan t ~arrival key
+      else begin
+        let uid = t.next_uid in
+        t.next_uid <- uid + 1;
+        let req =
+          {
+            q_uid = uid;
+            q_key = key;
+            q_kind = Put;
+            q_elems = [];
+            q_acked = false;
+            q_attempts = 0;
+          }
+        in
+        Harness.History.Log.record t.log req (fun () ->
+            do_put t rng ~arrival req)
+      end
+    in
+    let d = Sim.Sched.now () - arrival in
+    Harness.Pstats.record lat.(cls) d;
+    Harness.Pstats.record t.shard_lat.(shard_of t key) d;
+    Sim.Sched.tick ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                              *)
+
+(* Count, per put, how many distinct attempt-elements are visible in the
+   key's shard pair. An element present in both copies counts once —
+   that is replication, not duplication. Runs post-quiesce, outside the
+   simulation, so the membership probes cost nothing. *)
+let check_oracle t : oracle =
+  let lost = ref [] and dup = ref [] in
+  let acked = ref 0 and ghosts = ref 0 in
+  Harness.History.Log.iter t.log (fun req ->
+      match req.q_kind with
+      | Get | Scan -> ()
+      | Put ->
+          let sh = t.shards.(shard_of t req.q_key) in
+          let visible =
+            List.length
+              (List.filter
+                 (fun e ->
+                   store_mem sh.primary.n_store e
+                   || store_mem sh.replica.n_store e)
+                 req.q_elems)
+          in
+          if req.q_acked then begin
+            incr acked;
+            if visible = 0 then lost := (req.q_uid, req.q_key) :: !lost
+            else if visible > 1 then
+              dup := (req.q_uid, req.q_key, visible) :: !dup
+          end
+          else if visible > 0 then incr ghosts);
+  {
+    ok = !lost = [] && !dup = [];
+    acked_writes = !acked;
+    lost = List.rev !lost;
+    duplicated = List.rev !dup;
+    ghost_writes = !ghosts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+(* A rolling-failure plan: crash the primaries of shards 0..count-1 in
+   turn, one every [stagger] requests (op-boundary checkpoints are one
+   per client request), each down for [down_for] cycles (0 = until a
+   recover, i.e. forever unless the plan has one). At most one crash per
+   pair, keeping the f = 1 warranty. *)
+let rolling_plan ?(seed = 7) ~nshards ~count ~down_for ~stagger () =
+  let count = min count nshards in
+  Sim.Fault.plan ~seed
+    (List.init count (fun i ->
+         Sim.Fault.shard_crash
+           ~hits:((i + 1) * stagger)
+           ~down_for i Rt.Rt_intf.Op_boundary))
+
+let format_events t =
+  List.rev_map
+    (fun (clk, msg) ->
+      if clk = max_int then Printf.sprintf "t=post-run %s" msg
+      else Printf.sprintf "t=%d %s" clk msg)
+    t.events_rev
+
+let run (cfg : config) : Harness.Runner.measurement * result =
+  Dstruct.Sl_common.reset_states ();
+  let t = create cfg in
+  Probe.reset_all ();
+  let lat =
+    Array.init cfg.threads (fun _ ->
+        Array.init (Array.length lat_classes) (fun _ ->
+            Harness.Pstats.create ()))
+  in
+  let host0 = Unix.gettimeofday () in
+  (* Always install a plan — an empty one when none was given — so the
+     fault engine's shard tables are reset per run instead of leaking a
+     previous run's crash epochs into this one's refresh/quiesce. *)
+  let faults =
+    match cfg.plan with
+    | Some p -> p
+    | None -> Sim.Fault.plan ~seed:cfg.seed []
+  in
+  let stats, outcome =
+    Harness.Runner.run_guarded ~faults ~topology:cfg.topo
+      ~nthreads:cfg.threads ~ops_target:cfg.ops
+      (fun tid -> client t lat.(tid) tid)
+  in
+  let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
+  quiesce t;
+  let oracle = check_oracle t in
+  let wall_s =
+    float_of_int stats.Sim.Sched.wall_cycles
+    /. (cfg.topo.Sim.Topology.ghz *. 1e9)
+  in
+  let final_size =
+    Array.fold_left
+      (fun a sh -> a + store_size sh.primary.n_store + store_size sh.replica.n_store)
+      0 t.shards
+  in
+  let valid =
+    Array.for_all
+      (fun sh -> store_valid sh.primary.n_store && store_valid sh.replica.n_store)
+      t.shards
+  in
+  let m : Harness.Runner.measurement =
+    {
+      name = "kv/" ^ cfg.rep;
+      topo_name = cfg.topo.Sim.Topology.name;
+      seed = cfg.seed;
+      threads = cfg.threads;
+      mops = Sim.Sched.mops cfg.topo stats;
+      ops = stats.Sim.Sched.ops;
+      wall_s;
+      eff_update_pct =
+        100.
+        *. float_of_int (Probe.count t.k_acked)
+        /. float_of_int (max 1 stats.Sim.Sched.ops);
+      reads = stats.Sim.Sched.reads;
+      writes = stats.Sim.Sched.writes;
+      cas = stats.Sim.Sched.cas;
+      cas_failed = stats.Sim.Sched.cas_failed;
+      faa = stats.Sim.Sched.faa;
+      events = stats.Sim.Sched.events;
+      host_s;
+      lat =
+        Array.init (Array.length lat_classes) (fun c ->
+            Harness.Pstats.summarize
+              (Array.to_list (Array.map (fun l -> l.(c)) lat)));
+      lat_classes;
+      counters = Probe.dump ();
+      final_size;
+      valid;
+      outcome;
+      obs = None;
+    }
+  in
+  let result =
+    {
+      res_oracle = oracle;
+      res_events = format_events t;
+      res_shard_sizes =
+        Array.map
+          (fun sh ->
+            (store_size sh.primary.n_store, store_size sh.replica.n_store))
+          t.shards;
+      res_shard_lat =
+        Array.map (fun p -> Harness.Pstats.summarize [ p ]) t.shard_lat;
+    }
+  in
+  (m, result)
+
+(* ------------------------------------------------------------------ *)
+(* Report section                                                      *)
+
+module J = Obs.Report
+
+let policy_json (p : policy) : J.json =
+  J.Obj
+    [
+      ("deadline", J.Int p.deadline);
+      ("max_retries", J.Int p.max_retries);
+      ("backoff_base", J.Int p.backoff_base);
+      ("backoff_cap", J.Int p.backoff_cap);
+      ("replicate", J.Bool p.replicate);
+      ("idempotent", J.Bool p.idempotent);
+      ("degraded_cycles", J.Int p.degraded_cycles);
+    ]
+
+(* The kv-specific report section: the oracle verdict, the failover
+   timeline (strings — the diff's flattener skips arrays by design) and
+   per-shard final sizes. *)
+let report_section (cfg : config) (r : result) : string * J.json =
+  let o = r.res_oracle in
+  ( "kv",
+    J.Obj
+      [
+        ("rep", J.Str cfg.rep);
+        ("shards", J.Int cfg.nshards);
+        ("policy", policy_json cfg.policy);
+        ( "oracle",
+          J.Obj
+            [
+              ("ok", J.Bool o.ok);
+              ("acked_writes", J.Int o.acked_writes);
+              ("lost", J.Int (List.length o.lost));
+              ("duplicated", J.Int (List.length o.duplicated));
+              ("ghost_writes", J.Int o.ghost_writes);
+            ] );
+        ("failover_events", J.Arr (List.map (fun e -> J.Str e) r.res_events));
+        ( "per_shard",
+          J.Obj
+            (Array.to_list
+               (Array.mapi
+                  (fun i (p, rr) ->
+                    let s = r.res_shard_lat.(i) in
+                    ( Printf.sprintf "s%d" i,
+                      J.Obj
+                        [
+                          ("primary_size", J.Int p);
+                          ("replica_size", J.Int rr);
+                          ("n", J.Int s.Harness.Pstats.n);
+                          ("p50", J.Int s.Harness.Pstats.p50);
+                          ("p95", J.Int s.Harness.Pstats.p95);
+                          ("p99", J.Int s.Harness.Pstats.p99);
+                          ("p999", J.Int s.Harness.Pstats.p999);
+                        ] ))
+                  r.res_shard_sizes)) );
+      ] )
+
+let pp_oracle ppf (o : oracle) =
+  if o.ok then
+    Format.fprintf ppf "oracle: PASS (%d acked writes, %d ghost writes)"
+      o.acked_writes o.ghost_writes
+  else begin
+    Format.fprintf ppf "oracle: FAIL (%d acked writes: %d lost, %d duplicated)"
+      o.acked_writes (List.length o.lost)
+      (List.length o.duplicated);
+    List.iter
+      (fun (uid, key) ->
+        Format.fprintf ppf "@\n  LOST uid=%d key=%d (acked, not visible)" uid
+          key)
+      o.lost;
+    List.iter
+      (fun (uid, key, n) ->
+        Format.fprintf ppf "@\n  DUPLICATED uid=%d key=%d (%d copies visible)"
+          uid key n)
+      o.duplicated
+  end

@@ -491,8 +491,13 @@ let direction path =
     || contains ~sub:"cas_failed" path
     || ends_with ~suffix:".p50" path
     || ends_with ~suffix:".p95" path
+    || ends_with ~suffix:".p99" path
+    || ends_with ~suffix:".p999" path
     || ends_with ~suffix:".stalls" path
     || ends_with ~suffix:".restarts" path
+    || ends_with ~suffix:".timeouts" path
+    || ends_with ~suffix:".sheds" path
+    || ends_with ~suffix:".retries" path
   then Lower_better
   else Neutral
 
@@ -605,6 +610,7 @@ let diff ?(top = 10) (a : json) (b : json) : (string, string) result =
       if pairs = [] then
         out "no comparable runs (different counts and no shared ids)";
       let regressions = ref [] in
+      let common_paths = ref 0 in
       List.iter
         (fun (ida, idb, ra, rb) ->
           let fa = flatten ra and fb = flatten rb in
@@ -620,6 +626,7 @@ let diff ?(top = 10) (a : json) (b : json) : (string, string) result =
                 | None -> None)
               fa
           in
+          common_paths := !common_paths + List.length common;
           List.iter
             (fun (path, va, vb) ->
               let core = List.mem path core_paths in
@@ -721,7 +728,13 @@ let diff ?(top = 10) (a : json) (b : json) : (string, string) result =
               rows)
           stall_pairs
       end;
-      Ok (Buffer.contents buf)
+      (* Runs paired up but shared not a single numeric path: the reports
+         measure different things (e.g. a [run] report vs a [kv] report)
+         and an empty table would be misleading. Surface it as an error so
+         the CLI exits distinctly instead of printing "no regressions". *)
+      if pairs <> [] && !common_paths = 0 then
+        Error "reports have disjoint metric sets: no common numeric paths"
+      else Ok (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)

@@ -32,6 +32,16 @@ type action =
       (** open a window of [duration] cycles during which every listed
           thread ([[]] = every thread) stalls to the end of the window at
           each checkpoint it reaches *)
+  | Shard_crash of { shard : int; down_for : int }
+      (** mark logical store [shard] crashed: its contents are
+          conceptually lost (a harness observes this via
+          {!shard_crash_count} and wipes the backing structure), and
+          {!shard_down} reports it down until [down_for] cycles have
+          elapsed — or, when [down_for = 0], until a {!Shard_recover}
+          fires. Unlike {!Crash} this does not kill the reporting
+          thread; it flips service-level state the KV layer polls. *)
+  | Shard_recover of int
+      (** bring logical store [shard] back up (no-op if it is up) *)
 
 type spec = {
   f_tid : int option;  (** restrict to one thread; [None] = any thread *)
@@ -58,6 +68,17 @@ let storm ?tid ?(hits = 0) ?(victims = []) duration point =
     f_action = Storm { victims; duration };
   }
 
+let shard_crash ?tid ?(hits = 0) ?(down_for = 0) shard point =
+  {
+    f_tid = tid;
+    f_point = point;
+    f_hits = hits;
+    f_action = Shard_crash { shard; down_for };
+  }
+
+let shard_recover ?tid ?(hits = 0) shard point =
+  { f_tid = tid; f_point = point; f_hits = hits; f_action = Shard_recover shard }
+
 let plan ~seed specs = { seed; specs }
 
 (** One fired injection, for post-run assertions and reports: which
@@ -71,6 +92,34 @@ type armed = { spec : spec; mutable remaining : int; mutable fired : bool }
 let active : armed array ref = ref [||]
 let storm_window : (int * int list) option ref = ref None
 let fired_log : event list ref = ref []
+
+(* Logical shard-store state, keyed by store index. Like [fired_log],
+   these tables survive [clear] (until the next [install]) so a harness
+   can still observe unacknowledged crashes — and wipe the affected
+   stores — after the run returns. *)
+let shard_epochs : (int, int) Hashtbl.t = Hashtbl.create 16
+let shard_deadlines : (int, int) Hashtbl.t = Hashtbl.create 16
+
+(** How many times store [s] has crashed under the current plan. A
+    service compares this against its last observed value to detect (and
+    wipe after) crashes, including crash+auto-recover cycles that
+    happened entirely between two of its own accesses. *)
+let shard_crash_count s =
+  Option.value ~default:0 (Hashtbl.find_opt shard_epochs s)
+
+(** Is store [s] currently down? Auto-recovery is lazy: a finite window
+    is removed the first time it is consulted past its deadline (by the
+    calling thread's clock, so different threads may briefly disagree —
+    exactly like real failure detectors). *)
+let shard_down s =
+  match Hashtbl.find_opt shard_deadlines s with
+  | None -> false
+  | Some deadline ->
+      if deadline <> max_int && Sched.now () >= deadline then begin
+        Hashtbl.remove shard_deadlines s;
+        false
+      end
+      else true
 
 (* Pure splitmix-style hash of (seed, spec index): the default hit count
    for specs that leave [f_hits = 0]. Small (1..48) so the fault lands
@@ -113,12 +162,19 @@ let handler p =
           | Crash -> raise Sched.Crashed
           | Stall n -> Sched.work n
           | Storm { victims; duration } ->
-              storm_window := Some (Sched.now () + duration, victims))))
+              storm_window := Some (Sched.now () + duration, victims)
+          | Shard_crash { shard; down_for } ->
+              Hashtbl.replace shard_epochs shard (shard_crash_count shard + 1);
+              Hashtbl.replace shard_deadlines shard
+                (if down_for = 0 then max_int else Sched.now () + down_for)
+          | Shard_recover shard -> Hashtbl.remove shard_deadlines shard)))
     !active
 
 let install p =
   fired_log := [];
   storm_window := None;
+  Hashtbl.reset shard_epochs;
+  Hashtbl.reset shard_deadlines;
   active :=
     Array.of_list
       (List.mapi
@@ -130,6 +186,10 @@ let install p =
          p.specs);
   Sched.set_fault_hook (Some handler)
 
+(* Shard tables are deliberately NOT reset here: a shard crash that fired
+   near the end of the run may still be unobserved by the service, which
+   quiesces (compares epochs and wipes) after the run — and thus after
+   [with_plan]'s cleanup — returns. *)
 let clear () =
   Sched.set_fault_hook None;
   active := [||];
@@ -166,6 +226,10 @@ let action_name = function
   | Crash -> "crash"
   | Stall n -> Printf.sprintf "stall(%d)" n
   | Storm { duration; _ } -> Printf.sprintf "storm(%d)" duration
+  | Shard_crash { shard; down_for = 0 } -> Printf.sprintf "shardcrash(%d)" shard
+  | Shard_crash { shard; down_for } ->
+      Printf.sprintf "shardcrash(%d:%d)" shard down_for
+  | Shard_recover shard -> Printf.sprintf "shardrecover(%d)" shard
 
 (* ------------------------------------------------------------------ *)
 (* Plan serialization, for replayable repro strings (the chaos engine's
@@ -175,6 +239,8 @@ let action_name = function
      spec   := action '@' POINT (',t' TID)? (',h' HITS)?
      action := 'crash' | 'stall(' N ')'
              | 'storm(' N ')' | 'storm(' N ':v' TID ('.' TID)* ')'
+             | 'shardcrash(' S ')' | 'shardcrash(' S ':' D ')'
+             | 'shardrecover(' S ')'
 
    Omitted [,tN] means any thread; omitted [,hN] means the seed-derived
    hit count (f_hits = 0).  [to_string] and [of_string] round-trip
@@ -189,6 +255,7 @@ let spec_to_string sp =
     | Storm { victims; duration } ->
         Printf.sprintf "storm(%d:v%s)" duration
           (String.concat "." (List.map string_of_int victims))
+    | (Shard_crash _ | Shard_recover _) as a -> action_name a
   in
   Printf.sprintf "%s@%s%s%s" action (point_name sp.f_point)
     (match sp.f_tid with None -> "" | Some t -> Printf.sprintf ",t%d" t)
@@ -230,6 +297,15 @@ let action_of_string s =
               |> List.map (parse_int "storm victim");
           }
     | _ -> parse_error "malformed storm %S" s
+  else if String.length s >= 11 && String.sub s 0 11 = "shardcrash(" then
+    match String.split_on_char ':' (parse_parens "shardcrash" s) with
+    | [ sh ] -> Shard_crash { shard = parse_int "shard" sh; down_for = 0 }
+    | [ sh; d ] ->
+        Shard_crash
+          { shard = parse_int "shard" sh; down_for = parse_int "down-for" d }
+    | _ -> parse_error "malformed shardcrash %S" s
+  else if String.length s >= 13 && String.sub s 0 13 = "shardrecover(" then
+    Shard_recover (parse_int "shard" (parse_parens "shardrecover" s))
   else parse_error "unknown action %S" s
 
 let spec_of_string s =

@@ -267,6 +267,13 @@ let gen_plan =
           (fun d v -> Fault.Storm { victims = v; duration = d })
           (int_range 1 1_000_000)
           (list_size (int_range 0 4) (int_range 0 63));
+        map2
+          (fun shard down_for -> Fault.Shard_crash { shard; down_for })
+          (int_range 0 63)
+          (* down_for = 0 means "down until explicit recovery" and prints
+             without the duration field, so it must round-trip too *)
+          (oneof [ return 0; int_range 1 1_000_000 ]);
+        map (fun shard -> Fault.Shard_recover shard) (int_range 0 63);
       ]
   in
   let gen_spec =
@@ -292,7 +299,13 @@ let test_plan_string_examples () =
   check "7;crash@critical-enter,t0";
   check "0;stall(5000)@before-cas,t2,h3";
   check "1;storm(800)@op-boundary;storm(900:v1.3)@lock-wait,h2";
-  match Fault.of_string "1;crash@nowhere" with
+  check "3;shardcrash(2:5000)@op-boundary,h7";
+  check "3;shardcrash(0)@before-cas";
+  check "1;shardrecover(4)@op-boundary,h9";
+  (match Fault.of_string "1;crash@nowhere" with
+  | (_ : Fault.plan) -> Alcotest.fail "expected parse error"
+  | exception Invalid_argument _ -> ());
+  match Fault.of_string "1;shardcrash(x)@op-boundary" with
   | (_ : Fault.plan) -> Alcotest.fail "expected parse error"
   | exception Invalid_argument _ -> ()
 

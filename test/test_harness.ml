@@ -46,6 +46,28 @@ let test_zipf_cdf_monotone () =
     prev := rank
   done
 
+(* The workload generators must be pure functions of the seed: the same
+   seed replays the identical key sequence (the KV service's
+   byte-determinism rests on this), and different seeds diverge. *)
+let test_zipf_deterministic_across_seeds () =
+  let draw seed =
+    let z = Harness.Zipf.create ~range:1_000 ~alpha:0.9 in
+    let r = Harness.Rng.create seed in
+    List.init 200 (fun _ -> Harness.Zipf.sample z r)
+  in
+  Alcotest.(check (list int)) "same seed, same sequence" (draw 42) (draw 42);
+  Alcotest.(check bool) "different seeds diverge" true (draw 42 <> draw 43)
+
+let test_zipf_popular_ranks () =
+  let z = Harness.Zipf.create ~range:100 ~alpha:0.9 in
+  (* rank 0 is the hottest key, which by the paper's convention is the
+     largest; ranks walk down from there *)
+  Alcotest.(check int) "rank 0 = hottest" 100 (Harness.Zipf.popular z 0);
+  Alcotest.(check int) "rank 7" 93 (Harness.Zipf.popular z 7);
+  match Harness.Zipf.popular z 100 with
+  | (_ : int) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let test_pstats_percentiles () =
   let p = Harness.Pstats.create () in
   for i = 1 to 100 do
@@ -86,6 +108,30 @@ let test_pstats_wrap_percentiles () =
   Alcotest.(check (float 0.01)) "mean of the retained window"
     (float_of_int (500 + 1 + cap + 500) /. 2.)
     s.Harness.Pstats.mean
+
+(* Tail percentiles use the ceiling nearest-rank rule, so a sparse
+   latency class — a handful of timeouts, say — reports its maximum as
+   p999 instead of interpolating below any observed sample. *)
+let test_pstats_sparse_tail () =
+  let p = Harness.Pstats.create () in
+  List.iter (Harness.Pstats.record p) [ 10; 20; 30; 40; 5_000 ];
+  let s = Harness.Pstats.summarize [ p ] in
+  Alcotest.(check int) "p99 of 5 samples = max" 5_000 s.Harness.Pstats.p99;
+  Alcotest.(check int) "p999 of 5 samples = max" 5_000 s.Harness.Pstats.p999;
+  let q = Harness.Pstats.create () in
+  for i = 1 to 100 do
+    Harness.Pstats.record q i
+  done;
+  let s = Harness.Pstats.summarize [ q ] in
+  Alcotest.(check int) "p99 of 1..100" 99 s.Harness.Pstats.p99;
+  Alcotest.(check int) "p999 of 1..100 = max" 100 s.Harness.Pstats.p999;
+  let r = Harness.Pstats.create () in
+  for i = 1 to 1_000 do
+    Harness.Pstats.record r i
+  done;
+  let s = Harness.Pstats.summarize [ r ] in
+  Alcotest.(check int) "p99 of 1..1000" 990 s.Harness.Pstats.p99;
+  Alcotest.(check int) "p999 of 1..1000" 999 s.Harness.Pstats.p999
 
 let test_pstats_merge () =
   let a = Harness.Pstats.create () and b = Harness.Pstats.create () in
@@ -185,10 +231,15 @@ let () =
           Alcotest.test_case "largest most popular" `Quick
             test_zipf_largest_most_popular;
           Alcotest.test_case "cdf monotone" `Quick test_zipf_cdf_monotone;
+          Alcotest.test_case "deterministic across seeds" `Quick
+            test_zipf_deterministic_across_seeds;
+          Alcotest.test_case "popular ranks" `Quick test_zipf_popular_ranks;
         ] );
       ( "pstats",
         [
           Alcotest.test_case "percentiles" `Quick test_pstats_percentiles;
+          Alcotest.test_case "sparse tail p99/p999" `Quick
+            test_pstats_sparse_tail;
           Alcotest.test_case "ring overflow" `Quick test_pstats_ring_overflow;
           Alcotest.test_case "wrap percentiles" `Quick
             test_pstats_wrap_percentiles;

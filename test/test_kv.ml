@@ -1,0 +1,250 @@
+(* Tests for the sharded KV service (lib/kv): determinism under rolling
+   shard crashes, the acknowledged-write exactly-once oracle (positive
+   run plus both negative controls), the hardening counters, the chaos
+   trial grammar, and the report section. *)
+
+module Fault = Sim.Fault
+module Fp = Rt.Rt_intf
+
+let rolling_cfg =
+  {
+    Kv.default_config with
+    Kv.nshards = 4;
+    threads = 6;
+    ops = 3_000;
+    plan =
+      Some
+        (Kv.rolling_plan ~seed:42 ~nshards:4 ~count:2 ~down_for:60_000
+           ~stagger:1_000 ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Byte-determinism: everything the CLI prints and the report digests
+   is derived from the measurement and result, so compare those. *)
+
+let run_key (m : Harness.Runner.measurement) (r : Kv.result) =
+  ( ( m.Harness.Runner.ops,
+      m.Harness.Runner.reads,
+      m.Harness.Runner.writes,
+      m.Harness.Runner.cas,
+      m.Harness.Runner.events,
+      m.Harness.Runner.counters ),
+    ( r.Kv.res_oracle.Kv.ok,
+      r.Kv.res_oracle.Kv.acked_writes,
+      r.Kv.res_events,
+      r.Kv.res_shard_sizes,
+      r.Kv.res_shard_lat ) )
+
+let test_deterministic () =
+  let a =
+    let m, r = Kv.run rolling_cfg in
+    run_key m r
+  in
+  let b =
+    let m, r = Kv.run rolling_cfg in
+    run_key m r
+  in
+  Alcotest.(check bool) "identical measurement, oracle, timeline" true (a = b)
+
+let test_seed_changes_run () =
+  let m_a, _ = Kv.run rolling_cfg in
+  let m_b, _ = Kv.run { rolling_cfg with Kv.seed = 43 } in
+  Alcotest.(check bool) "different seed, different run" true
+    (m_a.Harness.Runner.counters <> m_b.Harness.Runner.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle, positive: rolling primary crashes within the f = 1 budget
+   must not lose or duplicate a single acknowledged write. *)
+
+let test_oracle_passes_rolling_crashes () =
+  let m, r = Kv.run rolling_cfg in
+  Alcotest.(check bool) "run completed" false (Harness.Runner.aborted m);
+  Alcotest.(check bool) "stores valid" true m.Harness.Runner.valid;
+  Alcotest.(check bool) "crashes actually happened" true
+    (List.length r.Kv.res_events >= 2);
+  Alcotest.(check bool) "some writes acked" true
+    (r.Kv.res_oracle.Kv.acked_writes > 0);
+  if not r.Kv.res_oracle.Kv.ok then
+    Alcotest.failf "oracle failed: %s"
+      (Format.asprintf "%a" Kv.pp_oracle r.Kv.res_oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Negative control 1: a retry policy that writes a fresh element per
+   attempt duplicates the visible effect when an ack is lost to a
+   replica crash mid-write. The oracle must catch it. *)
+
+let test_broken_retry_duplicates () =
+  let cfg =
+    {
+      Kv.default_config with
+      Kv.nshards = 1;
+      threads = 6;
+      ops = 3_000;
+      workload = { Kv.default_workload with Kv.read_pct = 0; scan_pct = 0 };
+      policy = Kv.broken_retry_policy;
+      plan =
+        Some
+          (Fault.plan ~seed:7
+             [ Fault.shard_crash ~hits:40 ~down_for:0 1 Fp.Op_boundary ]);
+    }
+  in
+  let _, r = Kv.run cfg in
+  Alcotest.(check bool) "oracle failed" false r.Kv.res_oracle.Kv.ok;
+  Alcotest.(check bool) "duplicates detected" true
+    (r.Kv.res_oracle.Kv.duplicated <> []);
+  Alcotest.(check (list (pair int int))) "nothing lost" []
+    r.Kv.res_oracle.Kv.lost
+
+(* ------------------------------------------------------------------ *)
+(* Negative control 2: without replication, a primary crash wipes
+   acknowledged writes. The oracle must report them lost. *)
+
+let test_no_replication_loses () =
+  let cfg =
+    {
+      Kv.default_config with
+      Kv.nshards = 1;
+      threads = 6;
+      ops = 3_000;
+      workload = { Kv.default_workload with Kv.read_pct = 0; scan_pct = 0 };
+      policy = Kv.no_replication_policy;
+      plan =
+        Some
+          (Fault.plan ~seed:7
+             [ Fault.shard_crash ~hits:200 ~down_for:40_000 0 Fp.Op_boundary ]);
+    }
+  in
+  let _, r = Kv.run cfg in
+  Alcotest.(check bool) "oracle failed" false r.Kv.res_oracle.Kv.ok;
+  Alcotest.(check bool) "lost writes detected" true
+    (r.Kv.res_oracle.Kv.lost <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Hardening counters: under rolling crashes the service must actually
+   exercise its machinery — failovers while primaries are down, sheds
+   during recovery windows, wipes on every crash. *)
+
+let counters_of (m : Harness.Runner.measurement) name =
+  Option.value ~default:0 (List.assoc_opt name m.Harness.Runner.counters)
+
+let test_hardening_counters () =
+  let m, _ = Kv.run rolling_cfg in
+  Alcotest.(check bool) "failovers happened" true
+    (counters_of m "kv.failovers" > 0);
+  Alcotest.(check bool) "scans shed during recovery" true
+    (counters_of m "kv.sheds" > 0);
+  Alcotest.(check int) "one wipe per crash" 2 (counters_of m "kv.wipes");
+  Alcotest.(check int) "acked counter matches oracle" (counters_of m "kv.acked-writes")
+    (let _, r = Kv.run rolling_cfg in
+     r.Kv.res_oracle.Kv.acked_writes)
+
+(* Both copies of a pair down forces point ops through retry/backoff to
+   a timeout: requests must fail loudly, not ack into the void. Note
+   this plan is deliberately OUTSIDE the f = 1 warranty (two crashes in
+   one pair), so writes acked before the second crash may be lost and
+   the oracle reports them — what must never appear is a duplicate or an
+   ack issued after both copies are gone. *)
+let test_timeouts_when_pair_down () =
+  let cfg =
+    {
+      Kv.default_config with
+      Kv.nshards = 1;
+      threads = 4;
+      ops = 1_500;
+      plan =
+        Some
+          (Fault.plan ~seed:7
+             [
+               Fault.shard_crash ~hits:30 ~down_for:0 0 Fp.Op_boundary;
+               Fault.shard_crash ~hits:31 ~down_for:0 1 Fp.Op_boundary;
+             ]);
+    }
+  in
+  let m, r = Kv.run cfg in
+  Alcotest.(check bool) "timeouts recorded" true
+    (counters_of m "kv.timeouts" > 0);
+  Alcotest.(check bool) "retries recorded" true
+    (counters_of m "kv.retries" > 0);
+  Alcotest.(check bool) "backoff applied" true
+    (counters_of m "kv.backoff-cycles" > 0);
+  Alcotest.(check (list (triple int int int))) "timeouts are not acks: no dups"
+    [] r.Kv.res_oracle.Kv.duplicated;
+  (* every loss predates the second crash: out-of-warranty, detected *)
+  Alcotest.(check bool) "losses bounded by pre-crash acks" true
+    (List.length r.Kv.res_oracle.Kv.lost <= r.Kv.res_oracle.Kv.acked_writes)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos trial grammar round-trip. *)
+
+let test_kv_trial_roundtrip () =
+  let rng = Harness.Rng.create 99 in
+  for _ = 1 to 100 do
+    let tr = Chaos.gen_kv_trial rng in
+    let s = Chaos.kv_to_string tr in
+    if Chaos.kv_of_string s <> tr then
+      Alcotest.failf "kv trial round-trip failed: %s" s
+  done;
+  match Chaos.kv_of_string "nonsense" with
+  | (_ : Chaos.kv_trial) -> Alcotest.fail "expected parse error"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Report integration: the kv run renders into a valid schema'd report
+   whose flattened numeric paths include the new tail percentiles and
+   whose kv section carries the oracle verdict. *)
+
+let test_report_section () =
+  let m, r = Kv.run rolling_cfg in
+  let j =
+    Harness.Report.make ~subcommand:"kv" ~seed:(Some rolling_cfg.Kv.seed)
+      ~params:[]
+      ~sections:[ Kv.report_section rolling_cfg r ]
+      [ ("kv/" ^ rolling_cfg.Kv.rep, m) ]
+  in
+  (match Obs.Report.validate j with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid report: %s" e);
+  let s = Obs.Report.to_string j in
+  List.iter
+    (fun sub ->
+      if
+        not
+          (let ls = String.length sub and l = String.length s in
+           let rec at i = i + ls <= l && (String.sub s i ls = sub || at (i + 1)) in
+           at 0)
+      then Alcotest.failf "report missing %S" sub)
+    [ "\"p999\""; "\"oracle\""; "\"failover_events\""; "\"acked_writes\"" ]
+
+let () =
+  Alcotest.run "kv"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded run deterministic" `Quick
+            test_deterministic;
+          Alcotest.test_case "seed changes run" `Quick test_seed_changes_run;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "passes under rolling crashes" `Quick
+            test_oracle_passes_rolling_crashes;
+          Alcotest.test_case "broken retry duplicates" `Quick
+            test_broken_retry_duplicates;
+          Alcotest.test_case "no replication loses" `Quick
+            test_no_replication_loses;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "failover/shed/wipe counters" `Quick
+            test_hardening_counters;
+          Alcotest.test_case "timeouts when pair down" `Quick
+            test_timeouts_when_pair_down;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "trial grammar round-trip" `Quick
+            test_kv_trial_roundtrip;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "section and p999" `Quick test_report_section ] );
+    ]

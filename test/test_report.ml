@@ -260,6 +260,28 @@ let test_diff_rejects_invalid () =
   | Ok _ -> Alcotest.fail "diff accepted an invalid report"
   | Error _ -> ()
 
+(* Two structurally valid reports whose runs share no numeric paths —
+   e.g. different subcommands' metric vocabularies — must be an Error
+   (the CLI maps it to exit 2), not a silent empty table claiming
+   "no regressions". *)
+let test_diff_disjoint_metrics_errors () =
+  let b' =
+    mk_report
+      ~runs:
+        [
+          mk_run ~metrics:[ ("retries", J.Int 3) ] "r0";
+          mk_run ~metrics:[ ("sheds", J.Int 9) ] "r1";
+        ]
+      ()
+  in
+  match J.diff report_a b' with
+  | Ok text -> Alcotest.failf "diff accepted disjoint metric sets:\n%s" text
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the condition (%s)" e)
+        true
+        (contains ~sub:"disjoint metric sets" e)
+
 (* ---------------- harness report ---------------- *)
 
 let test_harness_report_roundtrip () =
@@ -392,6 +414,8 @@ let () =
           Alcotest.test_case "by id" `Quick test_diff_by_id;
           Alcotest.test_case "positional" `Quick test_diff_positional;
           Alcotest.test_case "rejects invalid" `Quick test_diff_rejects_invalid;
+          Alcotest.test_case "disjoint metrics error" `Quick
+            test_diff_disjoint_metrics_errors;
         ] );
       ( "harness",
         [
