@@ -645,6 +645,25 @@ let kv_cmd =
       & info [ "scan" ] ~docv:"PCT"
           ~doc:"Scan percentage (the rest after reads and scans is puts).")
   in
+  let transfer =
+    Arg.(
+      value & opt int 0
+      & info [ "transfer-pct" ] ~docv:"PCT"
+          ~doc:
+            "Multi-key transfer percentage (carved from the put share): \
+             each transfer moves units between two account keys — usually \
+             on different shards — inside one optimistic transaction, and \
+             the oracle additionally checks account conservation. \
+             Unsupported together with fault plans (wipes lose balances).")
+  in
+  let accounts =
+    Arg.(
+      value & opt int 16
+      & info [ "accounts" ] ~docv:"N"
+          ~doc:
+            "Account keys for --transfer-pct, in the dedicated range \
+             keys+1 .. keys+N.")
+  in
   let machine =
     Arg.(
       value & opt string "xeon"
@@ -735,9 +754,9 @@ let kv_cmd =
       & info [ "replay" ] ~docv:"TRIAL"
           ~doc:"Replay one KV trial string (as emitted by --fuzz).")
   in
-  let run rep shards threads ops keys read scan machine seed deadline retries
-      faults rolling down_for stagger broken_retry no_replication fuzz replay
-      report =
+  let run rep shards threads ops keys read scan transfer accounts machine seed
+      deadline retries faults rolling down_for stagger broken_retry
+      no_replication fuzz replay report =
     let topo =
       match machine with
       | "xeon" -> Sim.Topology.xeon
@@ -751,8 +770,8 @@ let kv_cmd =
         (String.concat ", " Kv.rep_names);
       exit 2
     end;
-    if read + scan > 100 then begin
-      Printf.eprintf "--read + --scan must be at most 100\n";
+    if read + scan + transfer > 100 then begin
+      Printf.eprintf "--read + --scan + --transfer-pct must be at most 100\n";
       exit 2
     end;
     match (fuzz, replay) with
@@ -794,6 +813,12 @@ let kv_cmd =
                      ~stagger ())
               else None
         in
+        if transfer > 0 && plan <> None then begin
+          Printf.eprintf
+            "--transfer-pct cannot be combined with fault plans (a wipe \
+             loses account balances)\n";
+          exit 2
+        end;
         let policy =
           {
             Kv.default_policy with
@@ -817,6 +842,8 @@ let kv_cmd =
                 Kv.keys;
                 read_pct = read;
                 scan_pct = scan;
+                transfer_pct = transfer;
+                accounts;
               };
             policy;
             plan;
@@ -895,6 +922,8 @@ let kv_cmd =
                      ("keys", J.Int keys);
                      ("read", J.Int read);
                      ("scan", J.Int scan);
+                     ("transfer_pct", J.Int transfer);
+                     ("accounts", J.Int accounts);
                      ("machine", J.Str machine);
                      ( "faults",
                        match plan with
@@ -919,9 +948,208 @@ let kv_cmd =
           shedding, rolling shard crashes, and the acknowledged-write \
           exactly-once oracle.")
     Term.(
-      const run $ rep $ shards $ threads $ ops $ keys $ read $ scan $ machine
-      $ seed $ deadline $ retries $ faults $ rolling $ down_for $ stagger
-      $ broken_retry $ no_replication $ fuzz $ replay $ report_arg)
+      const run $ rep $ shards $ threads $ ops $ keys $ read $ scan $ transfer
+      $ accounts $ machine $ seed $ deadline $ retries $ faults $ rolling
+      $ down_for $ stagger $ broken_retry $ no_replication $ fuzz $ replay
+      $ report_arg)
+
+(* ---------------- txn ---------------- *)
+
+let txn_cmd =
+  let rep =
+    Arg.(
+      value
+      & opt string Txn.Workload.default_config.Txn.Workload.rep
+      & info [ "rep" ] ~docv:"REP"
+          ~doc:
+            ("Registry structure each bank object uses: "
+           ^ String.concat " | " Txn.Workload.rep_names ^ "."))
+  in
+  let objects =
+    Arg.(
+      value & opt int Txn.Workload.default_config.Txn.Workload.objects
+      & info [ "objects" ] ~docv:"N"
+          ~doc:"Independent structures transactions span.")
+  in
+  let accounts =
+    Arg.(
+      value & opt int Txn.Workload.default_config.Txn.Workload.accounts
+      & info [ "accounts" ] ~docv:"N" ~doc:"Accounts per structure.")
+  in
+  let threads =
+    Arg.(
+      value & opt int Txn.Workload.default_config.Txn.Workload.threads
+      & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let ops =
+    Arg.(
+      value & opt int Txn.Workload.default_config.Txn.Workload.ops
+      & info [ "ops" ] ~docv:"N" ~doc:"Transactions to run.")
+  in
+  let transfer =
+    Arg.(
+      value & opt int Txn.Workload.default_config.Txn.Workload.transfer_pct
+      & info [ "transfer-pct" ] ~docv:"PCT"
+          ~doc:
+            "Transfer percentage; the rest are read-only snapshot audits.")
+  in
+  let machine =
+    Arg.(
+      value & opt string "xeon"
+      & info [ "machine" ] ~docv:"M" ~doc:"xeon | opteron")
+  in
+  let seed =
+    Arg.(
+      value & opt int Txn.Workload.default_config.Txn.Workload.seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Workload seed: same seed, byte-identical output and report.")
+  in
+  let broken =
+    Arg.(
+      value & flag
+      & info [ "broken" ]
+          ~doc:
+            "Deliberately broken commit protocol: skip commit-time \
+             validation, so racing transfers commit on stale reads. The \
+             serializability oracle must FAIL — the negative control.")
+  in
+  let fuzz =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Instead of one run: fuzz $(docv) random transaction trials \
+             (reps, topologies, contention levels) under the strict \
+             serializability oracle, shrinking failures to one-line repros.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TRIAL"
+          ~doc:"Replay one transaction trial string (as emitted by --fuzz).")
+  in
+  let run rep objects accounts threads ops transfer machine seed broken fuzz
+      replay report =
+    let topo =
+      match machine with
+      | "xeon" -> Sim.Topology.xeon
+      | "opteron" -> Sim.Topology.opteron
+      | m ->
+          Printf.eprintf "unknown machine %S (use xeon or opteron)\n" m;
+          exit 2
+    in
+    if not (List.mem rep Txn.Workload.rep_names) then begin
+      Printf.eprintf "unknown rep %S; known: %s\n" rep
+        (String.concat ", " Txn.Workload.rep_names);
+      exit 2
+    end;
+    if transfer < 0 || transfer > 100 then begin
+      Printf.eprintf "--transfer-pct must be in [0,100]\n";
+      exit 2
+    end;
+    match (fuzz, replay) with
+    | n, _ when n > 0 ->
+        let failed =
+          with_host_time
+            (Printf.sprintf "txn fuzz %d trials" n)
+            (fun _ -> n)
+            (fun () -> Chaos.fuzz_txn ~runs:n ~seed Format.std_formatter)
+        in
+        if failed > 0 then exit 1
+    | _, Some s ->
+        let failures =
+          try
+            with_host_time "txn replay"
+              (fun _ -> 1)
+              (fun () -> Chaos.replay_txn s Format.std_formatter)
+          with Invalid_argument msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 2
+        in
+        if failures > 0 then exit 1
+    | _ ->
+        let cfg =
+          {
+            Txn.Workload.rep;
+            objects;
+            accounts;
+            initial = Txn.Workload.default_config.Txn.Workload.initial;
+            threads;
+            ops;
+            seed;
+            transfer_pct = transfer;
+            topo;
+            broken;
+          }
+        in
+        let m, r =
+          with_host_time
+            (Printf.sprintf "txn %s" rep)
+            (fun (m, _) -> m.Harness.Runner.ops)
+            (fun () -> Txn.Workload.run cfg)
+        in
+        Printf.printf
+          "txn/%s on %s, %d objects x %d accounts, %d threads, %d \
+           transactions, %d%% transfers, seed %d%s\n"
+          rep machine objects accounts threads ops transfer seed
+          (if broken then " (BROKEN commit protocol)" else "");
+        (match m.Harness.Runner.outcome with
+        | Harness.Runner.Complete -> ()
+        | Harness.Runner.Aborted rep ->
+            Printf.printf "  ABORTED: %s\n"
+              (Format.asprintf "%a" Sim.Sched.pp_verdict
+                 rep.Sim.Sched.r_verdict));
+        Printf.printf "  throughput      %.3f Mtxn/s (simulated)\n"
+          m.Harness.Runner.mops;
+        Array.iteri
+          (fun i cls ->
+            let l = m.Harness.Runner.lat.(i) in
+            if l.Harness.Pstats.n > 0 then
+              Printf.printf
+                "  %-8s n=%-6d p50=%-8d p95=%-8d p99=%-8d p999=%d cycles\n" cls
+                l.Harness.Pstats.n l.Harness.Pstats.p50 l.Harness.Pstats.p95
+                l.Harness.Pstats.p99 l.Harness.Pstats.p999)
+          m.Harness.Runner.lat_classes;
+        List.iter
+          (fun (k, v) -> Printf.printf "  counter %-24s %d\n" k v)
+          m.Harness.Runner.counters;
+        Printf.printf "%s\n"
+          (Format.asprintf "%a" Txn.Workload.pp_result r);
+        (match report with
+        | None -> ()
+        | Some path ->
+            write_report path
+              (Harness.Report.make ~subcommand:"txn" ~seed:(Some seed)
+                 ~params:
+                   [
+                     ("rep", J.Str rep);
+                     ("objects", J.Int objects);
+                     ("accounts", J.Int accounts);
+                     ("threads", J.Int threads);
+                     ("ops", J.Int ops);
+                     ("transfer_pct", J.Int transfer);
+                     ("machine", J.Str machine);
+                     ("broken", J.Bool broken);
+                   ]
+                 ~sections:[ Txn.Workload.report_section cfg r ]
+                 [ ("txn/" ^ rep, m) ]));
+        if
+          (not r.Txn.Workload.res_oracle.Txn.Workload.ok)
+          || Harness.Runner.aborted m
+          || not m.Harness.Runner.valid
+        then exit 1
+  in
+  Cmd.v
+    (Cmd.info "txn"
+       ~doc:
+         "Multi-key optimistic transactions over the registry structures: \
+          contended bank transfers with read-set validation and sorted \
+          lock-set commit, abort-free snapshot audits, and a strict \
+          serializability oracle over the committed history.")
+    Term.(
+      const run $ rep $ objects $ accounts $ threads $ ops $ transfer $ machine
+      $ seed $ broken $ fuzz $ replay $ report_arg)
 
 (* ---------------- hostperf ---------------- *)
 
@@ -1139,6 +1367,7 @@ let () =
             soak_cmd;
             chaos_cmd;
             kv_cmd;
+            txn_cmd;
             hostperf_cmd;
             diff_cmd;
             list_cmd;

@@ -20,6 +20,7 @@ module Ht = Dstruct.Ht.Of_bucket (struct
   let insert = L.insert
   let delete = L.delete
   let size = L.size
+  let fold = L.fold
   let validate = L.validate
 end)
 

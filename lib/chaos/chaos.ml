@@ -1106,3 +1106,227 @@ let replay_kv s ppf =
        (List.length fs)
    end);
   List.length fs
+
+(* ------------------------------------------------------------------ *)
+(* Transaction trials                                                  *)
+
+type txn_trial = {
+  x_rep : string;
+  x_topo : string;
+  x_objects : int;
+  x_accounts : int;
+  x_threads : int;
+  x_ops : int;
+  x_transfer : int;  (** transfer percentage; the rest are audits *)
+  x_wseed : int;
+  x_broken : bool;
+}
+
+let txn_to_string tr =
+  Printf.sprintf "txn/%s@%s b%d a%d t%d o%d X%d w%d%s" tr.x_rep tr.x_topo
+    tr.x_objects tr.x_accounts tr.x_threads tr.x_ops tr.x_transfer tr.x_wseed
+    (if tr.x_broken then " !" else "")
+
+let txn_of_string s =
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun t -> t <> "")
+  with
+  | [] -> parse_error "empty txn trial"
+  | head :: toks ->
+      let name, topo =
+        match String.rindex_opt head '@' with
+        | Some i ->
+            ( String.sub head 0 i,
+              String.sub head (i + 1) (String.length head - i - 1) )
+        | None -> parse_error "missing @topology in %S" head
+      in
+      if not (has_prefix "txn/" name) then
+        parse_error "txn trial must start with txn/<rep>, got %S" name;
+      let rep = String.sub name 4 (String.length name - 4) in
+      if not (List.mem rep Txn.Workload.rep_names) then
+        parse_error "unknown txn rep %S (known: %s)" rep
+          (String.concat ", " Txn.Workload.rep_names);
+      ignore (topology_of_name topo : Sim.Topology.t);
+      let tr =
+        ref
+          {
+            x_rep = rep;
+            x_topo = topo;
+            x_objects = 2;
+            x_accounts = 8;
+            x_threads = 2;
+            x_ops = 200;
+            x_transfer = 70;
+            x_wseed = 0;
+            x_broken = false;
+          }
+      in
+      List.iter
+        (fun tok ->
+          if tok = "!" then tr := { !tr with x_broken = true }
+          else if String.length tok < 2 then parse_error "bad token %S" tok
+          else
+            let v = String.sub tok 1 (String.length tok - 1) in
+            match tok.[0] with
+            | 'b' -> tr := { !tr with x_objects = parse_int "objects" v }
+            | 'a' -> tr := { !tr with x_accounts = parse_int "accounts" v }
+            | 't' -> tr := { !tr with x_threads = parse_int "threads" v }
+            | 'o' -> tr := { !tr with x_ops = parse_int "ops" v }
+            | 'X' -> tr := { !tr with x_transfer = parse_int "transfer pct" v }
+            | 'w' -> tr := { !tr with x_wseed = parse_int "workload seed" v }
+            | _ -> parse_error "bad token %S" tok)
+        toks;
+      let tr = !tr in
+      if tr.x_objects < 1 || tr.x_threads < 1 || tr.x_ops < 1 then
+        parse_error "objects/threads/ops must be positive";
+      if tr.x_objects * tr.x_accounts < 2 then
+        parse_error "need at least two account slots";
+      tr
+
+let txn_config tr : Txn.Workload.config =
+  {
+    Txn.Workload.default_config with
+    Txn.Workload.rep = tr.x_rep;
+    objects = tr.x_objects;
+    accounts = tr.x_accounts;
+    threads = tr.x_threads;
+    ops = tr.x_ops;
+    transfer_pct = tr.x_transfer;
+    seed = tr.x_wseed;
+    topo = topology_of_name tr.x_topo;
+    broken = tr.x_broken;
+  }
+
+(* The transaction oracle: strict serializability of the committed
+   history ({!Txn.Workload.check_serializable} — replay in ticket order
+   plus snapshot positioning), structure validity, and liveness. *)
+let run_txn_trial tr =
+  let m, r = Txn.Workload.run (txn_config tr) in
+  let live =
+    match m.Harness.Runner.outcome with
+    | Harness.Runner.Complete -> []
+    | Harness.Runner.Aborted rep ->
+        [
+          {
+            f_oracle = "liveness";
+            f_detail =
+              Format.asprintf "workload aborted: %a" Sched.pp_verdict
+                rep.Sched.r_verdict;
+          };
+        ]
+  in
+  let valid =
+    if m.Harness.Runner.valid then []
+    else [ { f_oracle = "validate"; f_detail = "an object is invalid" } ]
+  in
+  let o = r.Txn.Workload.res_oracle in
+  let serial =
+    if o.Txn.Workload.ok then []
+    else
+      [
+        {
+          f_oracle = "serializability";
+          f_detail =
+            Printf.sprintf "%d violations (%d transfers, %d audits)%s"
+              (List.length o.Txn.Workload.violations)
+              o.Txn.Workload.transfers o.Txn.Workload.audits
+              (match o.Txn.Workload.violations with
+              | v :: _ -> ": " ^ v
+              | [] -> "");
+        };
+      ]
+  in
+  (m, r, live @ valid @ serial)
+
+let txn_reps =
+  [| "ll-optik"; "map-optik"; "ht-optik"; "sl-optik"; "bst-optik"; "ll-lazy" |]
+
+let gen_txn_trial rng =
+  {
+    x_rep = pick rng txn_reps;
+    x_topo = pick rng topo_names;
+    x_objects = 1 + Rng.below rng 4;
+    x_accounts = 2 + Rng.below rng 30;
+    x_threads = 2 + Rng.below rng 6;
+    x_ops = 200 + Rng.below rng 1_500;
+    x_transfer = 30 + Rng.below rng 71;
+    x_wseed = Rng.below rng 1_000_000;
+    x_broken = false;
+  }
+
+let txn_candidates tr =
+  (if tr.x_threads > 2 then [ { tr with x_threads = tr.x_threads - 1 } ] else [])
+  @ (if tr.x_ops > 100 then [ { tr with x_ops = tr.x_ops / 2 } ] else [])
+  @ (if tr.x_accounts > 2 then [ { tr with x_accounts = tr.x_accounts / 2 } ]
+     else [])
+  @
+  if tr.x_objects > 1 && (tr.x_objects - 1) * tr.x_accounts >= 2 then
+    [ { tr with x_objects = tr.x_objects - 1 } ]
+  else []
+
+let txn_fails tr =
+  let _, _, fs = run_txn_trial tr in
+  fs <> []
+
+let txn_shrink ?(budget = 60) tr0 =
+  if not (txn_fails tr0) then tr0
+  else begin
+    let runs = ref 1 in
+    let cur = ref tr0 in
+    let improved = ref true in
+    while !improved && !runs < budget do
+      improved := false;
+      (try
+         List.iter
+           (fun c ->
+             if !runs < budget then begin
+               incr runs;
+               if txn_fails c then begin
+                 cur := c;
+                 improved := true;
+                 raise Exit
+               end
+             end)
+           (txn_candidates !cur)
+       with Exit -> ())
+    done;
+    !cur
+  end
+
+let fuzz_txn ~runs ~seed ppf =
+  let failed = ref 0 in
+  for i = 0 to runs - 1 do
+    let rng = Rng.create (seed + (i * 1_000_003)) in
+    let tr = gen_txn_trial rng in
+    let _, _, fs = run_txn_trial tr in
+    if fs = [] then
+      Format.fprintf ppf "trial %4d ok   %s@." i (txn_to_string tr)
+    else begin
+      incr failed;
+      Format.fprintf ppf "trial %4d FAIL %s@." i (txn_to_string tr);
+      report_failures ppf fs;
+      let small = txn_shrink tr in
+      Format.fprintf ppf "           shrunk to %s@." (txn_to_string small);
+      Format.fprintf ppf
+        "           repro: optik_bench txn --replay '%s'@."
+        (txn_to_string small)
+    end
+  done;
+  Format.fprintf ppf "chaos-txn: %d/%d trials failed (seed %d)@." !failed runs
+    seed;
+  !failed
+
+let replay_txn s ppf =
+  let tr = txn_of_string s in
+  let _, r, fs = run_txn_trial tr in
+  Format.fprintf ppf "replay %s@." (txn_to_string tr);
+  Format.fprintf ppf "%s@."
+    (Format.asprintf "%a" Txn.Workload.pp_oracle r.Txn.Workload.res_oracle);
+  (if fs = [] then Format.fprintf ppf "verdict: PASS@."
+   else begin
+     report_failures ppf fs;
+     Format.fprintf ppf "verdict: FAIL (%d oracle failures)@."
+       (List.length fs)
+   end);
+  List.length fs

@@ -153,3 +153,46 @@ val fuzz_kv : runs:int -> seed:int -> Format.formatter -> int
 
 val replay_kv : string -> Format.formatter -> int
 (** Replay one KV trial string; returns its oracle-failure count. *)
+
+(** {1 Transaction fuzzing}
+
+    Randomized trials over the multi-key optimistic transaction manager
+    ({!Txn.Workload}): contended bank transfers plus snapshot audits over
+    several registry structures. The oracle is strict serializability —
+    every committed transfer replays in commit-ticket order against a
+    sequential model, every snapshot audit matches some model state
+    inside its clock window, and account balances are conserved. *)
+
+type txn_trial = {
+  x_rep : string;  (** structure representation ({!Txn.Workload.rep_names}) *)
+  x_topo : string;
+  x_objects : int;
+  x_accounts : int;
+  x_threads : int;
+  x_ops : int;
+  x_transfer : int;  (** transfer percentage; the rest are audits *)
+  x_wseed : int;
+  x_broken : bool;  (** negative control: skip commit-time validation *)
+}
+
+val txn_to_string : txn_trial -> string
+(** [txn/REP@topo bN aN tN oN XN wN [!]] — trailing [!] marks the
+    broken-commit negative control. *)
+
+val txn_of_string : string -> txn_trial
+(** Inverse of {!txn_to_string}; raises [Invalid_argument] on parse
+    errors. *)
+
+val gen_txn_trial : Harness.Rng.t -> txn_trial
+val txn_config : txn_trial -> Txn.Workload.config
+
+val run_txn_trial :
+  txn_trial -> Harness.Runner.measurement * Txn.Workload.result * failure list
+
+val fuzz_txn : runs:int -> seed:int -> Format.formatter -> int
+(** Like {!fuzz} over transaction trials (same seeding scheme and output
+    shape); returns the number of failing trials. *)
+
+val replay_txn : string -> Format.formatter -> int
+(** Replay one transaction trial string; returns its oracle-failure
+    count. *)

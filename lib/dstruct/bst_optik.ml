@@ -166,6 +166,15 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
     in
     go (Node t.root)
 
+  let fold t f acc =
+    let rec go acc = function
+      | Leaf l ->
+          if l.lkey <> min_int && l.lkey <> max_int then f l.lkey l.value acc
+          else acc
+      | Node n -> go (go acc (Rt.get n.left)) (Rt.get n.right)
+    in
+    go acc (Node t.root)
+
   (* Quiescent invariants: routing (left < key <= right) for user keys
      (sentinel leaves are exempt), all reachable internal locks free. *)
   let validate t =
@@ -295,6 +304,15 @@ module Global_lock (Rt : RT) (Lock : LOCK) = struct
       | Node n -> go (Rt.get n.left) + go (Rt.get n.right)
     in
     go (Node t.root)
+
+  let fold t f acc =
+    let rec go acc = function
+      | Leaf l ->
+          if l.lkey <> min_int && l.lkey <> max_int then f l.lkey l.value acc
+          else acc
+      | Node n -> go (go acc (Rt.get n.left)) (Rt.get n.right)
+    in
+    go acc (Node t.root)
 
   let validate t =
     let ok = ref true in

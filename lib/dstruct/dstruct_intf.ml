@@ -7,48 +7,78 @@
     [min_int < key < max_int], and the array maps additionally require
     [key <> 0] (0 marks a free slot, as in the paper's C code).
 
-    [size] and [validate] are quiescent helpers for tests: they assume no
-    concurrent operations. *)
+    [size], [validate] and [fold] are quiescent helpers for tests and
+    resync: they assume no concurrent operations.
+
+    Each family is declared once as a [*_CORE] signature (the shared
+    operations); the full polymorphic signature ([SET], [QUEUE],
+    [STACK]) and the monomorphic driver view ([SET_OPS], [QUEUE_OPS],
+    [STACK_OPS]) are both derived from it by inclusion, and the [Mono_*]
+    functors generate the monomorphic modules — so an interface change
+    (like the versioned transaction hooks below) is written in exactly
+    one place. *)
+
+module type SET_CORE = sig
+  type 'v t
+
+  val search : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val delete : 'v t -> int -> 'v option
+
+  val fold : 'v t -> (int -> 'v -> 'a -> 'a) -> 'a -> 'a
+  (** Quiescent enumeration of the live bindings, in structure order
+      (no particular key order is promised). The replica-resync seed:
+      [fold t (fun k v () -> insert t' k v) ()]. *)
+
+  val size : 'v t -> int
+  val validate : 'v t -> bool
+end
 
 module type SET = sig
-  type 'v t
+  include SET_CORE
 
   val name : string
 
   val create : ?capacity:int -> unit -> 'v t
   (** [capacity] sizes array maps (number of slots) and hash tables
       (number of buckets); list and skip-list implementations ignore it. *)
-
-  val search : 'v t -> int -> 'v option
-  val insert : 'v t -> int -> 'v -> bool
-  val delete : 'v t -> int -> 'v option
-  val size : 'v t -> int
-  val validate : 'v t -> bool
 end
 
 (** FIFO queues (§5.4). *)
-module type QUEUE = sig
+module type QUEUE_CORE = sig
   type 'v t
 
-  val name : string
-  val create : unit -> 'v t
   val enqueue : 'v t -> 'v -> unit
   val dequeue : 'v t -> 'v option
   val size : 'v t -> int
 end
 
-(** LIFO stacks (§5.5). *)
-module type STACK = sig
-  type 'v t
+module type QUEUE = sig
+  include QUEUE_CORE
 
   val name : string
   val create : unit -> 'v t
+end
+
+(** LIFO stacks (§5.5). *)
+module type STACK_CORE = sig
+  type 'v t
+
   val push : 'v t -> 'v -> unit
   val pop : 'v t -> 'v option
   val size : 'v t -> int
 end
 
-(** Monomorphic (int-valued) views used by the generic test and benchmark
+module type STACK = sig
+  include STACK_CORE
+
+  val name : string
+  val create : unit -> 'v t
+end
+
+(** {1 Monomorphic driver views}
+
+    Monomorphic (int-valued) views used by the generic test and benchmark
     drivers, where first-class modules need concrete types.
 
     [probe_prefix] declares the rep's wasted-work probes under the
@@ -60,24 +90,75 @@ end
     only wasted work is lock waiting, visible in the scheduler's stall
     statistics instead of probe counters. A registry-walking test
     enforces the promise. *)
-module type SET_OPS = sig
+module type MONO = sig
   type t
 
   val name : string
   val probe_prefix : string option
+end
+
+(** {1 Versioned transaction hooks}
+
+    The optimistic multi-object transaction layer ({!Txn}) needs three
+    things from a structure: versioned reads, commit-time validation,
+    and a per-key lock whose release publishes a new version. Declared
+    once here and included into {!SET_OPS}, they are implemented for
+    {e every} registered rep by {!Mono_set} as a striped OPTIK-lock
+    overlay:
+
+    - OPTIK-family reps declare several stripes ([stripes > 1]), so
+      independent keys validate and lock independently — the native
+      fine-grained flavour;
+    - non-OPTIK reps declare [stripes = 1], the single structure-wide
+      version wrapper: any committed write invalidates every
+      outstanding read of that structure.
+
+    Versions travel as opaque {e tokens} ([int]s packing stripe and
+    version); a token is only meaningful to the structure that issued
+    it. The overlay is allocated lazily on first versioned access, so
+    purely non-transactional runs allocate nothing — and keep their
+    recorded schedules byte-identical.
+
+    The overlay versions only ever advance through {!Locks.Handle}
+    commits, so transactional isolation holds {e between transactions}:
+    a plain [insert]/[delete] racing a transaction on the same key is
+    invisible to validation. Keys owned by transactions must be mutated
+    transactionally (the KV service keeps its transfer accounts in a
+    dedicated key range for exactly this reason). *)
+module type VERSIONED_OPS = sig
+  type t
+
+  val read_versioned : t -> int -> int option * int
+  (** Atomic-snapshot read: the value and a version token that
+      {!commit_check} accepts until the key's stripe commits again.
+      Spins only while the stripe is mid-commit. *)
+
+  val commit_check : t -> int -> bool
+  (** [commit_check t token]: no commit on the token's stripe since the
+      token was issued, and no commit in flight. *)
+
+  val lock_handle : t -> int -> Locks.Handle.t
+  (** The commit lock covering a key — one handle per stripe, with a
+      process-unique id for sorted (deadlock-free) acquisition. *)
+end
+
+module type SET_OPS = sig
+  include MONO
+
   val create : ?capacity:int -> unit -> t
   val search : t -> int -> int option
   val insert : t -> int -> int -> bool
   val delete : t -> int -> int option
+  val fold : t -> (int -> int -> 'a -> 'a) -> 'a -> 'a
   val size : t -> int
   val validate : t -> bool
+
+  include VERSIONED_OPS with type t := t
 end
 
 module type QUEUE_OPS = sig
-  type t
+  include MONO
 
-  val name : string
-  val probe_prefix : string option
   val create : unit -> t
   val enqueue : t -> int -> unit
   val dequeue : t -> int option
@@ -85,10 +166,8 @@ module type QUEUE_OPS = sig
 end
 
 module type STACK_OPS = sig
-  type t
+  include MONO
 
-  val name : string
-  val probe_prefix : string option
   val create : unit -> t
   val push : t -> int -> unit
   val pop : t -> int option
@@ -98,51 +177,114 @@ end
 (** {1 Monomorphization functors}
 
     Deriving a [*_OPS] module from a polymorphic implementation is pure
-    boilerplate except for two things: the registry name (which follows
-    the paper's figures, not the module name) and the [create] call
-    (which bakes in variant flags like [~cache] or [~variant]). The
-    [Mono_*] functors below take exactly those two things — a [*_CORE]
-    module of shared operations and a spec holding [name]/[create] — so
-    the registry lists one small spec per entry instead of a full
-    hand-written wrapper. *)
-
-(** {!SET} minus [name] and [create]: the operations every monomorphic
-    view shares verbatim. *)
-module type SET_CORE = sig
-  type 'v t
-
-  val search : 'v t -> int -> 'v option
-  val insert : 'v t -> int -> 'v -> bool
-  val delete : 'v t -> int -> 'v option
-  val size : 'v t -> int
-  val validate : 'v t -> bool
-end
+    boilerplate except for three things: the registry name (which
+    follows the paper's figures, not the module name), the [create]
+    call (which bakes in variant flags like [~cache] or [~variant]),
+    and the stripe count of the versioned overlay. The [Mono_*]
+    functors below take exactly those — a [*_CORE] module of shared
+    operations and a spec — so the registry lists one small spec per
+    entry instead of a full hand-written wrapper, and the versioned
+    hooks are generated here instead of being re-implemented per rep. *)
 
 module Mono_set
+    (Rt : Rt.Rt_intf.RT)
     (S : SET_CORE)
     (C : sig
       val name : string
       val probe_prefix : string option
+
+      val stripes : int
+      (** Version-lock stripes of the transactional overlay: several
+          for OPTIK-family reps (per-key granularity), [1] for the
+          structure-wide wrapper over non-OPTIK reps. *)
+
       val create : ?capacity:int -> unit -> int S.t
     end) : SET_OPS = struct
-  type t = int S.t
+  module OL = Optik.Versioned (Rt)
+
+  type overlay = { vlocks : OL.t array; base : int }
+  type t = { s : int S.t; mutable ov : overlay option }
 
   let name = C.name
   let probe_prefix = C.probe_prefix
-  let create = C.create
-  let search = S.search
-  let insert = S.insert
-  let delete = S.delete
-  let size = S.size
-  let validate = S.validate
-end
+  let stripes = max 1 C.stripes
 
-module type QUEUE_CORE = sig
-  type 'v t
+  let create ?capacity () = { s = C.create ?capacity (); ov = None }
+  let search t = S.search t.s
+  let insert t = S.insert t.s
+  let delete t = S.delete t.s
+  let fold t = S.fold t.s
+  let size t = S.size t.s
+  let validate t = S.validate t.s
 
-  val enqueue : 'v t -> 'v -> unit
-  val dequeue : 'v t -> 'v option
-  val size : 'v t -> int
+  (* Lazy overlay: allocating the stripe locks (tracked cache lines
+     under the simulator) only on first versioned access keeps
+     non-transactional runs allocation-identical to the pre-overlay
+     engine, which the golden schedule digests pin. The bare-OCaml
+     initialization contains no [Rt] operation, so the simulator cannot
+     preempt it; native users must touch the overlay (e.g. [Txn.obj])
+     before sharing the structure. *)
+  let overlay t =
+    match t.ov with
+    | Some o -> o
+    | None ->
+        let o =
+          {
+            vlocks = Array.init stripes (fun _ -> OL.create ());
+            base = Locks.Handle.fresh_base stripes;
+          }
+        in
+        t.ov <- Some o;
+        o
+
+  let stripe_of k = ((k mod stripes) + stripes) mod stripes
+
+  (* A token packs (free version, stripe). Versioned-lock words advance
+     by 2 per commit, leaving 42 usable version bits here — years of
+     simulated commits. *)
+  let stripe_bits = 20
+  let () = assert (stripes < 1 lsl stripe_bits)
+  let stripe_mask = (1 lsl stripe_bits) - 1
+  let token ~stripe v = (v lsl stripe_bits) lor stripe
+  let token_stripe tok = tok land stripe_mask
+  let token_version tok = tok asr stripe_bits
+
+  let rec read_versioned t k =
+    let o = overlay t in
+    let sp = stripe_of k in
+    let l = o.vlocks.(sp) in
+    let v = OL.get_version_wait l in
+    let x = S.search t.s k in
+    if OL.same_version (OL.get_version l) v then (x, token ~stripe:sp v)
+    else read_versioned t k
+
+  let check_stripe l ~stripe tok =
+    token_stripe tok = stripe
+    &&
+    let v = OL.get_version l in
+    (not (OL.is_locked v)) && OL.same_version v (token_version tok)
+
+  let commit_check t tok =
+    let o = overlay t in
+    let sp = token_stripe tok in
+    sp < stripes && check_stripe o.vlocks.(sp) ~stripe:sp tok
+
+  let lock_handle t k =
+    let o = overlay t in
+    let sp = stripe_of k in
+    let l = o.vlocks.(sp) in
+    Locks.Handle.v ~id:(o.base + sp)
+      ~acquire:(fun tok ->
+        token_stripe tok = sp && OL.trylock_version l (token_version tok))
+      ~acquire_any:(fun () ->
+        let rec go () =
+          let v = OL.get_version_wait l in
+          if OL.trylock_version l v then token ~stripe:sp v else go ()
+        in
+        go ())
+      ~commit:(fun () -> OL.unlock l)
+      ~revert:(fun () -> OL.revert l)
+      ~check:(fun tok -> check_stripe l ~stripe:sp tok)
 end
 
 module Mono_queue
@@ -160,14 +302,6 @@ module Mono_queue
   let enqueue = Q.enqueue
   let dequeue = Q.dequeue
   let size = Q.size
-end
-
-module type STACK_CORE = sig
-  type 'v t
-
-  val push : 'v t -> 'v -> unit
-  val pop : 'v t -> 'v option
-  val size : 'v t -> int
 end
 
 module Mono_stack

@@ -27,6 +27,7 @@ module type BUCKET = sig
   val search : 'v t -> int -> 'v option
   val insert : 'v t -> int -> 'v -> bool
   val delete : 'v t -> int -> 'v option
+  val fold : 'v t -> (int -> 'v -> 'a -> 'a) -> 'a -> 'a
   val size : 'v t -> int
   val validate : 'v t -> bool
 end
@@ -47,6 +48,8 @@ module Of_bucket (B : BUCKET) = struct
   let delete t key = B.delete (bucket t key) key
 
   let size t = Array.fold_left (fun acc b -> acc + B.size b) 0 t.buckets
+
+  let fold t f acc = Array.fold_left (fun acc b -> B.fold b f acc) acc t.buckets
 
   let validate t = Array.for_all B.validate t.buckets
 end
@@ -213,6 +216,8 @@ module Java (Rt : RT) = struct
       acc t.segs
 
   let size t = fold_buckets t (fun acc _ -> acc + 1) 0
+
+  let fold t f acc = fold_buckets t (fun acc n -> f n.key n.value acc) acc
 
   let validate t =
     let seen = Hashtbl.create 64 in
@@ -432,6 +437,8 @@ module Java_optik (Rt : RT) = struct
       acc t.segs
 
   let size t = fold_buckets t (fun acc _ -> acc + 1) 0
+
+  let fold t f acc = fold_buckets t (fun acc n -> f n.key n.value acc) acc
 
   let validate t =
     let seen = Hashtbl.create 64 in

@@ -112,6 +112,14 @@ module Pessimistic (Rt : RT) (Lock : LOCK) = struct
     go ();
     !n
 
+  let fold t f acc =
+    let rec go acc = function
+      | Some node when node.key < max_int ->
+          go (f node.key node.value acc) (Rt.get node.next)
+      | _ -> acc
+    in
+    go acc (Rt.get t.head.next)
+
   let validate t =
     let ok = ref true in
     let rec go node =
@@ -234,6 +242,14 @@ module Optik_gl (Rt : RT) = struct
     in
     go ();
     !n
+
+  let fold t f acc =
+    let rec go acc = function
+      | Some node when node.key < max_int ->
+          go (f node.key node.value acc) (Rt.get node.next)
+      | _ -> acc
+    in
+    go acc (Rt.get t.head.next)
 
   let validate t =
     let ok = ref (not (OL.is_locked (OL.get_version t.lock))) in

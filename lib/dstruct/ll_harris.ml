@@ -173,6 +173,23 @@ module Make (Rt : RT) = struct
     go t.head;
     !n
 
+  let fold t f acc =
+    let rec go acc node =
+      match Rt.get node.next with
+      | None -> acc
+      | Some l ->
+          let acc =
+            if (not l.marked) && l.dest.key < max_int then
+              (* yield [l.dest] unless its own link is marked *)
+              match Rt.get l.dest.next with
+              | Some l' when not l'.marked -> f l.dest.key l.dest.value acc
+              | _ -> acc
+            else acc
+          in
+          go acc l.dest
+    in
+    go acc t.head
+
   let validate t =
     let ok = ref true in
     let rec go node =

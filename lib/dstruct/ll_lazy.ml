@@ -200,6 +200,17 @@ module Make (Rt : RT) = struct
     go ();
     !n
 
+  let fold t f acc =
+    let rec go acc = function
+      | Some node when node.key < max_int ->
+          let acc =
+            if not (Rt.get node.marked) then f node.key node.value acc else acc
+          in
+          go acc (Rt.get node.next)
+      | _ -> acc
+    in
+    go acc (Rt.get t.head.next)
+
   let validate t =
     let ok = ref true in
     let rec go node =

@@ -218,6 +218,14 @@ module Make_gen (Rt : RT) (O : Optik.MAKER) = struct
     go ();
     !n
 
+  let fold t f acc =
+    let rec go acc = function
+      | Some node when node.key < max_int ->
+          go (f node.key node.value acc) (Rt.get node.next)
+      | _ -> acc
+    in
+    go acc (Rt.get t.head.next)
+
   (* Quiescent invariants: strictly sorted keys; all live nodes unlocked;
      terminates at the tail sentinel. *)
   let validate t =

@@ -108,6 +108,17 @@ module Lock_based (Rt : RT) = struct
     done;
     !n
 
+  let fold t f acc =
+    let acc = ref acc in
+    for i = 0 to t.cap - 1 do
+      let k = Rt.get t.keys.(i) in
+      if k <> 0 then
+        match Rt.get t.vals.(i) with
+        | Some v -> acc := f k v !acc
+        | None -> ()
+    done;
+    !acc
+
   (* No duplicate keys; every occupied slot has a value. *)
   let validate t =
     let seen = Hashtbl.create 16 in
@@ -282,6 +293,17 @@ module Optik_based_gen (Rt : RT) (O : Optik.MAKER) = struct
       if Rt.get t.keys.(i) <> 0 then incr n
     done;
     !n
+
+  let fold t f acc =
+    let acc = ref acc in
+    for i = 0 to t.cap - 1 do
+      let k = Rt.get t.keys.(i) in
+      if k <> 0 then
+        match Rt.get t.vals.(i) with
+        | Some v -> acc := f k v !acc
+        | None -> ()
+    done;
+    !acc
 
   let validate t =
     let seen = Hashtbl.create 16 in

@@ -270,6 +270,23 @@ module Make (Rt : RT) = struct
     go t.head;
     !n
 
+  let fold t f acc =
+    let rec go acc node =
+      match Rt.get node.nexts.(0) with
+      | None -> acc
+      | Some l ->
+          let nxt = l.dest in
+          if nxt.key < max_int then
+            let acc =
+              match Rt.get nxt.nexts.(0) with
+              | Some l' when not l'.marked -> f nxt.key nxt.value acc
+              | _ -> acc
+            in
+            go acc nxt
+          else acc
+    in
+    go acc t.head
+
   let validate t =
     let ok = ref true in
     for l = 0 to max_level - 1 do

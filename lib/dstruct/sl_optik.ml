@@ -315,6 +315,16 @@ module Make (Rt : RT) = struct
     done;
     !n
 
+  let fold t f acc =
+    let acc = ref acc in
+    let cur = ref (next_at t.head 0) in
+    while !cur.key < max_int do
+      if Rt.get !cur.fully_linked && not (Rt.get !cur.deleted) then
+        acc := f !cur.key !cur.value !acc;
+      cur := next_at !cur 0
+    done;
+    !acc
+
   let validate t =
     let ok = ref true in
     let cur = ref (next_at t.head 0) in

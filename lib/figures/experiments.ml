@@ -730,34 +730,24 @@ module Map_ticket =
   Dstruct.Maps.Optik_based_gen (Sim.Sim_rt) (Optik.Ticket)
 
 let map_ticket_ops : (module Harness.Registry.SET_OPS) =
-  (module struct
-    type t = int Map_ticket.t
-
-    let name = "optik[tkt]"
-    let probe_prefix = Some "map-optik"
-    let create ?capacity () = Map_ticket.create ?capacity ()
-    let search = Map_ticket.search
-    let insert = Map_ticket.insert
-    let delete = Map_ticket.delete
-    let size = Map_ticket.size
-    let validate = Map_ticket.validate
-  end)
+  (module Dstruct.Dstruct_intf.Mono_set (Sim.Sim_rt) (Map_ticket)
+            (struct
+              let name = "optik[tkt]"
+              let probe_prefix = Some "map-optik"
+              let stripes = 16
+              let create ?capacity () = Map_ticket.create ?capacity ()
+            end))
 
 module Ll_ticket = Dstruct.Ll_optik.Make_gen (Sim.Sim_rt) (Optik.Ticket)
 
 let ll_ticket_ops : (module Harness.Registry.SET_OPS) =
-  (module struct
-    type t = int Ll_ticket.t
-
-    let name = "optik[tkt]"
-    let probe_prefix = Some "ll-optik"
-    let create ?capacity:_ () = Ll_ticket.create ()
-    let search = Ll_ticket.search
-    let insert = Ll_ticket.insert
-    let delete = Ll_ticket.delete
-    let size = Ll_ticket.size
-    let validate = Ll_ticket.validate
-  end)
+  (module Dstruct.Dstruct_intf.Mono_set (Sim.Sim_rt) (Ll_ticket)
+            (struct
+              let name = "optik[tkt]"
+              let probe_prefix = Some "ll-optik"
+              let stripes = 16
+              let create ?capacity:_ () = Ll_ticket.create ()
+            end))
 
 (* A1: versioned vs ticket OPTIK backend across two structures. *)
 let ablation_backend mode =
@@ -1000,18 +990,15 @@ let stack_experiment mode =
 module Map_eager = Dstruct.Maps.Optik_based (Sim.Sim_rt)
 
 let map_eager_ops : (module Harness.Registry.SET_OPS) =
-  (module struct
-    type t = int Map_eager.t
+  (module Dstruct.Dstruct_intf.Mono_set (Sim.Sim_rt) (Map_eager)
+            (struct
+              let name = "optik-eager"
+              let probe_prefix = Some "map-optik"
+              let stripes = 16
 
-    let name = "optik-eager"
-    let probe_prefix = Some "map-optik"
-    let create ?capacity () = Map_eager.create ?capacity ~eager_search:true ()
-    let search = Map_eager.search
-    let insert = Map_eager.insert
-    let delete = Map_eager.delete
-    let size = Map_eager.size
-    let validate = Map_eager.validate
-  end)
+              let create ?capacity () =
+                Map_eager.create ?capacity ~eager_search:true ()
+            end))
 
 let ablation_search_granularity mode =
   let w = map_workload 64 in

@@ -95,6 +95,19 @@ type workload = {
   burst_every : int;  (** flash-crowd period (0 disables) *)
   burst_len : int;
   burst_factor : int;  (** arrival gap divides by this inside a burst *)
+  accounts : int;
+      (** transfer accounts, kept in the dedicated key range
+          [keys+1 .. keys+accounts] — disjoint from the normal keyspace
+          because account keys are mutated {e only} transactionally (the
+          versioned-overlay isolation contract, see
+          {!Dstruct.Dstruct_intf.VERSIONED_OPS}) *)
+  transfer_pct : int;
+      (** multi-key transfer requests, percent (0 disables — carved out
+          of the put share). Transfers run as optimistic transactions
+          ({!Txn.Make}) spanning the primary {e and} replica stores of
+          both touched shards. Unsupported under fault plans: a wiped
+          store loses its account balances, so conservation is only
+          checked on fault-free runs. *)
 }
 
 let default_workload =
@@ -111,6 +124,8 @@ let default_workload =
     burst_every = 550_000;
     burst_len = 60_000;
     burst_factor = 8;
+    accounts = 0;
+    transfer_pct = 0;
   }
 
 type config = {
@@ -182,6 +197,19 @@ let store_mem (Store { sops = (module S); st; _ }) e = S.search st e <> None
 let store_size (Store { sops = (module S); st; _ }) = S.size st
 let store_valid (Store { sops = (module S); st; _ }) = S.validate st
 
+(* Key/value accessors for the transfer accounts (elsewhere the service
+   only stores elements, i.e. value = key). *)
+let store_put (Store { sops = (module S); st; _ }) k v = S.insert st k v
+let store_get (Store { sops = (module S); st; _ }) k = S.search st k
+
+(* The transaction layer over the service's own runtime. Packing a store
+   re-uses its structure's (lazily allocated) versioned overlay, so
+   per-request packing is cheap and objects stay valid as long as the
+   store is not wiped. *)
+module KT = Txn.Make (Sim.Sim_rt)
+
+let store_obj (Store { sops; st; _ }) = KT.obj sops st
+
 let store_wipe (Store ({ sops = (module S); _ } as s)) =
   s.st <- S.create ~capacity:s.capacity ()
 
@@ -239,6 +267,10 @@ type oracle = {
   ghost_writes : int;
       (** unacked puts with a visible effect — allowed (the ack may have
           been lost after the effect landed), reported for visibility *)
+  conservation : (int * int) option;
+      (** [(total, expected)] over the transfer accounts on fault-free
+          runs with transfers enabled; transfers only move units, so
+          [total <> expected] means a transfer committed non-atomically *)
 }
 
 type result = {
@@ -256,6 +288,14 @@ let class_put = 1
 let class_scan = 2
 let class_timeout = 3
 let class_shed = 4
+let class_transfer = 5
+
+(* The transfer class exists only when transfers are enabled, keeping
+   the measured output of transfer-free configurations byte-identical to
+   the pre-transfer service. *)
+let lat_classes_of (w : workload) =
+  if w.transfer_pct > 0 then Array.append lat_classes [| "transfer" |]
+  else lat_classes
 
 (* ------------------------------------------------------------------ *)
 (* The service                                                         *)
@@ -279,11 +319,18 @@ type t = {
   k_backoff : Probe.counter;
   k_acked : Probe.counter;
   k_wipes : Probe.counter;
+  k_transfers : Probe.counter;
+  t_mgr : KT.t option;  (** transaction manager, when transfers are on *)
 }
 
 let push_event t msg = t.events_rev <- (Sim.Sched.now (), msg) :: t.events_rev
 
 let shard_of t key = key mod Array.length t.shards
+
+(* Account [a] lives at a key above the normal keyspace and routes
+   through the ordinary shard map, so transfers genuinely cross shards. *)
+let account_key t a = t.cfg.workload.keys + a
+let account_initial = 100
 
 let create (cfg : config) : t =
   if cfg.nshards <= 0 then invalid_arg "Kv.create: nshards must be positive";
@@ -324,6 +371,30 @@ let create (cfg : config) : t =
           c_wipes = c "wipes";
         })
   in
+  let w = cfg.workload in
+  let transfers_on = w.transfer_pct > 0 in
+  if transfers_on && w.accounts < 2 then
+    invalid_arg "Kv.create: transfers need at least two accounts";
+  (* Preload the account range — both copies, still single-threaded — and
+     create the manager (its [txn.*] counters register only when
+     transfers actually run). *)
+  if transfers_on then
+    for a = 1 to w.accounts do
+      let key = w.keys + a in
+      let sh = shards.(key mod cfg.nshards) in
+      ignore (store_put sh.primary.n_store key account_initial : bool);
+      ignore (store_put sh.replica.n_store key account_initial : bool)
+    done;
+  let t_mgr =
+    if transfers_on then
+      Some
+        (KT.create
+           ~backoff:(fun n ->
+             Sim.Sched.work
+               ((64 lsl min n 6) + (17 * (Sim.Sched.tid () + 1))))
+           ())
+    else None
+  in
   {
     cfg;
     shards;
@@ -340,6 +411,8 @@ let create (cfg : config) : t =
     k_backoff = Probe.counter "kv.backoff-cycles";
     k_acked = Probe.counter "kv.acked-writes";
     k_wipes = Probe.counter "kv.wipes";
+    k_transfers = Probe.counter "kv.transfers";
+    t_mgr;
   }
 
 (* Observe one node: detect crashes (epoch bump → wipe, the contents are
@@ -590,6 +663,44 @@ let do_scan t ~arrival key =
     end
   end
 
+(* A multi-key transfer: move a few units between two accounts as one
+   optimistic transaction ({!Txn.Make}) spanning the primary and replica
+   stores of both owning shards — four structures when the shards
+   differ. Reads go to the primaries; writes keep both copies in step,
+   so replication is transactional rather than best-effort. No
+   failover/health machinery: transfers are only supported on fault-free
+   runs (a wipe would lose balances and locked-stripe state). *)
+let do_transfer t rng =
+  let w = t.cfg.workload in
+  let mgr = Option.get t.t_mgr in
+  let a1 = 1 + Rng.below rng w.accounts in
+  let rec pick_dst () =
+    let a = 1 + Rng.below rng w.accounts in
+    if a = a1 then pick_dst () else a
+  in
+  let a2 = pick_dst () in
+  let amount = 1 + Rng.below rng 5 in
+  let k1 = account_key t a1 and k2 = account_key t a2 in
+  let s1 = shard_of t k1 and s2 = shard_of t k2 in
+  let sh1 = t.shards.(s1) and sh2 = t.shards.(s2) in
+  let p1 = store_obj sh1.primary.n_store in
+  let r1 = store_obj sh1.replica.n_store in
+  let p2 = if s2 = s1 then p1 else store_obj sh2.primary.n_store in
+  let r2 = if s2 = s1 then r1 else store_obj sh2.replica.n_store in
+  let (), _ticket =
+    KT.atomically mgr (fun ctx ->
+        let v1 = Option.value ~default:0 (KT.read ctx p1 k1) in
+        let v2 = Option.value ~default:0 (KT.read ctx p2 k2) in
+        (* insufficient funds: move nothing, still commit *)
+        let amt = if v1 >= amount then amount else 0 in
+        KT.write ctx p1 k1 (Some (v1 - amt));
+        KT.write ctx r1 k1 (Some (v1 - amt));
+        KT.write ctx p2 k2 (Some (v2 + amt));
+        KT.write ctx r2 k2 (Some (v2 + amt)))
+  in
+  Probe.incr t.k_transfers;
+  class_transfer
+
 (* ------------------------------------------------------------------ *)
 (* Client loop                                                         *)
 
@@ -626,6 +737,8 @@ let client t lat tid =
     let cls =
       if r < w.read_pct then do_get t rng ~arrival key
       else if r < w.read_pct + w.scan_pct then do_scan t ~arrival key
+      else if r < w.read_pct + w.scan_pct + w.transfer_pct then
+        do_transfer t rng
       else begin
         let uid = t.next_uid in
         t.next_uid <- uid + 1;
@@ -679,12 +792,36 @@ let check_oracle t : oracle =
               dup := (req.q_uid, req.q_key, visible) :: !dup
           end
           else if visible > 0 then incr ghosts);
+  (* Transfers only move units between accounts, so on a fault-free run
+     the primaries must still sum to the preloaded total; any deficit or
+     surplus is a non-atomic commit. Checked post-quiesce (no in-flight
+     transactions), and only without a fault plan — wipes lose account
+     balances by design. *)
+  let conservation =
+    let w = t.cfg.workload in
+    if w.transfer_pct > 0 && t.cfg.plan = None then begin
+      let total = ref 0 in
+      for a = 1 to w.accounts do
+        let key = account_key t a in
+        let sh = t.shards.(shard_of t key) in
+        match store_get sh.primary.n_store key with
+        | Some v -> total := !total + v
+        | None -> ()
+      done;
+      Some (!total, w.accounts * account_initial)
+    end
+    else None
+  in
+  let conserved =
+    match conservation with Some (tot, exp) -> tot = exp | None -> true
+  in
   {
-    ok = !lost = [] && !dup = [];
+    ok = !lost = [] && !dup = [] && conserved;
     acked_writes = !acked;
     lost = List.rev !lost;
     duplicated = List.rev !dup;
     ghost_writes = !ghosts;
+    conservation;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -714,9 +851,10 @@ let run (cfg : config) : Harness.Runner.measurement * result =
   Dstruct.Sl_common.reset_states ();
   let t = create cfg in
   Probe.reset_all ();
+  let classes = lat_classes_of cfg.workload in
   let lat =
     Array.init cfg.threads (fun _ ->
-        Array.init (Array.length lat_classes) (fun _ ->
+        Array.init (Array.length classes) (fun _ ->
             Harness.Pstats.create ()))
   in
   let host0 = Unix.gettimeofday () in
@@ -771,10 +909,10 @@ let run (cfg : config) : Harness.Runner.measurement * result =
       events = stats.Sim.Sched.events;
       host_s;
       lat =
-        Array.init (Array.length lat_classes) (fun c ->
+        Array.init (Array.length classes) (fun c ->
             Harness.Pstats.summarize
               (Array.to_list (Array.map (fun l -> l.(c)) lat)));
-      lat_classes;
+      lat_classes = classes;
       counters = Probe.dump ();
       final_size;
       valid;
@@ -827,13 +965,22 @@ let report_section (cfg : config) (r : result) : string * J.json =
         ("policy", policy_json cfg.policy);
         ( "oracle",
           J.Obj
-            [
-              ("ok", J.Bool o.ok);
-              ("acked_writes", J.Int o.acked_writes);
-              ("lost", J.Int (List.length o.lost));
-              ("duplicated", J.Int (List.length o.duplicated));
-              ("ghost_writes", J.Int o.ghost_writes);
-            ] );
+            ([
+               ("ok", J.Bool o.ok);
+               ("acked_writes", J.Int o.acked_writes);
+               ("lost", J.Int (List.length o.lost));
+               ("duplicated", J.Int (List.length o.duplicated));
+               ("ghost_writes", J.Int o.ghost_writes);
+             ]
+            @
+            match o.conservation with
+            | Some (total, expected) ->
+                [
+                  ("conserved", J.Bool (total = expected));
+                  ("accounts_total", J.Int total);
+                  ("accounts_expected", J.Int expected);
+                ]
+            | None -> []) );
         ("failover_events", J.Arr (List.map (fun e -> J.Str e) r.res_events));
         ( "per_shard",
           J.Obj
@@ -856,13 +1003,23 @@ let report_section (cfg : config) (r : result) : string * J.json =
       ] )
 
 let pp_oracle ppf (o : oracle) =
-  if o.ok then
+  if o.ok then begin
     Format.fprintf ppf "oracle: PASS (%d acked writes, %d ghost writes)"
-      o.acked_writes o.ghost_writes
+      o.acked_writes o.ghost_writes;
+    match o.conservation with
+    | Some (total, expected) ->
+        Format.fprintf ppf "@\n  accounts conserved: %d/%d" total expected
+    | None -> ()
+  end
   else begin
     Format.fprintf ppf "oracle: FAIL (%d acked writes: %d lost, %d duplicated)"
       o.acked_writes (List.length o.lost)
       (List.length o.duplicated);
+    (match o.conservation with
+    | Some (total, expected) when total <> expected ->
+        Format.fprintf ppf "@\n  CONSERVATION accounts sum to %d, expected %d"
+          total expected
+    | _ -> ());
     List.iter
       (fun (uid, key) ->
         Format.fprintf ppf "@\n  LOST uid=%d key=%d (acked, not visible)" uid

@@ -218,3 +218,52 @@ module Mcs (Rt : RT) = struct
 
   let is_locked t = match Rt.get t.tail with None -> false | Some _ -> true
 end
+
+(** {1 Per-key transactional lock handles}
+
+    A [Handle.t] is a first-class capability over one version lock — in
+    practice one stripe of a structure's versioned overlay (see
+    {!Dstruct.Dstruct_intf}). It is what a multi-object transaction
+    manager sorts and acquires at commit: OCaml has no pointer ordering,
+    so every handle carries a process-unique integer [id] standing in
+    for the lock's address; acquiring handles in ascending [id] order
+    makes the classic sorted-two-phase commit deadlock-free.
+
+    Handles speak {e version tokens} (plain [int]s, opaque to this
+    module): the token a structure's [read_versioned] returned is what
+    [acquire]/[check] validate against. All closures capture the
+    underlying lock, so a handle stays valid as long as its structure. *)
+module Handle = struct
+  type t = {
+    id : int;  (** process-unique; the sort key replacing lock addresses *)
+    acquire : int -> bool;
+        (** [acquire token] locks iff the version still matches [token] —
+            the OPTIK single-CAS validate-and-lock. *)
+    acquire_any : unit -> int;
+        (** Blocking acquire with no validation; returns the version
+            token captured at acquisition (for post-hoc read
+            validation of blind writes — or for deliberately broken
+            commit protocols in negative-control tests). *)
+    commit : unit -> unit;  (** release, advancing the version *)
+    revert : unit -> unit;  (** release with the version unchanged *)
+    check : int -> bool;
+        (** [check token]: version still current and lock free. *)
+  }
+
+  let compare a b = Int.compare a.id b.id
+  let equal a b = a.id = b.id
+
+  let v ~id ~acquire ~acquire_any ~commit ~revert ~check =
+    { id; acquire; acquire_any; commit; revert; check }
+
+  (* Id-range allocator for handle ids. Creation-order determinism is
+     all that matters (ids only ever order lock acquisition); structures
+     allocate their ranges single-threadedly at first versioned access,
+     which the deterministic simulator serializes. *)
+  let next_base = ref 0
+
+  let fresh_base n =
+    let b = !next_base in
+    next_base := b + n;
+    b
+end

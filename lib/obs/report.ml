@@ -370,15 +370,23 @@ let split_counter name =
 
 (* Metric taxonomy (definitions in DESIGN.md, "Wasted-work metrics"):
    - restart-class: a whole attempt thrown away and redone. Besides the
-     canonical [restarts], two documented equivalents count here:
+     canonical [restarts], the documented equivalents count here:
      [second-traversals] (ht-java-optik re-traverses the bucket after a
-     failed validation) and [found-marked-retry] (sl-herlihy retries over
-     a logically deleted victim).
-   - vfail-*: a validation that failed, classified by cause.
+     failed validation), [found-marked-retry] (sl-herlihy retries over a
+     logically deleted victim), [aborts] (the transaction layer throws
+     away a whole read/write attempt) and [snapshot-retries] (a
+     read-only transaction re-runs its read phase — re-read work, never
+     an abort).
+   - vfail-*: a validation that failed, classified by cause. The
+     transaction layer contributes [txn.vfail-txn-lock] (commit lost the
+     validate-and-lock CAS) and [txn.vfail-txn-read] (a read-set entry
+     went stale before commit).
    - lock-acquire failures: [trylock-fail] (the OPTIK single-CAS
      trylock_version returning false). *)
 let restart_metric = function
-  | "restarts" | "second-traversals" | "found-marked-retry" -> true
+  | "restarts" | "second-traversals" | "found-marked-retry" | "aborts"
+  | "snapshot-retries" ->
+      true
   | _ -> false
 
 let vfail_metric m = String.length m >= 5 && String.sub m 0 5 = "vfail"

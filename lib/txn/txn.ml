@@ -1,0 +1,735 @@
+(** Optimistic multi-object transactions over the versioned registry API.
+
+    The OPTIK pattern validates a version and acquires a lock in one CAS;
+    this module lifts that into a transaction layer over {e any group} of
+    registered structures, in the spirit of object-based optimistic STMs
+    built from versioned objects:
+
+    - the {e read phase} collects values with their version tokens
+      ({!Dstruct.Dstruct_intf.VERSIONED_OPS.read_versioned});
+    - {e commit} acquires the write set's per-key lock handles in
+      ascending handle-id order (the classic sorted two-phase commit, so
+      no two transactions can deadlock), where a handle also covered by
+      the read set is acquired with [Locks.Handle.acquire] — the OPTIK
+      single-CAS validate-and-lock — and a blind write with
+      [acquire_any];
+    - the remaining read set is then revalidated ([Locks.Handle.check]),
+      buffered writes are applied, a commit ticket is drawn from the
+      manager's clock, and the handles are released version-advancing.
+
+    Failures release everything version-preserving ([revert]) and retry
+    the whole transaction: classic optimistic abort, counted under the
+    wasted-work taxonomy ([txn.aborts], split into [txn.vfail-txn-lock]
+    and [txn.vfail-txn-read]).
+
+    {e Read-only transactions never abort}: {!Make.snapshot} re-runs its
+    read phase until a second version check over the whole read set
+    passes — no locks taken, no writes undone, just re-reads (counted as
+    [txn.snapshot-retries]). On success the snapshot was atomic at some
+    point between the two clock readings it returns, which is what the
+    serializability oracle checks.
+
+    Isolation holds between transactions only: plain [insert]/[delete]
+    on a structure do not advance overlay versions, so keys under
+    transactional ownership must only be mutated transactionally (see
+    {!Dstruct.Dstruct_intf.VERSIONED_OPS}). *)
+
+module type SET_OPS = Dstruct.Dstruct_intf.SET_OPS
+
+module Make (Rt : Rt.Rt_intf.RT) = struct
+  type policy =
+    | Optimistic  (** the real protocol *)
+    | Broken_commit
+        (** negative control: locks are taken without version validation
+            and the read set is never revalidated, so stale reads commit
+            — the serializability oracle must catch this *)
+
+  (* One structure participating in transactions. Packed once at setup:
+     [oid] keys the per-transaction read/write buffers, and packing
+     forces the structure's versioned overlay into existence while still
+     single-threaded. *)
+  type obj =
+    | Obj : {
+        oid : int;
+        ops : (module SET_OPS with type t = 'a);
+        st : 'a;
+      }
+        -> obj
+
+  let next_oid = ref 0
+
+  let obj (type a) (module S : SET_OPS with type t = a) (st : a) : obj =
+    (* Touch the overlay now (key 0 only selects a stripe; the structure
+       itself is not accessed) so no lazy allocation races the run. *)
+    ignore (S.lock_handle st 0 : Locks.Handle.t);
+    incr next_oid;
+    Obj { oid = !next_oid; ops = (module S); st }
+
+  let obj_id (Obj { oid; _ }) = oid
+
+  let obj_read (Obj { ops = (module S); st; _ }) k = S.read_versioned st k
+  let obj_handle (Obj { ops = (module S); st; _ }) k = S.lock_handle st k
+
+  (* Quiescent helpers over the packed structure, for oracles. *)
+  let obj_fold (Obj { ops = (module S); st; _ }) f acc = S.fold st f acc
+  let obj_size (Obj { ops = (module S); st; _ }) = S.size st
+  let obj_validate (Obj { ops = (module S); st; _ }) = S.validate st
+
+  (* Transactional writes are upserts; [insert] alone no-ops on a
+     present key. The delete+insert window is safe: the key's stripe
+     lock is held, so versioned readers wait and conflicting commits
+     fail validation. *)
+  let obj_write (Obj { ops = (module S); st; _ }) k v =
+    ignore (S.delete st k : int option);
+    match v with
+    | Some v -> ignore (S.insert st k v : bool)
+    | None -> ()
+
+  type rentry = {
+    r_oid : int;
+    r_key : int;
+    r_val : int option;
+    r_tok : int;
+    r_handle : Locks.Handle.t;
+  }
+
+  type wentry = {
+    w_obj : obj;
+    w_key : int;
+    w_val : int option;
+    w_handle : Locks.Handle.t;
+  }
+
+  (** Per-transaction context: buffered read and write sets (newest
+      first). Nothing touches shared state except through the packed
+      objects. *)
+  type ctx = {
+    mutable reads : rentry list;
+    mutable writes : wentry list;
+    ro : bool;
+  }
+
+  type t = {
+    policy : policy;
+    clock : int Rt.atomic;  (** commit tickets; also the snapshot window *)
+    max_retries : int;
+    backoff : int -> unit;  (** called with the attempt number on abort *)
+    c_commits : Rt.Probe.counter;
+    c_snapshots : Rt.Probe.counter;
+    c_aborts : Rt.Probe.counter;
+    c_vfail_lock : Rt.Probe.counter;
+    c_vfail_read : Rt.Probe.counter;
+    c_snap_retries : Rt.Probe.counter;
+  }
+
+  exception Too_many_retries of int
+
+  (* Counters are created here, not at module initialization, so a
+     process that never runs a transaction registers no [txn.*] probes
+     (run reports and probe audits only see what actually ran). *)
+  let create ?(policy = Optimistic) ?(max_retries = max_int)
+      ?(backoff = fun _ -> ()) () =
+    {
+      policy;
+      clock = Rt.atomic 0;
+      max_retries;
+      backoff;
+      c_commits = Rt.Probe.counter "txn.commits";
+      c_snapshots = Rt.Probe.counter "txn.snapshots";
+      c_aborts = Rt.Probe.counter "txn.aborts";
+      c_vfail_lock = Rt.Probe.counter "txn.vfail-txn-lock";
+      c_vfail_read = Rt.Probe.counter "txn.vfail-txn-read";
+      c_snap_retries = Rt.Probe.counter "txn.snapshot-retries";
+    }
+
+  let clock t = Rt.get t.clock
+
+  let read ctx o k =
+    let oid = obj_id o in
+    let buffered =
+      List.find_opt (fun w -> obj_id w.w_obj = oid && w.w_key = k) ctx.writes
+    in
+    match buffered with
+    | Some w -> w.w_val (* read-your-writes *)
+    | None -> (
+        match
+          List.find_opt (fun r -> r.r_oid = oid && r.r_key = k) ctx.reads
+        with
+        | Some r -> r.r_val (* repeatable read *)
+        | None ->
+            let v, tok = obj_read o k in
+            ctx.reads <-
+              {
+                r_oid = oid;
+                r_key = k;
+                r_val = v;
+                r_tok = tok;
+                r_handle = obj_handle o k;
+              }
+              :: ctx.reads;
+            v)
+
+  let write ctx o k v =
+    if ctx.ro then invalid_arg "Txn.write: read-only transaction";
+    ctx.writes <-
+      { w_obj = o; w_key = k; w_val = v; w_handle = obj_handle o k }
+      :: ctx.writes
+
+  (* Effective write set: the newest buffered write per (object, key). *)
+  let dedupe_writes ws =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun w ->
+        let key = (obj_id w.w_obj, w.w_key) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      ws
+
+  (* The commit lock set: one handle per id, ascending. *)
+  let lock_set ws =
+    List.sort_uniq Locks.Handle.compare (List.map (fun w -> w.w_handle) ws)
+
+  let release_revert held = List.iter (fun (h, _) -> h.Locks.Handle.revert ()) held
+
+  (* Returns [Some ticket] on commit, [None] on abort (probes already
+     bumped; everything released version-preserving). *)
+  let try_commit t ctx =
+    let ws = dedupe_writes ctx.writes in
+    let expected (h : Locks.Handle.t) =
+      List.find_map
+        (fun r -> if r.r_handle.Locks.Handle.id = h.id then Some r.r_tok else None)
+        ctx.reads
+    in
+    let rec acquire held = function
+      | [] -> Ok held
+      | (h : Locks.Handle.t) :: rest -> (
+          let got =
+            match (t.policy, expected h) with
+            | Optimistic, Some tok -> if h.acquire tok then Some tok else None
+            | Optimistic, None | Broken_commit, _ -> Some (h.acquire_any ())
+          in
+          match got with
+          | Some tok -> acquire ((h, tok) :: held) rest
+          | None -> Error held)
+    in
+    match acquire [] (lock_set ws) with
+    | Error held ->
+        release_revert held;
+        Rt.Probe.incr t.c_vfail_lock;
+        Rt.Probe.incr t.c_aborts;
+        None
+    | Ok held ->
+        let read_ok (r : rentry) =
+          match
+            List.find_opt
+              (fun ((h : Locks.Handle.t), _) -> h.id = r.r_handle.Locks.Handle.id)
+              held
+          with
+          | Some (_, tok_at_acquire) ->
+              (* We hold this stripe; compare against the version we
+                 locked at (an [acquire_any] may have slipped past a
+                 conflicting commit). *)
+              tok_at_acquire = r.r_tok
+          | None -> r.r_handle.Locks.Handle.check r.r_tok
+        in
+        let valid =
+          match t.policy with
+          | Broken_commit -> true
+          | Optimistic -> List.for_all read_ok ctx.reads
+        in
+        if not valid then begin
+          release_revert held;
+          Rt.Probe.incr t.c_vfail_read;
+          Rt.Probe.incr t.c_aborts;
+          None
+        end
+        else begin
+          List.iter (fun w -> obj_write w.w_obj w.w_key w.w_val) ws;
+          let ticket = Rt.faa t.clock 1 in
+          List.iter (fun ((h : Locks.Handle.t), _) -> h.commit ()) held;
+          Rt.Probe.incr t.c_commits;
+          Some ticket
+        end
+
+  let atomically t (f : ctx -> 'a) : 'a * int =
+    let rec go attempt =
+      if attempt > t.max_retries then raise (Too_many_retries attempt);
+      let ctx = { reads = []; writes = []; ro = false } in
+      let x = f ctx in
+      match try_commit t ctx with
+      | Some ticket -> (x, ticket)
+      | None ->
+          t.backoff attempt;
+          go (attempt + 1)
+    in
+    go 0
+
+  (** [snapshot t f] runs [f] against an atomic snapshot and returns
+      [(result, c0, c1)]: the snapshot was consistent at some commit
+      ticket in [c0..c1]. Abort-free: validation failure just re-reads. *)
+  let snapshot t (f : ctx -> 'a) : 'a * int * int =
+    let rec go attempt =
+      let c0 = Rt.get t.clock in
+      let ctx = { reads = []; writes = []; ro = true } in
+      let x = f ctx in
+      let ok =
+        List.for_all (fun r -> r.r_handle.Locks.Handle.check r.r_tok) ctx.reads
+      in
+      if ok then begin
+        Rt.Probe.incr t.c_snapshots;
+        (x, c0, Rt.get t.clock)
+      end
+      else begin
+        Rt.Probe.incr t.c_snap_retries;
+        t.backoff attempt;
+        go (attempt + 1)
+      end
+    in
+    go 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Contending transfer workload and strict-serializability oracle      *)
+
+(** A bank-transfer workload over several registry structures at once —
+    the end-to-end exerciser for the transaction layer, and the vehicle
+    for its oracle.
+
+    Each of [objects] structures holds [accounts] accounts (keys
+    [1 .. accounts]) preloaded with [initial] units. Clients run
+    {e transfers} (read two accounts — usually in two different
+    structures — and move a few units atomically) and {e audits}
+    (snapshot-read every account and sum). Because transfers only move
+    units, {e every} audit must see exactly
+    [objects * accounts * initial] — a violation is a non-atomic
+    snapshot the moment it happens.
+
+    The oracle then replays the committed transfers in commit-ticket
+    order against a sequential model: every transfer's recorded reads
+    must match the replayed state (a mismatch means a stale read
+    committed — exactly what [Broken_commit] produces), every audit's
+    reads must match the replayed state at {e some} point inside its
+    clock window, and the final structures must equal the replayed
+    model. Together that is strict serializability of the committed
+    history: commits act at a single point between invocation and
+    response, in ticket order. *)
+module Workload = struct
+  module T = Make (Sim.Sim_rt)
+  module Probe = Sim.Sim_rt.Probe
+  module R = Harness.Registry
+
+  type config = {
+    rep : string;  (** structure representation backing every object *)
+    objects : int;
+    accounts : int;  (** account keys [1 .. accounts] per object *)
+    initial : int;  (** preloaded balance per account *)
+    threads : int;
+    ops : int;  (** requests to serve (scheduler ticks) *)
+    seed : int;
+    transfer_pct : int;  (** remainder are snapshot audits *)
+    topo : Sim.Topology.t;
+    broken : bool;  (** run the [Broken_commit] negative control *)
+  }
+
+  let default_config =
+    {
+      rep = "ll-optik";
+      objects = 4;
+      accounts = 16;
+      initial = 100;
+      threads = 8;
+      ops = 4_000;
+      seed = 42;
+      transfer_pct = 70;
+      topo = Sim.Topology.xeon;
+      broken = false;
+    }
+
+  (* Representations by qualified name, as in the KV service: native
+     per-key striping for the OPTIK families, the structure-wide version
+     wrapper for the lock-free/lazy reps. *)
+  let reps : (string * (module SET_OPS)) list =
+    [
+      ("ll-optik", R.Sim_backend.ll_optik);
+      ("map-optik", R.Sim_backend.map_optik);
+      ("ht-optik", R.Sim_backend.ht_optik);
+      ("sl-optik", R.Sim_backend.sl_optik2);
+      ("bst-optik", R.Sim_backend.bst_optik);
+      ("ll-lazy", R.Sim_backend.ll_lazy_);
+      ("ll-harris", R.Sim_backend.ll_harris);
+    ]
+
+  let rep_names = List.map fst reps
+
+  let rep_module name =
+    match List.assoc_opt name reps with
+    | Some m -> m
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Txn: unknown rep %S (known: %s)" name
+             (String.concat ", " rep_names))
+
+  (* ---------------- history ---------------- *)
+
+  type kind = Transfer | Audit
+
+  (* One request record in the crash-aware log. Fields are overwritten
+     at the start of every optimistic attempt, so a committed record
+     carries exactly the attempt that won. Reads and writes are keyed
+     (object index, account key); reads store the raw versioned-read
+     result so the replay can compare them verbatim. *)
+  type xrec = {
+    x_kind : kind;
+    mutable x_committed : bool;
+    mutable x_ticket : int;  (** transfers: serialization position *)
+    mutable x_c0 : int;  (** audits: clock before the read phase ... *)
+    mutable x_c1 : int;  (** ... and after validation *)
+    mutable x_reads : ((int * int) * int option) list;
+    mutable x_writes : ((int * int) * int option) list;
+  }
+
+  let fresh_rec kind =
+    {
+      x_kind = kind;
+      x_committed = false;
+      x_ticket = -1;
+      x_c0 = 0;
+      x_c1 = 0;
+      x_reads = [];
+      x_writes = [];
+    }
+
+  (* ---------------- oracle ---------------- *)
+
+  type oracle = {
+    ok : bool;
+    transfers : int;  (** committed transfers replayed *)
+    audits : int;  (** committed audits positioned *)
+    conserved : bool;
+    total : int;  (** final sum over every account *)
+    expected_total : int;
+    violations : string list;  (** empty iff serializable and conserved *)
+  }
+
+  (* Strict serializability by replay (see the module comment). Runs
+     post-run outside the simulation, on quiesced structures. *)
+  let check_serializable (cfg : config) (records : xrec list)
+      (objs : T.obj array) : oracle =
+    let committed k = List.filter (fun x -> x.x_kind = k && x.x_committed) records in
+    let transfers =
+      List.sort (fun a b -> compare a.x_ticket b.x_ticket) (committed Transfer)
+    in
+    let audits = committed Audit in
+    let violations = ref [] in
+    let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+    let pp_v = function Some v -> string_of_int v | None -> "absent" in
+    (* Commit tickets come from one fetch-and-add clock: they must be
+       exactly 0 .. n-1 with no gap or duplicate. *)
+    List.iteri
+      (fun i x ->
+        if x.x_ticket <> i then
+          bad "ticket sequence broken: position %d holds ticket %d" i x.x_ticket)
+      transfers;
+    (* Replay transfers in ticket order, checkpointing the state after
+       each commit for the audit positioning below. *)
+    let model : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    for o = 0 to cfg.objects - 1 do
+      for k = 1 to cfg.accounts do
+        Hashtbl.replace model (o, k) cfg.initial
+      done
+    done;
+    let n = List.length transfers in
+    let states = Array.make (n + 1) model in
+    states.(0) <- Hashtbl.copy model;
+    List.iteri
+      (fun i x ->
+        List.iter
+          (fun ((o, k), r) ->
+            let m = Hashtbl.find_opt model (o, k) in
+            if m <> r then
+              bad "txn %d read (%d,%d) = %s but the serialized state had %s" i o
+                k (pp_v r) (pp_v m))
+          x.x_reads;
+        List.iter
+          (fun ((o, k), w) ->
+            match w with
+            | Some v -> Hashtbl.replace model (o, k) v
+            | None -> Hashtbl.remove model (o, k))
+          x.x_writes;
+        states.(i + 1) <- Hashtbl.copy model)
+      transfers;
+    (* Every audit must equal the replayed state at some position inside
+       its clock window — the snapshot had a serialization point. *)
+    List.iter
+      (fun a ->
+        let lo = max 0 (min a.x_c0 n) and hi = max 0 (min a.x_c1 n) in
+        let matches p =
+          List.for_all
+            (fun ((o, k), r) -> Hashtbl.find_opt states.(p) (o, k) = r)
+            a.x_reads
+        in
+        let rec any p = p <= hi && (matches p || any (p + 1)) in
+        if not (any lo) then
+          bad "audit (clock window %d..%d) matches no serialization point"
+            a.x_c0 a.x_c1)
+      audits;
+    (* The final structures must be exactly the replayed model... *)
+    Array.iteri
+      (fun o ob ->
+        T.obj_fold ob
+          (fun k v () ->
+            if Hashtbl.find_opt model (o, k) <> Some v then
+              bad "final state (%d,%d) = %d disagrees with the replay (%s)" o k
+                v
+                (pp_v (Hashtbl.find_opt model (o, k))))
+          ();
+        if T.obj_size ob <> cfg.accounts then
+          bad "object %d holds %d accounts, expected %d" o (T.obj_size ob)
+            cfg.accounts)
+      objs;
+    (* ... and transfers only move units, so the total is invariant. *)
+    let total =
+      Array.fold_left (fun acc ob -> T.obj_fold ob (fun _ v a -> a + v) acc) 0 objs
+    in
+    let expected_total = cfg.objects * cfg.accounts * cfg.initial in
+    let conserved = total = expected_total in
+    if not conserved then
+      bad "conservation broken: accounts sum to %d, expected %d" total
+        expected_total;
+    {
+      ok = !violations = [];
+      transfers = n;
+      audits = List.length audits;
+      conserved;
+      total;
+      expected_total;
+      violations = List.rev !violations;
+    }
+
+  (* ---------------- client loop ---------------- *)
+
+  let lat_classes = [| "transfer"; "audit" |]
+  let class_transfer = 0
+  let class_audit = 1
+
+  let client cfg (objs : T.obj array) mgr log lat tid =
+    let rng = Harness.Rng.create ((cfg.seed * 65_599) + tid) in
+    let pick_slot () =
+      let o = Harness.Rng.below rng cfg.objects in
+      let k = 1 + Harness.Rng.below rng cfg.accounts in
+      (o, k)
+    in
+    while not (Sim.Sched.stop_requested ()) do
+      let t0 = Sim.Sched.now () in
+      Sim.Sim_rt.on_fault Rt.Rt_intf.Op_boundary;
+      let cls =
+        if Harness.Rng.below rng 100 < cfg.transfer_pct then begin
+          let o1, k1 = pick_slot () in
+          let rec pick_dst () =
+            let o2, k2 = pick_slot () in
+            if o1 = o2 && k1 = k2 then pick_dst () else (o2, k2)
+          in
+          let o2, k2 = pick_dst () in
+          let amount = 1 + Harness.Rng.below rng 5 in
+          let x = fresh_rec Transfer in
+          Harness.History.Log.record log x (fun () ->
+              let (), ticket =
+                T.atomically mgr (fun ctx ->
+                    let r1 = T.read ctx objs.(o1) k1 in
+                    let r2 = T.read ctx objs.(o2) k2 in
+                    let v1 = Option.value ~default:0 r1 in
+                    let v2 = Option.value ~default:0 r2 in
+                    (* insufficient funds: transfer nothing, still commit *)
+                    let amt = if v1 >= amount then amount else 0 in
+                    let w1 = Some (v1 - amt) and w2 = Some (v2 + amt) in
+                    T.write ctx objs.(o1) k1 w1;
+                    T.write ctx objs.(o2) k2 w2;
+                    x.x_reads <- [ ((o1, k1), r1); ((o2, k2), r2) ];
+                    x.x_writes <- [ ((o1, k1), w1); ((o2, k2), w2) ])
+              in
+              x.x_ticket <- ticket;
+              x.x_committed <- true);
+          class_transfer
+        end
+        else begin
+          let x = fresh_rec Audit in
+          Harness.History.Log.record log x (fun () ->
+              let reads, c0, c1 =
+                T.snapshot mgr (fun ctx ->
+                    let acc = ref [] in
+                    for o = cfg.objects - 1 downto 0 do
+                      for k = cfg.accounts downto 1 do
+                        acc := ((o, k), T.read ctx objs.(o) k) :: !acc
+                      done
+                    done;
+                    !acc)
+              in
+              x.x_reads <- reads;
+              x.x_c0 <- c0;
+              x.x_c1 <- c1;
+              x.x_committed <- true);
+          class_audit
+        end
+      in
+      Harness.Pstats.record lat.(cls) (Sim.Sched.now () - t0);
+      Sim.Sched.tick ()
+    done
+
+  (* ---------------- driver ---------------- *)
+
+  type result = {
+    res_oracle : oracle;
+    res_commits : int;
+    res_aborts : int;
+    res_vfail_lock : int;
+    res_vfail_read : int;
+    res_snapshots : int;
+    res_snap_retries : int;
+  }
+
+  let make_objects cfg (m : (module SET_OPS)) =
+    let (module S) = m in
+    Array.init cfg.objects (fun _ ->
+        let st = S.create ~capacity:(max 64 (4 * cfg.accounts)) () in
+        for k = 1 to cfg.accounts do
+          ignore (S.insert st k cfg.initial : bool)
+        done;
+        T.obj (module S) st)
+
+  let run (cfg : config) : Harness.Runner.measurement * result =
+    if cfg.objects < 1 || cfg.accounts < 1 || cfg.objects * cfg.accounts < 2
+    then invalid_arg "Txn.Workload: need at least two account slots";
+    Dstruct.Sl_common.reset_states ();
+    let objs = make_objects cfg (rep_module cfg.rep) in
+    let mgr =
+      T.create
+        ~policy:(if cfg.broken then T.Broken_commit else T.Optimistic)
+        ~backoff:(fun n ->
+          (* deterministic bounded exponential, de-synchronized by tid *)
+          Sim.Sched.work ((64 lsl min n 6) + (17 * (Sim.Sched.tid () + 1))))
+        ()
+    in
+    Probe.reset_all ();
+    let log = Harness.History.Log.create ~nthreads:cfg.threads in
+    let lat =
+      Array.init cfg.threads (fun _ ->
+          Array.init (Array.length lat_classes) (fun _ ->
+              Harness.Pstats.create ()))
+    in
+    let host0 = Unix.gettimeofday () in
+    let stats, outcome =
+      Harness.Runner.run_guarded
+        ~faults:(Sim.Fault.plan ~seed:cfg.seed [])
+        ~topology:cfg.topo ~nthreads:cfg.threads ~ops_target:cfg.ops
+        (fun tid -> client cfg objs mgr log lat.(tid) tid)
+    in
+    let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
+    let oracle =
+      check_serializable cfg (Harness.History.Log.all log) objs
+    in
+    let wall_s =
+      float_of_int stats.Sim.Sched.wall_cycles
+      /. (cfg.topo.Sim.Topology.ghz *. 1e9)
+    in
+    let commits = Probe.count mgr.T.c_commits in
+    let m : Harness.Runner.measurement =
+      {
+        name = "txn/" ^ cfg.rep;
+        topo_name = cfg.topo.Sim.Topology.name;
+        seed = cfg.seed;
+        threads = cfg.threads;
+        mops = Sim.Sched.mops cfg.topo stats;
+        ops = stats.Sim.Sched.ops;
+        wall_s;
+        eff_update_pct =
+          100. *. float_of_int commits
+          /. float_of_int (max 1 stats.Sim.Sched.ops);
+        reads = stats.Sim.Sched.reads;
+        writes = stats.Sim.Sched.writes;
+        cas = stats.Sim.Sched.cas;
+        cas_failed = stats.Sim.Sched.cas_failed;
+        faa = stats.Sim.Sched.faa;
+        events = stats.Sim.Sched.events;
+        host_s;
+        lat =
+          Array.init (Array.length lat_classes) (fun c ->
+              Harness.Pstats.summarize
+                (Array.to_list (Array.map (fun l -> l.(c)) lat)));
+        lat_classes;
+        counters = Probe.dump ();
+        final_size = Array.fold_left (fun a ob -> a + T.obj_size ob) 0 objs;
+        valid = Array.for_all T.obj_validate objs;
+        outcome;
+        obs = None;
+      }
+    in
+    let result =
+      {
+        res_oracle = oracle;
+        res_commits = commits;
+        res_aborts = Probe.count mgr.T.c_aborts;
+        res_vfail_lock = Probe.count mgr.T.c_vfail_lock;
+        res_vfail_read = Probe.count mgr.T.c_vfail_read;
+        res_snapshots = Probe.count mgr.T.c_snapshots;
+        res_snap_retries = Probe.count mgr.T.c_snap_retries;
+      }
+    in
+    (m, result)
+
+  (* ---------------- report section and printing ---------------- *)
+
+  module J = Obs.Report
+
+  let report_section (cfg : config) (r : result) : string * J.json =
+    let o = r.res_oracle in
+    ( "txn",
+      J.Obj
+        [
+          ("rep", J.Str cfg.rep);
+          ("objects", J.Int cfg.objects);
+          ("accounts", J.Int cfg.accounts);
+          ( "policy",
+            J.Str (if cfg.broken then "broken-commit" else "optimistic") );
+          ("commits", J.Int r.res_commits);
+          ("aborts", J.Int r.res_aborts);
+          ("snapshots", J.Int r.res_snapshots);
+          ("snapshot_retries", J.Int r.res_snap_retries);
+          ( "oracle",
+            J.Obj
+              [
+                ("ok", J.Bool o.ok);
+                ("transfers", J.Int o.transfers);
+                ("audits", J.Int o.audits);
+                ("conserved", J.Bool o.conserved);
+                ("total", J.Int o.total);
+                ("expected_total", J.Int o.expected_total);
+                ("violations", J.Int (List.length o.violations));
+              ] );
+        ] )
+
+  let pp_oracle ppf (o : oracle) =
+    if o.ok then
+      Format.fprintf ppf
+        "oracle: PASS (%d transfers serializable, %d audits atomic, %d/%d conserved)"
+        o.transfers o.audits o.total o.expected_total
+    else begin
+      Format.fprintf ppf "oracle: FAIL (%d violations over %d transfers, %d audits)"
+        (List.length o.violations)
+        o.transfers o.audits;
+      List.iteri
+        (fun i v -> if i < 8 then Format.fprintf ppf "@\n  VIOLATION %s" v)
+        o.violations;
+      if List.length o.violations > 8 then
+        Format.fprintf ppf "@\n  ... and %d more"
+          (List.length o.violations - 8)
+    end
+
+  let pp_result ppf (r : result) =
+    Format.fprintf ppf
+      "commits=%d aborts=%d (vfail-lock=%d vfail-read=%d) snapshots=%d retries=%d@\n%a"
+      r.res_commits r.res_aborts r.res_vfail_lock r.res_vfail_read
+      r.res_snapshots r.res_snap_retries pp_oracle r.res_oracle
+end

@@ -378,11 +378,48 @@ let test_counter_naming_convention () =
   List.iter
     (fun name ->
       match J.split_counter name with
-      | Some _ -> ()
+      | Some (prefix, _) ->
+          (* Transaction-layer counters must live under the [txn.]
+             namespace: an unprefixed one would be misattributed to a
+             structure in the per-prefix wasted-work breakdown. *)
+          if contains ~sub:"txn" name && prefix <> "txn" then
+            Alcotest.failf
+              "counter %S mentions txn but is not under the txn. prefix" name
       | None ->
           Alcotest.failf "counter %S violates the <rep>.<metric> convention"
             name)
     (Sim.Sim_rt.Probe.counter_names ())
+
+(* The transaction manager's counters: registered the moment a manager
+   exists, all six under [txn.], and classified by the wasted-work
+   taxonomy so txn aborts show up in reports and A/B diffs. *)
+module TxnSim = Txn.Make (Sim.Sim_rt)
+
+let test_txn_counters_audited () =
+  ignore (TxnSim.create () : TxnSim.t);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true
+        (Sim.Sim_rt.Probe.registered n))
+    [
+      "txn.commits";
+      "txn.snapshots";
+      "txn.aborts";
+      "txn.vfail-txn-lock";
+      "txn.vfail-txn-read";
+      "txn.snapshot-retries";
+    ];
+  test_counter_naming_convention ();
+  (* taxonomy: aborts and snapshot retries are thrown-away attempts,
+     the vfail split explains them *)
+  Alcotest.(check bool) "aborts are restart-class" true
+    (J.restart_metric "aborts");
+  Alcotest.(check bool) "snapshot retries are restart-class" true
+    (J.restart_metric "snapshot-retries");
+  Alcotest.(check bool) "vfail-txn-lock is vfail-class" true
+    (J.vfail_metric "vfail-txn-lock");
+  Alcotest.(check bool) "vfail-txn-read is vfail-class" true
+    (J.vfail_metric "vfail-txn-read")
 
 let () =
   Alcotest.run "report"
@@ -430,5 +467,6 @@ let () =
             test_optik_reps_instrumented;
           Alcotest.test_case "naming convention" `Quick
             test_counter_naming_convention;
+          Alcotest.test_case "txn counters" `Quick test_txn_counters_audited;
         ] );
     ]
