@@ -703,9 +703,12 @@ let kv_cmd =
       value & opt int 0
       & info [ "rolling" ] ~docv:"N"
           ~doc:
-            "Roll a crash across the primaries of the first $(docv) shards \
-             (one per pair: the f=1 budget the oracle's exactly-once promise \
-             is stated under). Ignored when --faults is given.")
+            "Roll $(docv) crashes round-robin over the shard pairs \
+             (alternating primary/replica per round). More crashes than \
+             shards is legal under the re-armable warranty: each pair \
+             absorbs one crash per completed resync, so such plans need a \
+             finite --down-for and a --stagger spanning the resync window. \
+             Ignored when --faults is given.")
   in
   let down_for =
     Arg.(
@@ -738,6 +741,37 @@ let kv_cmd =
             "Write only the primary copy. A primary crash then loses acked \
              writes: the oracle must FAIL — the other negative control.")
   in
+  let degraded_for =
+    Arg.(
+      value
+      & opt int Kv.default_policy.Kv.degraded_cycles
+      & info [ "degraded-for" ] ~docv:"CYCLES"
+          ~doc:
+            "Degraded window after a store recovers: scans shed on it and \
+             resync waits this long before copying the peer's contents \
+             back.")
+  in
+  let resync_batch =
+    Arg.(
+      value
+      & opt int Kv.default_policy.Kv.resync_batch
+      & info [ "resync-batch" ] ~docv:"N"
+          ~doc:"Keys copied per resync batch (epoch fence between batches).")
+  in
+  let broken_resync =
+    Arg.(
+      value
+      & opt (some (enum [ ("dual-write", `Dual_write); ("fencing", `Fencing) ]))
+          None
+      & info [ "broken-resync" ] ~docv:"MODE"
+          ~doc:
+            "Deliberately broken resync, the negative controls: 'dual-write' \
+             skips writing to a mid-resync copy (writes acked during the \
+             copy window then live only in the survivor and vanish at its \
+             next crash); 'fencing' skips the epoch fence (a copier racing \
+             a mid-copy crash \"completes\" and re-arms a voided pair). \
+             Both must make the oracle FAIL under multi-crash plans.")
+  in
   let fuzz =
     Arg.(
       value & opt int 0
@@ -756,7 +790,8 @@ let kv_cmd =
   in
   let run rep shards threads ops keys read scan transfer accounts machine seed
       deadline retries faults rolling down_for stagger broken_retry
-      no_replication fuzz replay report =
+      no_replication degraded_for resync_batch broken_resync fuzz replay report
+      =
     let topo =
       match machine with
       | "xeon" -> Sim.Topology.xeon
@@ -804,13 +839,16 @@ let kv_cmd =
                 exit 2)
           | None ->
               if rolling > 0 then
-                let count = min rolling shards in
                 let stagger =
-                  if stagger > 0 then stagger else max 1 (ops / (count + 1))
+                  if stagger > 0 then stagger else max 1 (ops / (rolling + 1))
                 in
-                Some
-                  (Kv.rolling_plan ~seed ~nshards:shards ~count ~down_for
-                     ~stagger ())
+                try
+                  Some
+                    (Kv.rolling_plan ~seed ~nshards:shards ~count:rolling
+                       ~down_for ~stagger ())
+                with Invalid_argument msg ->
+                  Printf.eprintf "%s\n" msg;
+                  exit 2
               else None
         in
         if transfer > 0 && plan <> None then begin
@@ -826,6 +864,10 @@ let kv_cmd =
             max_retries = retries;
             idempotent = not broken_retry;
             replicate = not no_replication;
+            degraded_cycles = degraded_for;
+            resync_batch;
+            resync_dual_write = broken_resync <> Some `Dual_write;
+            resync_fencing = broken_resync <> Some `Fencing;
           }
         in
         let cfg =
@@ -883,6 +925,11 @@ let kv_cmd =
           (ctr "kv.retries") (ctr "kv.timeouts") (ctr "kv.sheds")
           (ctr "kv.failovers")
           (ctr "kv.backoff-cycles");
+        if ctr "kv.resyncs" > 0 || ctr "kv.resync-aborts" > 0 then
+          Printf.printf "  resyncs %d  aborted %d  re-arms %d\n"
+            (ctr "kv.resyncs")
+            (ctr "kv.resync-aborts")
+            (ctr "kv.rearms");
         Array.iteri
           (fun i cls ->
             let l = m.Harness.Runner.lat.(i) in
@@ -899,8 +946,10 @@ let kv_cmd =
           (fun i (p, rr) ->
             let s = r.Kv.res_shard_lat.(i) in
             Printf.printf
-              "  shard s%-2d       primary=%-6d replica=%-6d p99=%-8d p999=%d\n"
-              i p rr s.Harness.Pstats.p99 s.Harness.Pstats.p999)
+              "  shard s%-2d       primary=%-6d replica=%-6d p99=%-8d p999=%-8d \
+               warranty=%s\n"
+              i p rr s.Harness.Pstats.p99 s.Harness.Pstats.p999
+              (Kv.warranty_name r.Kv.res_warranty.(i)))
           r.Kv.res_shard_sizes;
         if r.Kv.res_events <> [] then begin
           Printf.printf "  failover timeline:\n";
@@ -931,11 +980,21 @@ let kv_cmd =
                        | Some p -> J.Str (Sim.Fault.to_string p) );
                      ("broken_retry", J.Bool broken_retry);
                      ("no_replication", J.Bool no_replication);
+                     ("degraded_for", J.Int degraded_for);
+                     ("resync_batch", J.Int resync_batch);
+                     ( "broken_resync",
+                       match broken_resync with
+                       | None -> J.Null
+                       | Some `Dual_write -> J.Str "dual-write"
+                       | Some `Fencing -> J.Str "fencing" );
                    ]
                  ~sections:[ Kv.report_section cfg r ]
                  [ ("kv/" ^ rep, m) ]));
+        (* Exit on the warranted verdict: a loss in a voided pair is the
+           one outage f = 1 permits (and the run reports it); any other
+           loss, duplicate, abort or invalid structure is a failure. *)
         if
-          (not r.Kv.res_oracle.Kv.ok)
+          (not r.Kv.res_oracle.Kv.warranted_ok)
           || Harness.Runner.aborted m
           || not m.Harness.Runner.valid
         then exit 1
@@ -950,8 +1009,8 @@ let kv_cmd =
     Term.(
       const run $ rep $ shards $ threads $ ops $ keys $ read $ scan $ transfer
       $ accounts $ machine $ seed $ deadline $ retries $ faults $ rolling
-      $ down_for $ stagger $ broken_retry $ no_replication $ fuzz $ replay
-      $ report_arg)
+      $ down_for $ stagger $ broken_retry $ no_replication $ degraded_for
+      $ resync_batch $ broken_resync $ fuzz $ replay $ report_arg)
 
 (* ---------------- txn ---------------- *)
 

@@ -202,7 +202,7 @@ let crash_events () =
       match e.e_spec.f_action with
       | Fault.Crash -> Some (e.e_tid, e.e_spec.f_point)
       | Fault.Stall _ | Fault.Storm _ | Fault.Shard_crash _
-      | Fault.Shard_recover _ ->
+      | Fault.Shard_recover _ | Fault.Resync_crash _ ->
           None)
     (Fault.events ())
 
@@ -791,11 +791,19 @@ let replay ?(entries = default_entries) s ppf =
    the oracles here are the service's own — the run terminates, the
    stores stay valid, and no acknowledged write is lost or duplicated.
 
-   The generator keeps every plan inside the service's warranties:
-   - at most one shard crash per (primary, replica) pair — the f = 1
-     budget the exactly-once promise is stated under;
-   - client-thread crashes only at op-boundary (between requests, outside
-     any structure lock protocol), so an abort is never excusable;
+   The warranty the oracle judges against is re-armable: each completed
+   resync restores a pair's f = 1 budget, so the generator may schedule
+   many sequential crashes per pair (spaced by a guessed resync window),
+   plus deliberate double-crash-during-resync schedules via
+   [resynccrash]. Crash schedules the service could not absorb void the
+   pair and the oracle excuses their losses ([warranted_ok]), so every
+   plan is legal; what it must never see is:
+   - an acked write lost or duplicated in a pair still under warranty;
+   - a pair that took a crash mid-resync yet claims its warranty back
+     (a fired [Resync_crash] must leave that pair Voided — anything
+     else is a forged re-arm);
+   - client crashes only at op-boundary (between requests, outside any
+     structure lock protocol), so an abort is never excusable;
    - stall/storm durations far below the watchdog's starvation horizon.
    Any failure a fuzz run finds is therefore a real robustness bug, not
    an out-of-warranty plan. *)
@@ -810,13 +818,15 @@ type kv_trial = {
   kv_read : int;  (** read percentage *)
   kv_scan : int;  (** scan percentage *)
   kv_wseed : int;
+  kv_degraded : int;  (** degraded window before a wiped store resyncs *)
+  kv_batch : int;  (** resync copy batch size *)
   kv_plan : Fault.plan;
 }
 
 let kv_to_string tr =
-  Printf.sprintf "kv/%s@%s s%d t%d o%d k%d R%d C%d w%d f%s" tr.kv_rep
+  Printf.sprintf "kv/%s@%s s%d t%d o%d k%d R%d C%d w%d D%d B%d f%s" tr.kv_rep
     tr.kv_topo tr.kv_shards tr.kv_threads tr.kv_ops tr.kv_keys tr.kv_read
-    tr.kv_scan tr.kv_wseed
+    tr.kv_scan tr.kv_wseed tr.kv_degraded tr.kv_batch
     (Fault.to_string tr.kv_plan)
 
 let kv_of_string s =
@@ -852,6 +862,8 @@ let kv_of_string s =
             kv_read = 50;
             kv_scan = 10;
             kv_wseed = 0;
+            kv_degraded = Kv.default_policy.Kv.degraded_cycles;
+            kv_batch = Kv.default_policy.Kv.resync_batch;
             kv_plan = { Fault.seed = 0; specs = [] };
           }
       in
@@ -868,17 +880,20 @@ let kv_of_string s =
             | 'R' -> tr := { !tr with kv_read = parse_int "read pct" v }
             | 'C' -> tr := { !tr with kv_scan = parse_int "scan pct" v }
             | 'w' -> tr := { !tr with kv_wseed = parse_int "workload seed" v }
+            | 'D' -> tr := { !tr with kv_degraded = parse_int "degraded" v }
+            | 'B' -> tr := { !tr with kv_batch = parse_int "batch" v }
             | 'f' -> tr := { !tr with kv_plan = Fault.of_string v }
             | _ -> parse_error "bad token %S" tok)
         toks;
       let tr = !tr in
       if tr.kv_shards < 1 || tr.kv_threads < 1 || tr.kv_ops < 1 then
         parse_error "shards/threads/ops must be positive";
+      if tr.kv_degraded < 0 || tr.kv_batch < 1 then
+        parse_error "degraded window must be >= 0 and batch >= 1";
       tr
 
 let kv_config tr : Kv.config =
   {
-    Kv.default_config with
     Kv.rep = tr.kv_rep;
     nshards = tr.kv_shards;
     threads = tr.kv_threads;
@@ -891,6 +906,12 @@ let kv_config tr : Kv.config =
         Kv.keys = tr.kv_keys;
         read_pct = tr.kv_read;
         scan_pct = tr.kv_scan;
+      };
+    policy =
+      {
+        Kv.default_policy with
+        Kv.degraded_cycles = tr.kv_degraded;
+        resync_batch = tr.kv_batch;
       };
     plan = Some tr.kv_plan;
   }
@@ -916,20 +937,45 @@ let run_kv_trial tr =
   in
   let o = r.Kv.res_oracle in
   let acked =
-    if o.Kv.ok then []
+    if o.Kv.warranted_ok then []
     else
       [
         {
           f_oracle = "acked-write";
           f_detail =
-            Printf.sprintf "%d lost, %d duplicated (of %d acked)"
-              (List.length o.Kv.lost)
+            Printf.sprintf "%d lost in warranty, %d duplicated (of %d acked)"
+              (List.length o.Kv.lost_unwarranted)
               (List.length o.Kv.duplicated)
               o.Kv.acked_writes;
         };
       ]
   in
-  (m, r, live @ valid @ acked)
+  (* Must-drop: a crash that fired mid-resync (a [Resync_crash] only
+     counts hits while its pair is copying) is the pair's second crash
+     before catch-up, and later successful resyncs must not re-arm it.
+     A final warranty other than Voided is a forged re-arm. *)
+  let voided =
+    List.filter_map
+      (fun (e : Fault.event) ->
+        match e.e_spec.f_action with
+        | Fault.Resync_crash { shard; _ } ->
+            let pair = shard mod tr.kv_shards in
+            if r.Kv.res_warranty.(pair) <> Kv.Voided then
+              Some
+                {
+                  f_oracle = "warranty";
+                  f_detail =
+                    Printf.sprintf
+                      "crash fired mid-resync on pair %d yet warranty is %s \
+                       (must drop to voided)"
+                      pair
+                      (Kv.warranty_name r.Kv.res_warranty.(pair));
+                }
+            else None
+        | _ -> None)
+      (Fault.events ())
+  in
+  (m, r, live @ valid @ acked @ voided)
 
 let kv_reps = [| "ht-optik"; "ll-optik"; "ll-harris"; "sl-optik" |]
 
@@ -943,26 +989,47 @@ let gen_kv_trial rng =
   let kv_read = Rng.below rng 90 in
   let kv_scan = Rng.below rng (91 - kv_read) in
   let kv_wseed = Rng.below rng 1_000_000 in
+  let kv_degraded = 2_000 + Rng.below rng 60_000 in
+  let kv_batch = 8 lsl Rng.below rng 5 (* 8..128 *) in
   let seed = Rng.below rng 1_000_000 in
   let specs = ref [] in
-  (* Shard faults: per pair, maybe one crash of the primary or the
-     replica (never both — the f = 1 budget), down for a finite window,
-     until a recover later in the plan, or forever. *)
+  (* Shard faults: per pair, a short sequence of crashes. The re-armable
+     warranty makes any schedule legal — crashes the resync absorbs are
+     judged strictly, crashes that land before catch-up void the pair
+     and the oracle excuses it — so the generator need not ration the
+     f = 1 budget; it spaces crashes by a guessed resync window to give
+     re-arms a chance, and sometimes aims a [resynccrash] at the
+     recovery window on purpose (the double-crash-during-resync
+     family). *)
   for i = 0 to kv_shards - 1 do
-    if Rng.below rng 2 = 0 then begin
+    let ncrashes = Rng.below rng 3 in
+    let hits = ref 0 in
+    for c = 0 to ncrashes - 1 do
       let store = if Rng.below rng 2 = 0 then i else kv_shards + i in
       let point = points.(Rng.below rng (Array.length points)) in
-      let hits = 1 + Rng.below rng (min 200 kv_ops) in
+      hits := !hits + 1 + Rng.below rng (min 200 kv_ops);
       let r = Rng.below rng 3 in
       let down_for = if r = 0 then 0 else 2_000 + Rng.below rng 100_000 in
-      specs :=
-        Fault.shard_crash ~hits ~down_for store point :: !specs;
+      specs := Fault.shard_crash ~hits:!hits ~down_for store point :: !specs;
       if r = 0 && Rng.below rng 2 = 0 then
         specs :=
-          Fault.shard_recover ~hits:(hits + 1 + Rng.below rng 50) store
+          Fault.shard_recover ~hits:(!hits + 1 + Rng.below rng 50) store
             Rt.Rt_intf.Op_boundary
+          :: !specs;
+      (* Double-crash-during-resync: crash the pair's other store a few
+         hits into the repair the crash above provokes ([resynccrash]
+         hits only count while the pair is mid-copy, so placement needs
+         no timing knowledge). *)
+      if c = ncrashes - 1 && Rng.below rng 3 = 0 then begin
+        let other = if store < kv_shards then kv_shards + i else i in
+        specs :=
+          Fault.resync_crash
+            ~hits:(1 + Rng.below rng 8)
+            ~down_for:(2_000 + Rng.below rng 50_000)
+            other Rt.Rt_intf.Op_boundary
           :: !specs
-    end
+      end
+    done
   done;
   (* Client faults: crashes only between requests (op-boundary — outside
      any lock protocol, so aborts are never excusable), stalls and storms
@@ -998,6 +1065,8 @@ let gen_kv_trial rng =
     kv_read;
     kv_scan;
     kv_wseed;
+    kv_degraded;
+    kv_batch;
     kv_plan = { Fault.seed; specs = List.rev !specs };
   }
 
@@ -1030,6 +1099,18 @@ let kv_candidates tr =
                       }
                       specs);
                ]
+           | Fault.Resync_crash { shard; down_for } when down_for > 4_000 ->
+               [
+                 with_specs
+                   (replace_nth i
+                      {
+                        sp with
+                        f_action =
+                          Fault.Resync_crash
+                            { shard; down_for = down_for / 2 };
+                      }
+                      specs);
+               ]
            | _ -> [])
          specs)
   in
@@ -1037,7 +1118,13 @@ let kv_candidates tr =
     (if tr.kv_threads > 2 then [ { tr with kv_threads = tr.kv_threads - 1 } ]
      else [])
     @ (if tr.kv_ops > 100 then [ { tr with kv_ops = tr.kv_ops / 2 } ] else [])
-    @ if tr.kv_keys > 64 then [ { tr with kv_keys = tr.kv_keys / 2 } ] else []
+    @ (if tr.kv_keys > 64 then [ { tr with kv_keys = tr.kv_keys / 2 } ]
+       else [])
+    @ (if tr.kv_degraded > 2_000 then
+         [ { tr with kv_degraded = tr.kv_degraded / 2 } ]
+       else [])
+    @ if tr.kv_batch > 8 then [ { tr with kv_batch = tr.kv_batch / 2 } ]
+      else []
   in
   drops @ windows @ dims
 

@@ -113,13 +113,14 @@ val replay : ?entries:entry list -> string -> Format.formatter -> int
 
 (** {1 KV service fuzzing}
 
-    Randomized trials over the sharded KV service ({!Kv}): shard
-    crash/recover faults, client crashes (op-boundary only), stalls and
-    storms, generated inside the service's warranties — at most one
-    shard crash per (primary, replica) pair, the f = 1 budget of the
-    exactly-once promise — so any reported failure is a real bug. The
-    oracles are the service's own: the run terminates, the stores stay
-    valid, and no acknowledged write is lost or duplicated. *)
+    Randomized trials over the sharded KV service ({!Kv}): sequences of
+    shard crashes per pair (the resync path re-arms the f = 1 budget,
+    so multi-crash schedules are legal), deliberate crash-during-resync
+    schedules ([resynccrash]), client crashes (op-boundary only),
+    stalls and storms. The oracles are the service's own: the run
+    terminates, the stores stay valid, no acknowledged write is lost or
+    duplicated while its pair is under warranty, and a pair that took a
+    crash mid-resync ends Voided (anything else is a forged re-arm). *)
 
 type kv_trial = {
   kv_rep : string;  (** service representation ({!Kv.rep_names}) *)
@@ -131,11 +132,13 @@ type kv_trial = {
   kv_read : int;
   kv_scan : int;
   kv_wseed : int;
+  kv_degraded : int;  (** degraded window before a wiped store resyncs *)
+  kv_batch : int;  (** resync copy batch size *)
   kv_plan : Sim.Fault.plan;
 }
 
 val kv_to_string : kv_trial -> string
-(** [kv/REP@topo sN tN oN kN RN CN wN fPLAN]. *)
+(** [kv/REP@topo sN tN oN kN RN CN wN DN BN fPLAN]. *)
 
 val kv_of_string : string -> kv_trial
 (** Inverse of {!kv_to_string}; raises [Invalid_argument] on parse

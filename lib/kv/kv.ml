@@ -35,16 +35,26 @@
     one), so visibility is countable per request even though the registry
     structures cannot be enumerated.
 
-    {2 The f = 1 warranty}
+    {2 The re-armable f = 1 warranty}
 
-    Replication degree is 2 and the structures have no enumeration, so a
-    wiped store cannot be resynced from its peer. The exactly-once
-    promise therefore holds for plans with {e at most one crash per
-    (primary, replica) pair over the run} — the classic f = 1 failure
-    budget. Single-copy acks (peer down at refresh) are sound because
-    they only happen once the pair's budget is already spent.
-    {!rolling_plan} and the chaos generator respect the budget; the
-    negative tests break the policy instead of the budget. *)
+    Replication degree is 2, so each (primary, replica) pair tolerates
+    one crash between repairs — the classic f = 1 failure budget. A
+    crash {e spends} the pair's budget; a second crash before the wiped
+    copy has caught back up {e voids} the warranty (acked writes may
+    genuinely be lost, and the oracle excuses exactly those). What makes
+    the budget renewable is {e resync} (anti-entropy): once a recovered
+    store exits its degraded window, the first request to observe it
+    copies the surviving peer's contents over in bounded batches
+    ([fold] snapshot of the key set, live per-key re-read with OPTIK
+    version-token revalidation), while concurrent writes are
+    dual-written to both copies. Epoch fencing aborts the copy if
+    either side crashes mid-repair. On catch-up the pair is back to two
+    live copies and the budget {e re-arms}, so {!rolling_plan} and the
+    chaos generator can legally schedule many sequential crashes per
+    pair. Single-copy acks (peer down at refresh) are sound because
+    they only happen once the pair's budget is already spent. The
+    negative controls ([--broken-resync]) skip the dual-write or the
+    fence and must be caught by the oracle. *)
 
 module R = Harness.Registry
 module Rng = Harness.Rng
@@ -64,8 +74,19 @@ type policy = {
           negative test — every retry writes a fresh element, so a retry
           after a lost ack duplicates the visible effect) *)
   degraded_cycles : int;
-      (** a freshly recovered node reports [Recovering] for this long;
-          scans shed on it, point ops proceed *)
+      (** a freshly recovered node reports [Recovering] for this long
+          before resync may start; scans shed on it, point ops proceed *)
+  resync_batch : int;  (** keys copied per resync batch *)
+  resync_dual_write : bool;
+      (** writes during a resync also go to the catching-up copy (off:
+          the resync loss negative test — writes acked during the copy
+          window live only in the survivor and vanish at its next
+          crash, which the re-armed warranty no longer excuses) *)
+  resync_fencing : bool;
+      (** abort the copy — and refuse to re-arm — when either side's
+          crash epoch moves mid-resync (off: the warranty forgery
+          negative test — a fenceless copier "completes" against a
+          crashed source and re-arms a voided pair) *)
 }
 
 let default_policy =
@@ -77,10 +98,17 @@ let default_policy =
     replicate = true;
     idempotent = true;
     degraded_cycles = 50_000;
+    resync_batch = 64;
+    resync_dual_write = true;
+    resync_fencing = true;
   }
 
 let broken_retry_policy = { default_policy with idempotent = false }
 let no_replication_policy = { default_policy with replicate = false }
+
+let broken_resync_policy = function
+  | `Dual_write -> { default_policy with resync_dual_write = false }
+  | `Fencing -> { default_policy with resync_fencing = false }
 
 type workload = {
   keys : int;  (** key space [1 .. keys] *)
@@ -202,6 +230,17 @@ let store_valid (Store { sops = (module S); st; _ }) = S.validate st
 let store_put (Store { sops = (module S); st; _ }) k v = S.insert st k v
 let store_get (Store { sops = (module S); st; _ }) k = S.search st k
 
+(* Resync primitives: snapshot enumeration plus the versioned-read /
+   commit-check pair the copier uses to revalidate each copied key. *)
+let store_fold (Store { sops = (module S); st; _ }) f acc = S.fold st f acc
+let store_delete (Store { sops = (module S); st; _ }) k = S.delete st k
+
+let store_read_versioned (Store { sops = (module S); st; _ }) k =
+  S.read_versioned st k
+
+let store_commit_check (Store { sops = (module S); st; _ }) tok =
+  S.commit_check st tok
+
 (* The transaction layer over the service's own runtime. Packing a store
    re-uses its structure's (lazily allocated) versioned overlay, so
    per-request packing is cheap and objects stay valid as long as the
@@ -219,6 +258,32 @@ let store_wipe (Store ({ sops = (module S); _ } as s)) =
    nshards + i. [n_epoch] is the last crash count the service observed —
    a mismatch against [Fault.shard_crash_count] means the store crashed
    (and conceptually lost everything) since we last looked. *)
+(* Per-node recovery state machine:
+
+     Healthy --crash--> Crashed --back up--> Wiped --degraded window
+       ^                                       | elapses, peer live
+       |                                       v
+       +-- next refresh <-- Caught_up <-- Resyncing
+
+   [Crashed] covers "crash observed, store wiped, node still down";
+   [Wiped] is up but empty (serving, degraded); [Resyncing] while the
+   batched copy is in flight (an epoch fence aborts back to [Wiped]);
+   [Caught_up] is the copy's completion, promoted to [Healthy] — with a
+   timeline event — by the next refresh that observes it. *)
+type nstate = Healthy | Crashed | Wiped | Resyncing | Caught_up
+
+(* The pair's f = 1 failure budget. [Armed]: a crash is survivable.
+   [Spent]: one copy is behind; a successful resync re-arms. [Voided]:
+   a second crash hit before catch-up — acked writes may be gone for
+   good, and the oracle excuses losses only here. Terminal: resync still
+   repairs a voided pair's stores, but never re-arms it. *)
+type warranty = Armed | Spent | Voided
+
+let warranty_name = function
+  | Armed -> "armed"
+  | Spent -> "spent"
+  | Voided -> "voided"
+
 type node = {
   n_id : int;
   n_label : string;
@@ -226,9 +291,16 @@ type node = {
   mutable n_epoch : int;
   mutable n_was_down : bool;
   mutable n_recovered_at : int;
+  mutable n_state : nstate;
 }
 
-type shard = { primary : node; replica : node }
+type shard = {
+  primary : node;
+  replica : node;
+  mutable s_warranty : warranty;
+  mutable s_resync : bool;  (** a copy is in flight on this pair *)
+}
+
 type health = Up | Recovering | Down
 
 type shard_counters = {
@@ -237,6 +309,10 @@ type shard_counters = {
   c_sheds : Probe.counter;
   c_failovers : Probe.counter;  (** requests served by the replica *)
   c_wipes : Probe.counter;
+  c_resync_keys : Probe.counter;  (** keys copied into this pair *)
+  c_resync_batches : Probe.counter;
+  c_resync_dual : Probe.counter;  (** writes landed on a resyncing copy *)
+  c_resync_aborted : Probe.counter;  (** copies abandoned at the fence *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -259,9 +335,18 @@ type req = {
 }
 
 type oracle = {
-  ok : bool;
+  ok : bool;  (** strict exactly-once: nothing lost or duplicated at all *)
+  warranted_ok : bool;
+      (** the service-level verdict: no duplicates, conservation holds,
+          and every lost acked write belongs to a pair whose warranty is
+          honestly [Voided] (a double crash before catch-up — the one
+          loss the f = 1 contract permits). A loss in an [Armed] or
+          [Spent] pair means the re-arm machinery forged a warranty:
+          exactly what the broken-resync controls must trip. *)
   acked_writes : int;
   lost : (int * int) list;  (** (uid, key): acked, nothing visible *)
+  lost_unwarranted : (int * int) list;
+      (** the subset of [lost] in pairs that are not [Voided] *)
   duplicated : (int * int * int) list;
       (** (uid, key, copies): acked, several attempt-elements visible *)
   ghost_writes : int;
@@ -276,6 +361,7 @@ type oracle = {
 type result = {
   res_oracle : oracle;
   res_events : string list;  (** failover timeline, chronological *)
+  res_warranty : warranty array;  (** per pair, post-quiesce *)
   res_shard_sizes : (int * int) array;  (** (primary, replica) per shard *)
   res_shard_lat : Harness.Pstats.summary array;
       (** request latency per home shard (the shard the key routes to),
@@ -290,12 +376,17 @@ let class_timeout = 3
 let class_shed = 4
 let class_transfer = 5
 
-(* The transfer class exists only when transfers are enabled, keeping
-   the measured output of transfer-free configurations byte-identical to
-   the pre-transfer service. *)
-let lat_classes_of (w : workload) =
-  if w.transfer_pct > 0 then Array.append lat_classes [| "transfer" |]
-  else lat_classes
+(* The transfer class exists only when transfers are enabled, and the
+   resync class only under a fault plan (resync runs after crashes, and
+   only fault plans crash stores), keeping the measured output of
+   transfer-free / fault-free configurations byte-identical to the
+   pre-transfer / pre-resync service. *)
+let lat_classes_of ?(faulty = false) (w : workload) =
+  let c =
+    if w.transfer_pct > 0 then Array.append lat_classes [| "transfer" |]
+    else lat_classes
+  in
+  if faulty then Array.append c [| "resync" |] else c
 
 (* ------------------------------------------------------------------ *)
 (* The service                                                         *)
@@ -320,6 +411,10 @@ type t = {
   k_acked : Probe.counter;
   k_wipes : Probe.counter;
   k_transfers : Probe.counter;
+  k_resyncs : Probe.counter;  (** copies completed (pair caught up) *)
+  k_resync_aborts : Probe.counter;
+  k_rearms : Probe.counter;  (** warranties restored by a catch-up *)
+  resync_lat : Harness.Pstats.t;  (** completed-copy durations *)
   t_mgr : KT.t option;  (** transaction manager, when transfers are on *)
 }
 
@@ -351,6 +446,7 @@ let create (cfg : config) : t =
       n_epoch = 0;
       n_was_down = false;
       n_recovered_at = 0;
+      n_state = Healthy;
     }
   in
   let shards =
@@ -358,6 +454,8 @@ let create (cfg : config) : t =
         {
           primary = node i (Printf.sprintf "s%d" i);
           replica = node (cfg.nshards + i) (Printf.sprintf "s%dr" i);
+          s_warranty = Armed;
+          s_resync = false;
         })
   in
   let shard_ctr =
@@ -369,6 +467,10 @@ let create (cfg : config) : t =
           c_sheds = c "sheds";
           c_failovers = c "failovers";
           c_wipes = c "wipes";
+          c_resync_keys = c "resync-keys-copied";
+          c_resync_batches = c "resync-batches";
+          c_resync_dual = c "resync-dual-writes";
+          c_resync_aborted = c "resync-aborted";
         })
   in
   let w = cfg.workload in
@@ -412,24 +514,182 @@ let create (cfg : config) : t =
     k_acked = Probe.counter "kv.acked-writes";
     k_wipes = Probe.counter "kv.wipes";
     k_transfers = Probe.counter "kv.transfers";
+    k_resyncs = Probe.counter "kv.resyncs";
+    k_resync_aborts = Probe.counter "kv.resync-aborts";
+    k_rearms = Probe.counter "kv.rearms";
+    resync_lat = Harness.Pstats.create ();
     t_mgr;
   }
 
+(* Each observed crash spends one unit of the pair's budget. [post_run]
+   crashes (found by quiesce) use the post-run event timestamp. *)
+let spend_budget ?(post_run = false) t si =
+  let sh = t.shards.(si) in
+  let say msg =
+    if post_run then t.events_rev <- (max_int, msg) :: t.events_rev
+    else push_event t msg
+  in
+  match sh.s_warranty with
+  | Armed ->
+      sh.s_warranty <- Spent;
+      say (Printf.sprintf "s%d pair budget spent (f=1)" si)
+  | Spent ->
+      sh.s_warranty <- Voided;
+      say (Printf.sprintf "s%d pair warranty VOIDED (crash before catch-up)" si)
+  | Voided -> ()
+
+(* Small-list split for the batched copier. *)
+let rec take n = function
+  | [] -> ([], [])
+  | l when n <= 0 -> ([], l)
+  | x :: tl ->
+      let a, b = take (n - 1) tl in
+      (x :: a, b)
+
+(* The batched copier: refill [dst] from its surviving peer [src].
+
+   Snapshot = the key set folded up front; each key is then re-read
+   {e live} at copy time ([read_versioned]) and its OPTIK version token
+   re-checked after the write lands ([commit_check]), so a transactional
+   commit racing the copy can never resurrect a stale value — the copier
+   drops its write and re-pulls. (Plain element inserts are
+   immutable-per-key, so tokens only move for keys transactions own.)
+   Keys the dual-write path already delivered to [dst] are skipped; keys
+   deleted (or wiped) since the snapshot read back [None] and are not
+   resurrected. That last rule is what gives the epoch fence teeth: a
+   fenceless copier walking a crashed-and-wiped source "completes" with
+   every unvisited key silently dropped.
+
+   Fencing: before every batch, and once more before declaring
+   catch-up, both nodes' crash counts are compared against the values
+   captured at start; any movement aborts — the pair lost a copy
+   mid-repair, and re-arming would forge a warranty. The abort leaves
+   [dst] as [Wiped], so a later request retries the repair (a voided
+   pair still gets its stores fixed; it just never re-arms).
+
+   Runs inline in the first client thread that observes the node past
+   its degraded window — the repair cost lands in that request's
+   latency (and in the dedicated "resync" class). *)
+let do_resync t si ~src ~dst =
+  let p = t.cfg.policy in
+  let sh = t.shards.(si) in
+  let ctr = t.shard_ctr.(si) in
+  sh.s_resync <- true;
+  dst.n_state <- Resyncing;
+  let t0 = Sim.Sched.now () in
+  let src_e0 = Sim.Fault.shard_crash_count src.n_id in
+  let dst_e0 = Sim.Fault.shard_crash_count dst.n_id in
+  push_event t
+    (Printf.sprintf "s%d resync %s <- %s started" si dst.n_label src.n_label);
+  let keys = List.rev (store_fold src.n_store (fun k _ acc -> k :: acc) []) in
+  let fenced () =
+    p.resync_fencing
+    && (Sim.Fault.shard_crash_count src.n_id <> src_e0
+       || Sim.Fault.shard_crash_count dst.n_id <> dst_e0)
+  in
+  let copy_key k =
+    if store_get dst.n_store k = None then begin
+      let rec pull tries =
+        match store_read_versioned src.n_store k with
+        | None, _ -> ()  (* gone since the snapshot: do not resurrect *)
+        | Some v, tok ->
+            ignore (store_put dst.n_store k v : bool);
+            if not (store_commit_check src.n_store tok) && tries < 3 then begin
+              (* a commit raced the copy: drop ours, re-pull fresh *)
+              ignore (store_delete dst.n_store k : int option);
+              pull (tries + 1)
+            end
+      in
+      pull 0;
+      Probe.incr ctr.c_resync_keys;
+      Sim.Sched.work 64 (* per-key transfer framing *)
+    end
+  in
+  let rec batches = function
+    | [] -> true
+    | _ when fenced () -> false
+    | ks ->
+        let batch, rest = take p.resync_batch ks in
+        Probe.incr ctr.c_resync_batches;
+        List.iter copy_key batch;
+        Sim.Sched.work 256 (* batch turnaround *);
+        batches rest
+  in
+  (* The fence verdict and the state/warranty transitions it licenses
+     must be one atomic step: [store_size] and event formatting yield,
+     and a crash landing in that window would read the pair as still
+     [Spent] and void a warranty the completed copy had just earned.
+     So: decide, transition, then narrate. *)
+  if batches keys && not (fenced ()) then begin
+    dst.n_state <- Caught_up;
+    Probe.incr t.k_resyncs;
+    Harness.Pstats.record t.resync_lat (Sim.Sched.now () - t0);
+    (* Two live copies again: re-arm the pair's f = 1 budget — but only
+       from [Spent]; a [Voided] pair has (potentially) lost acked writes
+       for good and must stay out of warranty. The fenceless policy
+       skips that guard too: completing against a mid-copy crash and
+       re-arming anyway is precisely the forgery the negative control
+       needs the oracle to catch. *)
+    let rearmed =
+      sh.s_warranty = Spent
+      || ((not p.resync_fencing) && sh.s_warranty = Voided)
+    in
+    if rearmed then begin
+      sh.s_warranty <- Armed;
+      Probe.incr t.k_rearms
+    end;
+    push_event t
+      (Printf.sprintf "s%d resync %s caught up (%d keys)" si dst.n_label
+         (store_size dst.n_store));
+    if rearmed then
+      push_event t (Printf.sprintf "s%d pair budget re-armed (f=1 restored)" si)
+  end
+  else begin
+    dst.n_state <- Wiped;
+    Probe.incr ctr.c_resync_aborted;
+    Probe.incr t.k_resync_aborts;
+    push_event t
+      (Printf.sprintf "s%d resync %s aborted (epoch fence)" si dst.n_label)
+  end;
+  sh.s_resync <- false
+
+(* Start a resync if the pair has none in flight and the peer is usable
+   as a source: live, with no unobserved crash (its epoch must be
+   current, or the snapshot would read conceptually lost contents).
+   When both copies are wiped the same copy runs with whatever the peer
+   still holds — each side refills from the other's remnant and the pair
+   converges; it just never re-arms (two crashes voided it). *)
+let maybe_resync t si dst =
+  let sh = t.shards.(si) in
+  if not sh.s_resync then begin
+    let src = if dst == sh.primary then sh.replica else sh.primary in
+    if
+      Sim.Fault.shard_crash_count src.n_id = src.n_epoch
+      && not (Sim.Fault.shard_down src.n_id)
+    then do_resync t si ~src ~dst
+  end
+
 (* Observe one node: detect crashes (epoch bump → wipe, the contents are
-   lost), then report health. Returns the epoch {e this caller} observed
-   so a writer can later detect a crash that raced its own insert —
-   comparing against [n_epoch] would miss a crash another thread already
-   refreshed away. *)
+   lost, budget spent), advance the recovery state machine — including
+   driving a due resync inline — then report health. Returns the epoch
+   {e this caller} observed so a writer can later detect a crash that
+   raced its own insert — comparing against [n_epoch] would miss a crash
+   another thread already refreshed away. *)
 let refresh t shard_idx node : health * int =
   let e = Sim.Fault.shard_crash_count node.n_id in
   if e <> node.n_epoch then begin
+    let crashes = e - node.n_epoch in
     node.n_epoch <- e;
     store_wipe node.n_store;
     Probe.incr t.k_wipes;
     Probe.incr t.shard_ctr.(shard_idx).c_wipes;
+    node.n_state <- Crashed;
     node.n_recovered_at <- Sim.Sched.now ();
     push_event t
-      (Printf.sprintf "%s crashed (epoch %d): store wiped" node.n_label e)
+      (Printf.sprintf "%s crashed (epoch %d): store wiped" node.n_label e);
+    for _ = 1 to crashes do
+      spend_budget t shard_idx
+    done
   end;
   if Sim.Fault.shard_down node.n_id then begin
     if not node.n_was_down then begin
@@ -444,19 +704,37 @@ let refresh t shard_idx node : health * int =
       node.n_recovered_at <- Sim.Sched.now ();
       push_event t (Printf.sprintf "%s back up" node.n_label)
     end;
-    if
-      node.n_epoch > 0
-      && Sim.Sched.now () - node.n_recovered_at < t.cfg.policy.degraded_cycles
-    then (Recovering, e)
-    else (Up, e)
+    match node.n_state with
+    | Healthy -> (Up, e)
+    | Caught_up ->
+        node.n_state <- Healthy;
+        push_event t (Printf.sprintf "%s healthy" node.n_label);
+        (Up, e)
+    | Resyncing -> (Recovering, e)
+    | Crashed ->
+        node.n_state <- Wiped;
+        (Recovering, e)
+    | Wiped ->
+        if
+          Sim.Sched.now () - node.n_recovered_at
+          < t.cfg.policy.degraded_cycles
+        then (Recovering, e)
+        else begin
+          maybe_resync t shard_idx node;
+          (match node.n_state with
+           | Caught_up | Healthy -> Up
+           | _ -> Recovering),
+          e
+        end
   end
 
 (* Post-run sweep: wipe stores whose crash the service never observed
    (the crash fired after the last request touched them), so the oracle
-   never reads conceptually lost contents. Runs outside the simulation,
-   where [Sched.now () = 0], so it must not consult [shard_down] — an
-   unexpired finite window would look permanently down; epoch comparison
-   alone is the crash signal. *)
+   never reads conceptually lost contents — and spend the pair budgets
+   those crashes consumed, so the warranty the oracle judges against is
+   honest. Runs outside the simulation, where [Sched.now () = 0], so it
+   must not consult [shard_down] — an unexpired finite window would look
+   permanently down; epoch comparison alone is the crash signal. *)
 let quiesce t =
   Array.iteri
     (fun i sh ->
@@ -464,6 +742,7 @@ let quiesce t =
         (fun node ->
           let e = Sim.Fault.shard_crash_count node.n_id in
           if e <> node.n_epoch then begin
+            let crashes = e - node.n_epoch in
             node.n_epoch <- e;
             store_wipe node.n_store;
             Probe.incr t.k_wipes;
@@ -472,7 +751,10 @@ let quiesce t =
               ( max_int,
                 Printf.sprintf "%s crashed (epoch %d): wiped post-run"
                   node.n_label e )
-              :: t.events_rev
+              :: t.events_rev;
+            for _ = 1 to crashes do
+              spend_budget ~post_run:true t i
+            done
           end)
         [ sh.primary; sh.replica ])
     t.shards
@@ -524,11 +806,25 @@ let attempt_put t req =
     Probe.incr t.k_failovers;
     Probe.incr t.shard_ctr.(si).c_failovers
   end;
+  (* Dual-write: a copy that is mid-resync still takes live writes (the
+     copier skips keys already present), so nothing acked during the
+     copy window exists only in the survivor. The broken policy skips
+     the resyncing copy — and must exclude it from the ack equation, or
+     no ack would ever issue — leaving the copy-window writes
+     single-copy after a "successful" catch-up. *)
+  let skip_dual node =
+    (not p.resync_dual_write) && node.n_state = Resyncing
+  in
   let apply node h =
-    h <> Down && (store_insert node.n_store elem || store_mem node.n_store elem)
+    h <> Down && (not (skip_dual node))
+    && (store_insert node.n_store elem || store_mem node.n_store elem)
   in
   let applied_p = apply sh.primary p_h in
   let applied_r = p.replicate && apply sh.replica r_h in
+  if applied_p && sh.primary.n_state = Resyncing then
+    Probe.incr t.shard_ctr.(si).c_resync_dual;
+  if applied_r && sh.replica.n_state = Resyncing then
+    Probe.incr t.shard_ctr.(si).c_resync_dual;
   (* Re-check against the epochs this attempt observed: a crash that
      raced the insert invalidates it even if another thread has already
      refreshed the node. *)
@@ -540,7 +836,10 @@ let attempt_put t req =
   let r_ok = applied_r && not r_crashed in
   let confirmed = p_ok || r_ok in
   let missing =
-    (p_h <> Down && not p_ok) || (p.replicate && r_h <> Down && not r_ok)
+    (p_h <> Down && (not (skip_dual sh.primary)) && not p_ok)
+    || p.replicate && r_h <> Down
+       && (not (skip_dual sh.replica))
+       && not r_ok
   in
   let ambiguous = (applied_p && p_crashed) || (applied_r && r_crashed) in
   if confirmed && (not missing) && not ambiguous then begin
@@ -569,24 +868,34 @@ let do_put t rng ~arrival req =
   in
   go 0
 
-(* Reads route to the primary, failing over to the replica when the
-   primary is down; both down means retry/backoff until the deadline.
-   The probed element is the key's last acked write when there is one —
-   so reads traverse the structure to real depth — and the bare key (a
-   guaranteed miss at realistic cost) otherwise. *)
+(* Reads route to the primary, preferring an [Up] copy over a degraded
+   one — a wiped or mid-resync store serves stale (mostly empty) data,
+   so while exactly one copy is caught up, reads follow it; both down
+   means retry/backoff until the deadline. The probed element is the
+   key's last acked write when there is one — so reads traverse the
+   structure to real depth — and the bare key (a guaranteed miss at
+   realistic cost) otherwise. *)
 let do_get t rng ~arrival key =
   let si = shard_of t key in
   let sh = t.shards.(si) in
   let probe = if t.last_acked.(key) <> 0 then t.last_acked.(key) else key in
+  let failover () =
+    Probe.incr t.k_failovers;
+    Probe.incr t.shard_ctr.(si).c_failovers
+  in
   let rec go n =
     let p_h, _ = refresh t si sh.primary in
     let node =
-      if p_h <> Down then Some sh.primary
+      if p_h = Up then Some sh.primary
       else begin
         let r_h, _ = refresh t si sh.replica in
-        if r_h <> Down then begin
-          Probe.incr t.k_failovers;
-          Probe.incr t.shard_ctr.(si).c_failovers;
+        if r_h = Up then begin
+          failover ();
+          Some sh.replica
+        end
+        else if p_h <> Down then Some sh.primary
+        else if r_h <> Down then begin
+          failover ();
           Some sh.replica
         end
         else None
@@ -770,13 +1079,14 @@ let client t lat tid =
    that is replication, not duplication. Runs post-quiesce, outside the
    simulation, so the membership probes cost nothing. *)
 let check_oracle t : oracle =
-  let lost = ref [] and dup = ref [] in
+  let lost = ref [] and lost_unw = ref [] and dup = ref [] in
   let acked = ref 0 and ghosts = ref 0 in
   Harness.History.Log.iter t.log (fun req ->
       match req.q_kind with
       | Get | Scan -> ()
       | Put ->
-          let sh = t.shards.(shard_of t req.q_key) in
+          let si = shard_of t req.q_key in
+          let sh = t.shards.(si) in
           let visible =
             List.length
               (List.filter
@@ -787,7 +1097,14 @@ let check_oracle t : oracle =
           in
           if req.q_acked then begin
             incr acked;
-            if visible = 0 then lost := (req.q_uid, req.q_key) :: !lost
+            if visible = 0 then begin
+              lost := (req.q_uid, req.q_key) :: !lost;
+              (* A voided pair lost a copy before catching up: the f = 1
+                 contract permits exactly those losses. Anywhere else a
+                 lost ack means the warranty was forged. *)
+              if sh.s_warranty <> Voided then
+                lost_unw := (req.q_uid, req.q_key) :: !lost_unw
+            end
             else if visible > 1 then
               dup := (req.q_uid, req.q_key, visible) :: !dup
           end
@@ -817,8 +1134,10 @@ let check_oracle t : oracle =
   in
   {
     ok = !lost = [] && !dup = [] && conserved;
+    warranted_ok = !lost_unw = [] && !dup = [] && conserved;
     acked_writes = !acked;
     lost = List.rev !lost;
+    lost_unwarranted = List.rev !lost_unw;
     duplicated = List.rev !dup;
     ghost_writes = !ghosts;
     conservation;
@@ -827,18 +1146,29 @@ let check_oracle t : oracle =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
-(* A rolling-failure plan: crash the primaries of shards 0..count-1 in
-   turn, one every [stagger] requests (op-boundary checkpoints are one
-   per client request), each down for [down_for] cycles (0 = until a
-   recover, i.e. forever unless the plan has one). At most one crash per
-   pair, keeping the f = 1 warranty. *)
+(* A rolling-failure plan: [count] crashes dealt round-robin over the
+   shard pairs, one every [stagger] requests (op-boundary checkpoints
+   are one per client request), each down for [down_for] cycles (0 =
+   until a recover, i.e. forever unless the plan has one). Round
+   r = i/nshards alternates which copy is hit — even rounds crash the
+   primary, odd rounds the replica — so a long plan exercises both
+   directions of the resync. Under the re-armable warranty [count] may
+   exceed [nshards]: each pair legally absorbs one crash per completed
+   resync. Such schedules need a finite [down_for] (the pair must heal
+   between its crashes) and a [stagger] that spans the resync window
+   (down_for + degraded_cycles + the copy itself). *)
 let rolling_plan ?(seed = 7) ~nshards ~count ~down_for ~stagger () =
-  let count = min count nshards in
+  if count > nshards && down_for <= 0 then
+    invalid_arg
+      "Kv.rolling_plan: more crashes than pairs needs down_for > 0 (a pair \
+       must heal before its next crash)";
   Sim.Fault.plan ~seed
     (List.init count (fun i ->
+         let pair = i mod nshards and round = i / nshards in
+         let store = if round land 1 = 1 then nshards + pair else pair in
          Sim.Fault.shard_crash
            ~hits:((i + 1) * stagger)
-           ~down_for i Rt.Rt_intf.Op_boundary))
+           ~down_for store Rt.Rt_intf.Op_boundary))
 
 let format_events t =
   List.rev_map
@@ -851,7 +1181,14 @@ let run (cfg : config) : Harness.Runner.measurement * result =
   Dstruct.Sl_common.reset_states ();
   let t = create cfg in
   Probe.reset_all ();
-  let classes = lat_classes_of cfg.workload in
+  (* Arm the resync probe so a plan's [resynccrash] specs can count
+     checkpoints inside copy windows. The fault engine's [clear] (run
+     teardown) resets it, so the closure never outlives the run. *)
+  Sim.Fault.set_resync_probe (fun store ->
+      let n = cfg.nshards in
+      let si = if store < n then store else store - n in
+      si >= 0 && si < n && t.shards.(si).s_resync);
+  let classes = lat_classes_of ~faulty:(cfg.plan <> None) cfg.workload in
   let lat =
     Array.init cfg.threads (fun _ ->
         Array.init (Array.length classes) (fun _ ->
@@ -910,8 +1247,13 @@ let run (cfg : config) : Harness.Runner.measurement * result =
       host_s;
       lat =
         Array.init (Array.length classes) (fun c ->
-            Harness.Pstats.summarize
-              (Array.to_list (Array.map (fun l -> l.(c)) lat)));
+            (* the resync class is recorded service-side (the copier
+               runs inside refresh), not per client thread *)
+            if classes.(c) = "resync" then
+              Harness.Pstats.summarize [ t.resync_lat ]
+            else
+              Harness.Pstats.summarize
+                (Array.to_list (Array.map (fun l -> l.(c)) lat)));
       lat_classes = classes;
       counters = Probe.dump ();
       final_size;
@@ -924,6 +1266,7 @@ let run (cfg : config) : Harness.Runner.measurement * result =
     {
       res_oracle = oracle;
       res_events = format_events t;
+      res_warranty = Array.map (fun sh -> sh.s_warranty) t.shards;
       res_shard_sizes =
         Array.map
           (fun sh ->
@@ -950,6 +1293,9 @@ let policy_json (p : policy) : J.json =
       ("replicate", J.Bool p.replicate);
       ("idempotent", J.Bool p.idempotent);
       ("degraded_cycles", J.Int p.degraded_cycles);
+      ("resync_batch", J.Int p.resync_batch);
+      ("resync_dual_write", J.Bool p.resync_dual_write);
+      ("resync_fencing", J.Bool p.resync_fencing);
     ]
 
 (* The kv-specific report section: the oracle verdict, the failover
@@ -967,8 +1313,10 @@ let report_section (cfg : config) (r : result) : string * J.json =
           J.Obj
             ([
                ("ok", J.Bool o.ok);
+               ("warranted_ok", J.Bool o.warranted_ok);
                ("acked_writes", J.Int o.acked_writes);
                ("lost", J.Int (List.length o.lost));
+               ("lost_unwarranted", J.Int (List.length o.lost_unwarranted));
                ("duplicated", J.Int (List.length o.duplicated));
                ("ghost_writes", J.Int o.ghost_writes);
              ]
@@ -993,6 +1341,7 @@ let report_section (cfg : config) (r : result) : string * J.json =
                         [
                           ("primary_size", J.Int p);
                           ("replica_size", J.Int rr);
+                          ("warranty", J.Str (warranty_name r.res_warranty.(i)));
                           ("n", J.Int s.Harness.Pstats.n);
                           ("p50", J.Int s.Harness.Pstats.p50);
                           ("p95", J.Int s.Harness.Pstats.p95);
@@ -1002,18 +1351,32 @@ let report_section (cfg : config) (r : result) : string * J.json =
                   r.res_shard_sizes)) );
       ] )
 
+(* The printed verdict (and the CLI exit code) follows [warranted_ok]:
+   a loss inside a voided pair is the one outage the f = 1 contract
+   permits, so it prints as a PASS that names the damage; any other
+   loss, any duplicate, or a conservation break is a FAIL. *)
 let pp_oracle ppf (o : oracle) =
-  if o.ok then begin
-    Format.fprintf ppf "oracle: PASS (%d acked writes, %d ghost writes)"
-      o.acked_writes o.ghost_writes;
+  if o.warranted_ok then begin
+    if o.lost = [] then
+      Format.fprintf ppf "oracle: PASS (%d acked writes, %d ghost writes)"
+        o.acked_writes o.ghost_writes
+    else
+      Format.fprintf ppf
+        "oracle: PASS (out of warranty: %d acked writes lost in voided \
+         pairs; %d acked, %d ghost)"
+        (List.length o.lost) o.acked_writes o.ghost_writes;
     match o.conservation with
     | Some (total, expected) ->
         Format.fprintf ppf "@\n  accounts conserved: %d/%d" total expected
     | None -> ()
   end
   else begin
-    Format.fprintf ppf "oracle: FAIL (%d acked writes: %d lost, %d duplicated)"
-      o.acked_writes (List.length o.lost)
+    Format.fprintf ppf
+      "oracle: FAIL (%d acked writes: %d lost in warranty, %d out, %d \
+       duplicated)"
+      o.acked_writes
+      (List.length o.lost_unwarranted)
+      (List.length o.lost - List.length o.lost_unwarranted)
       (List.length o.duplicated);
     (match o.conservation with
     | Some (total, expected) when total <> expected ->
@@ -1024,7 +1387,7 @@ let pp_oracle ppf (o : oracle) =
       (fun (uid, key) ->
         Format.fprintf ppf "@\n  LOST uid=%d key=%d (acked, not visible)" uid
           key)
-      o.lost;
+      o.lost_unwarranted;
     List.iter
       (fun (uid, key, n) ->
         Format.fprintf ppf "@\n  DUPLICATED uid=%d key=%d (%d copies visible)"

@@ -374,9 +374,10 @@ let split_counter name =
      [second-traversals] (ht-java-optik re-traverses the bucket after a
      failed validation), [found-marked-retry] (sl-herlihy retries over a
      logically deleted victim), [aborts] (the transaction layer throws
-     away a whole read/write attempt) and [snapshot-retries] (a
-     read-only transaction re-runs its read phase — re-read work, never
-     an abort).
+     away a whole read/write attempt), [snapshot-retries] (a read-only
+     transaction re-runs its read phase — re-read work, never an abort)
+     and [resync-aborted] (the KV replica copier threw away a partial
+     copy at the epoch fence and a later request redoes it).
    - vfail-*: a validation that failed, classified by cause. The
      transaction layer contributes [txn.vfail-txn-lock] (commit lost the
      validate-and-lock CAS) and [txn.vfail-txn-read] (a read-set entry
@@ -385,7 +386,7 @@ let split_counter name =
      trylock_version returning false). *)
 let restart_metric = function
   | "restarts" | "second-traversals" | "found-marked-retry" | "aborts"
-  | "snapshot-retries" ->
+  | "snapshot-retries" | "resync-aborted" ->
       true
   | _ -> false
 

@@ -42,6 +42,14 @@ type action =
           thread; it flips service-level state the KV layer polls. *)
   | Shard_recover of int
       (** bring logical store [shard] back up (no-op if it is up) *)
+  | Resync_crash of { shard : int; down_for : int }
+      (** like {!Shard_crash}, but checkpoint hits only count while the
+          installed {!set_resync_probe} reports store [shard]'s pair as
+          mid-resync — so [hits = N] means "the Nth checkpoint reached
+          after a resync involving this store's pair starts", landing
+          the crash deterministically inside the copy window no matter
+          when that window opens. With no probe installed it never
+          fires. *)
 
 type spec = {
   f_tid : int option;  (** restrict to one thread; [None] = any thread *)
@@ -79,6 +87,14 @@ let shard_crash ?tid ?(hits = 0) ?(down_for = 0) shard point =
 let shard_recover ?tid ?(hits = 0) shard point =
   { f_tid = tid; f_point = point; f_hits = hits; f_action = Shard_recover shard }
 
+let resync_crash ?tid ?(hits = 0) ?(down_for = 0) shard point =
+  {
+    f_tid = tid;
+    f_point = point;
+    f_hits = hits;
+    f_action = Resync_crash { shard; down_for };
+  }
+
 let plan ~seed specs = { seed; specs }
 
 (** One fired injection, for post-run assertions and reports: which
@@ -99,6 +115,13 @@ let fired_log : event list ref = ref []
    stores — after the run returns. *)
 let shard_epochs : (int, int) Hashtbl.t = Hashtbl.create 16
 let shard_deadlines : (int, int) Hashtbl.t = Hashtbl.create 16
+
+(* Is store [s]'s pair currently mid-resync? Installed by the KV service
+   for the duration of a run; gates {!Resync_crash} hit counting. The
+   default says "no", so resync-targeted specs are inert outside a
+   service that arms the probe. *)
+let resync_probe : (int -> bool) ref = ref (fun _ -> false)
+let set_resync_probe f = resync_probe := f
 
 (** How many times store [s] has crashed under the current plan. A
     service compares this against its last observed value to detect (and
@@ -145,7 +168,10 @@ let handler p =
       if
         (not a.fired)
         && a.spec.f_point = p
-        && match a.spec.f_tid with None -> true | Some t -> t = tid
+        && (match a.spec.f_tid with None -> true | Some t -> t = tid)
+        && match a.spec.f_action with
+           | Resync_crash { shard; _ } -> !resync_probe shard
+           | _ -> true
       then (
         a.remaining <- a.remaining - 1;
         if a.remaining <= 0 then (
@@ -163,7 +189,8 @@ let handler p =
           | Stall n -> Sched.work n
           | Storm { victims; duration } ->
               storm_window := Some (Sched.now () + duration, victims)
-          | Shard_crash { shard; down_for } ->
+          | Shard_crash { shard; down_for } | Resync_crash { shard; down_for }
+            ->
               Hashtbl.replace shard_epochs shard (shard_crash_count shard + 1);
               Hashtbl.replace shard_deadlines shard
                 (if down_for = 0 then max_int else Sched.now () + down_for)
@@ -193,7 +220,8 @@ let install p =
 let clear () =
   Sched.set_fault_hook None;
   active := [||];
-  storm_window := None
+  storm_window := None;
+  resync_probe := (fun _ -> false)
 
 (* [events] stays readable after [clear] (until the next [install]) so a
    harness can assert on what fired after the run returns. *)
@@ -230,6 +258,10 @@ let action_name = function
   | Shard_crash { shard; down_for } ->
       Printf.sprintf "shardcrash(%d:%d)" shard down_for
   | Shard_recover shard -> Printf.sprintf "shardrecover(%d)" shard
+  | Resync_crash { shard; down_for = 0 } ->
+      Printf.sprintf "resynccrash(%d)" shard
+  | Resync_crash { shard; down_for } ->
+      Printf.sprintf "resynccrash(%d:%d)" shard down_for
 
 (* ------------------------------------------------------------------ *)
 (* Plan serialization, for replayable repro strings (the chaos engine's
@@ -241,6 +273,7 @@ let action_name = function
              | 'storm(' N ')' | 'storm(' N ':v' TID ('.' TID)* ')'
              | 'shardcrash(' S ')' | 'shardcrash(' S ':' D ')'
              | 'shardrecover(' S ')'
+             | 'resynccrash(' S ')' | 'resynccrash(' S ':' D ')'
 
    Omitted [,tN] means any thread; omitted [,hN] means the seed-derived
    hit count (f_hits = 0).  [to_string] and [of_string] round-trip
@@ -255,7 +288,7 @@ let spec_to_string sp =
     | Storm { victims; duration } ->
         Printf.sprintf "storm(%d:v%s)" duration
           (String.concat "." (List.map string_of_int victims))
-    | (Shard_crash _ | Shard_recover _) as a -> action_name a
+    | (Shard_crash _ | Shard_recover _ | Resync_crash _) as a -> action_name a
   in
   Printf.sprintf "%s@%s%s%s" action (point_name sp.f_point)
     (match sp.f_tid with None -> "" | Some t -> Printf.sprintf ",t%d" t)
@@ -306,6 +339,13 @@ let action_of_string s =
     | _ -> parse_error "malformed shardcrash %S" s
   else if String.length s >= 13 && String.sub s 0 13 = "shardrecover(" then
     Shard_recover (parse_int "shard" (parse_parens "shardrecover" s))
+  else if String.length s >= 12 && String.sub s 0 12 = "resynccrash(" then
+    match String.split_on_char ':' (parse_parens "resynccrash" s) with
+    | [ sh ] -> Resync_crash { shard = parse_int "shard" sh; down_for = 0 }
+    | [ sh; d ] ->
+        Resync_crash
+          { shard = parse_int "shard" sh; down_for = parse_int "down-for" d }
+    | _ -> parse_error "malformed resynccrash %S" s
   else parse_error "unknown action %S" s
 
 let spec_of_string s =

@@ -274,6 +274,10 @@ let gen_plan =
              without the duration field, so it must round-trip too *)
           (oneof [ return 0; int_range 1 1_000_000 ]);
         map (fun shard -> Fault.Shard_recover shard) (int_range 0 63);
+        map2
+          (fun shard down_for -> Fault.Resync_crash { shard; down_for })
+          (int_range 0 63)
+          (oneof [ return 0; int_range 1 1_000_000 ]);
       ]
   in
   let gen_spec =
@@ -302,6 +306,8 @@ let test_plan_string_examples () =
   check "3;shardcrash(2:5000)@op-boundary,h7";
   check "3;shardcrash(0)@before-cas";
   check "1;shardrecover(4)@op-boundary,h9";
+  check "5;resynccrash(1:15000)@op-boundary,h6";
+  check "5;resynccrash(3)@op-boundary";
   (match Fault.of_string "1;crash@nowhere" with
   | (_ : Fault.plan) -> Alcotest.fail "expected parse error"
   | exception Invalid_argument _ -> ());

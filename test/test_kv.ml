@@ -174,6 +174,162 @@ let test_timeouts_when_pair_down () =
     (List.length r.Kv.res_oracle.Kv.lost <= r.Kv.res_oracle.Kv.acked_writes)
 
 (* ------------------------------------------------------------------ *)
+(* Resync: the anti-entropy path and the re-armable warranty. The
+   rolling config below crashes the SAME pair three times (alternating
+   primary/replica), spaced so each wiped store exits its degraded
+   window and completes a fenced copy before the next crash lands —
+   every crash is absorbed, the budget re-arms each time, and the
+   oracle passes strictly. *)
+
+let resync_policy = { Kv.default_policy with Kv.degraded_cycles = 8_000 }
+
+let resync_rolling_cfg =
+  {
+    Kv.default_config with
+    Kv.nshards = 1;
+    threads = 6;
+    ops = 12_000;
+    seed = 7;
+    workload = { Kv.default_workload with Kv.read_pct = 98; scan_pct = 0 };
+    policy = resync_policy;
+    plan =
+      Some
+        (Kv.rolling_plan ~seed:7 ~nshards:1 ~count:3 ~down_for:15_000
+           ~stagger:3_000 ());
+  }
+
+let test_resync_deterministic () =
+  let key () =
+    let m, r = Kv.run resync_rolling_cfg in
+    (run_key m r, r.Kv.res_warranty)
+  in
+  Alcotest.(check bool) "identical measurement, oracle, timeline, warranty"
+    true
+    (key () = key ())
+
+let test_resync_rearms () =
+  let m, r = Kv.run resync_rolling_cfg in
+  Alcotest.(check bool) "run completed" false (Harness.Runner.aborted m);
+  Alcotest.(check int) "three crashes, three wipes" 3
+    (counters_of m "kv.wipes");
+  Alcotest.(check int) "each wipe repaired" 3 (counters_of m "kv.resyncs");
+  Alcotest.(check int) "budget re-armed after every catch-up" 3
+    (counters_of m "kv.rearms");
+  Alcotest.(check int) "no fence aborts" 0 (counters_of m "kv.resync-aborts");
+  Alcotest.(check bool) "pair ends under warranty" true
+    (r.Kv.res_warranty = [| Kv.Armed |]);
+  if not r.Kv.res_oracle.Kv.ok then
+    Alcotest.failf "oracle failed: %s"
+      (Format.asprintf "%a" Kv.pp_oracle r.Kv.res_oracle)
+
+(* Fold-snapshot consistency: a write-heavy mix keeps writers racing the
+   copier, so the batched fold + OPTIK token revalidation + dual-write
+   must together deliver a post-catch-up replica that agrees with the
+   primary — sizes equal, strict oracle PASS, and the dual-write counter
+   proves the copy really overlapped live writes. *)
+let test_resync_snapshot_under_writers () =
+  let cfg =
+    {
+      resync_rolling_cfg with
+      Kv.ops = 8_000;
+      workload = { Kv.default_workload with Kv.read_pct = 50; scan_pct = 0 };
+      plan =
+        Some
+          (Kv.rolling_plan ~seed:7 ~nshards:1 ~count:1 ~down_for:15_000
+             ~stagger:2_000 ());
+    }
+  in
+  let m, r = Kv.run cfg in
+  Alcotest.(check int) "resync completed" 1 (counters_of m "kv.resyncs");
+  Alcotest.(check bool) "live writes landed during the copy" true
+    (counters_of m "kv-s0.resync-dual-writes" > 0);
+  Alcotest.(check bool) "copies agree after catch-up" true
+    (let p, rp = r.Kv.res_shard_sizes.(0) in
+     p = rp);
+  if not r.Kv.res_oracle.Kv.ok then
+    Alcotest.failf "oracle failed: %s"
+      (Format.asprintf "%a" Kv.pp_oracle r.Kv.res_oracle)
+
+(* Double crash within the resync window: [resynccrash] only counts hits
+   while the pair is mid-copy, so the second crash is guaranteed to land
+   inside the repair. The fence must abort the copy, the pair must drop
+   out of warranty for good (no later re-arm), and the oracle must
+   excuse — not miss — the losses. *)
+let resynccrash_plan =
+  Fault.plan ~seed:7
+    [
+      Fault.shard_crash ~hits:40 ~down_for:15_000 0 Fp.Op_boundary;
+      Fault.resync_crash ~hits:6 ~down_for:15_000 1 Fp.Op_boundary;
+    ]
+
+let resynccrash_cfg =
+  {
+    Kv.default_config with
+    Kv.nshards = 1;
+    threads = 6;
+    ops = 8_000;
+    seed = 7;
+    workload = { Kv.default_workload with Kv.read_pct = 80; scan_pct = 0 };
+    policy = resync_policy;
+    plan = Some resynccrash_plan;
+  }
+
+let test_double_crash_drops_warranty () =
+  let m, r = Kv.run resynccrash_cfg in
+  Alcotest.(check int) "both crashes fired" 2 (counters_of m "kv.wipes");
+  Alcotest.(check bool) "fence aborted the copy" true
+    (counters_of m "kv.resync-aborts" > 0);
+  Alcotest.(check int) "a voided pair never re-arms" 0
+    (counters_of m "kv.rearms");
+  Alcotest.(check bool) "warranty dropped" true
+    (r.Kv.res_warranty = [| Kv.Voided |]);
+  Alcotest.(check bool) "losses excused, not missed" true
+    r.Kv.res_oracle.Kv.warranted_ok;
+  Alcotest.(check (list (pair int int))) "no loss charged to the warranty" []
+    r.Kv.res_oracle.Kv.lost_unwarranted
+
+(* Negative control 3: a resync that skips dual-write loses the writes
+   acked into the primary while the replica was copying — in-warranty
+   losses the oracle must charge. *)
+let test_broken_dual_write_fails () =
+  let cfg =
+    {
+      resync_rolling_cfg with
+      Kv.policy =
+        {
+          (Kv.broken_resync_policy `Dual_write) with
+          Kv.degraded_cycles = 8_000;
+        };
+    }
+  in
+  let _, r = Kv.run cfg in
+  Alcotest.(check bool) "oracle failed" false r.Kv.res_oracle.Kv.warranted_ok;
+  Alcotest.(check bool) "in-warranty losses detected" true
+    (r.Kv.res_oracle.Kv.lost_unwarranted <> [])
+
+(* Negative control 4: a fenceless resync sails past a mid-copy crash of
+   its source, completes against the wiped store and forges the re-arm;
+   the oracle must charge the losses to the (bogus) warranty. The same
+   plan under the correct policy is excused (see must-drop test). *)
+let test_broken_fencing_fails () =
+  let cfg =
+    {
+      resynccrash_cfg with
+      Kv.policy =
+        {
+          (Kv.broken_resync_policy `Fencing) with
+          Kv.degraded_cycles = 8_000;
+        };
+    }
+  in
+  let m, r = Kv.run cfg in
+  Alcotest.(check bool) "forged re-arm happened" true
+    (counters_of m "kv.rearms" > 0);
+  Alcotest.(check bool) "oracle failed" false r.Kv.res_oracle.Kv.warranted_ok;
+  Alcotest.(check bool) "in-warranty losses detected" true
+    (r.Kv.res_oracle.Kv.lost_unwarranted <> [])
+
+(* ------------------------------------------------------------------ *)
 (* Chaos trial grammar round-trip. *)
 
 let test_kv_trial_roundtrip () =
@@ -213,7 +369,11 @@ let test_report_section () =
            let rec at i = i + ls <= l && (String.sub s i ls = sub || at (i + 1)) in
            at 0)
       then Alcotest.failf "report missing %S" sub)
-    [ "\"p999\""; "\"oracle\""; "\"failover_events\""; "\"acked_writes\"" ]
+    [
+      "\"p999\""; "\"oracle\""; "\"failover_events\""; "\"acked_writes\"";
+      "\"degraded_cycles\""; "\"resync_batch\""; "\"warranted_ok\"";
+      "\"warranty\"";
+    ]
 
 let () =
   Alcotest.run "kv"
@@ -239,6 +399,21 @@ let () =
             test_hardening_counters;
           Alcotest.test_case "timeouts when pair down" `Quick
             test_timeouts_when_pair_down;
+        ] );
+      ( "resync",
+        [
+          Alcotest.test_case "seeded multi-crash run deterministic" `Quick
+            test_resync_deterministic;
+          Alcotest.test_case "budget re-arms after each catch-up" `Quick
+            test_resync_rearms;
+          Alcotest.test_case "fold snapshot consistent under writers" `Quick
+            test_resync_snapshot_under_writers;
+          Alcotest.test_case "double crash in resync drops warranty" `Quick
+            test_double_crash_drops_warranty;
+          Alcotest.test_case "broken dual-write fails oracle" `Quick
+            test_broken_dual_write_fails;
+          Alcotest.test_case "broken fencing fails oracle" `Quick
+            test_broken_fencing_fails;
         ] );
       ( "chaos",
         [
