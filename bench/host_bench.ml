@@ -97,6 +97,139 @@ let specs =
           in
           fst (Kv.run cfg));
     };
+    (* The multi-key transaction manager end-to-end: read-set tracking,
+       commit-time validation and ticket ordering on top of the store
+       accesses. *)
+    {
+      s_name = "txn/bank-ll";
+      s_run =
+        (fun () ->
+          let cfg =
+            {
+              Txn.Workload.default_config with
+              Txn.Workload.ops = 8_000;
+              seed = 7;
+            }
+          in
+          fst (Txn.Workload.run cfg));
+    };
+    (* Capacity: 10_000 virtual threads hammering 64 striped counters on
+       a small flat machine. No set semantics — this row isolates the
+       per-thread engine costs (arena records, line table, event heap)
+       that the capacity push targets; it is the gate that a 10k-thread
+       run stays cheap. *)
+    {
+      s_name = "cap/faa-10k";
+      s_run =
+        (fun () ->
+          let nthreads = 10_000 in
+          let topology = Sim.Topology.uniform ~n:4 () in
+          Sim.Sim_rt.Probe.reset_all ();
+          let group = Sim.Sched.fresh_group () in
+          let locs =
+            Array.init 64 (fun _ -> Sim.Sched.loc_packed ~group 0)
+          in
+          let host0 = Unix.gettimeofday () in
+          let stats, outcome =
+            Runner.run_guarded ~topology ~nthreads ~ops_target:40_000
+              (fun tid ->
+                let i = ref tid in
+                while not (Sim.Sched.stop_requested ()) do
+                  ignore (Sim.Sched.faa locs.(!i land 63) 1);
+                  i := !i + 7;
+                  Sim.Sched.tick ();
+                  Sim.Sched.work 32
+                done)
+          in
+          let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
+          {
+            Runner.name = "cap/faa-10k";
+            topo_name = topology.Sim.Topology.name;
+            seed = 7;
+            threads = nthreads;
+            mops = Sim.Sched.mops topology stats;
+            ops = stats.Sim.Sched.ops;
+            wall_s =
+              float_of_int stats.Sim.Sched.wall_cycles
+              /. (topology.Sim.Topology.ghz *. 1e9);
+            eff_update_pct = 0.;
+            reads = stats.Sim.Sched.reads;
+            writes = stats.Sim.Sched.writes;
+            cas = stats.Sim.Sched.cas;
+            cas_failed = stats.Sim.Sched.cas_failed;
+            faa = stats.Sim.Sched.faa;
+            events = stats.Sim.Sched.events;
+            host_s;
+            lat = [||];
+            lat_classes = [||];
+            counters = [];
+            final_size = 0;
+            valid = (match outcome with Runner.Complete -> true | _ -> false);
+            outcome;
+            obs = None;
+          });
+    };
+    (* The fleet driver end-to-end: spawn worker domains, reset each
+       world, run a small batch of quick chaos trials per task. Ops =
+       trials, so ops/host-sec is trials/sec — the number the fleet
+       exists to multiply. Accesses and events are 0 (per-domain probe
+       worlds are torn down with the workers), so only the ops rate is
+       gated. *)
+    {
+      s_name = "fleet/chaos-quick";
+      s_run =
+        (fun () ->
+          let trials = 12 and batch = 3 and seed = 7 in
+          let tasks =
+            List.init
+              ((trials + batch - 1) / batch)
+              (fun b ->
+                let offset = b * batch in
+                let runs = min batch (trials - offset) in
+                Harness.Fleet.task
+                  ~label:(Printf.sprintf "chaos[%d..%d]" offset (offset + runs - 1))
+                  (fun () ->
+                    let buf = Buffer.create 1024 in
+                    let ppf = Format.formatter_of_buffer buf in
+                    let failed =
+                      Chaos.fuzz ~entries:Chaos.quick_entries ~offset
+                        ~summary:false ~runs ~seed ppf
+                    in
+                    Format.pp_print_flush ppf ();
+                    failed))
+          in
+          let jobs = min 4 (Harness.Fleet.default_jobs ()) in
+          let host0 = Unix.gettimeofday () in
+          let fails =
+            Harness.Fleet.map ~jobs ~reset:Chaos.fresh_world tasks
+          in
+          let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
+          let failed = List.fold_left ( + ) 0 fails in
+          {
+            Runner.name = "fleet/chaos-quick";
+            topo_name = "host";
+            seed;
+            threads = jobs;
+            mops = 0.;
+            ops = trials;
+            wall_s = 0.;
+            eff_update_pct = 0.;
+            reads = 0;
+            writes = 0;
+            cas = 0;
+            cas_failed = 0;
+            faa = 0;
+            events = 0;
+            host_s;
+            lat = [||];
+            lat_classes = [||];
+            counters = [];
+            final_size = 0;
+            valid = failed = 0;
+            outcome = Runner.Complete;
+            obs = None;
+          });
+    };
   ]
 
 let measure ?(repeats = 3) (s : spec) =

@@ -601,6 +601,164 @@ let chaos_cmd =
           and counterexample shrinking.")
     Term.(const run $ runs $ seed $ structures $ quick $ replay $ report_arg)
 
+(* ---------------- fleet ---------------- *)
+
+let fleet_cmd =
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("chaos", `Chaos); ("kv", `Kv); ("txn", `Txn) ]) `Chaos
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Which fuzzer to farm out: $(b,chaos) (registry structures), \
+             $(b,kv) (sharded KV service) or $(b,txn) (optimistic \
+             transactions).")
+  in
+  let trials =
+    Arg.(
+      value & opt int 100
+      & info [ "trials" ] ~docv:"N" ~doc:"Total number of random trials.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 10
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Trials per fleet task. Smaller batches balance better across \
+             domains; larger ones amortize per-task world resets. Output \
+             bytes do not depend on the batch size.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Worker domains (default: the host's recommended domain count \
+             minus one). Output bytes do not depend on $(docv): trial i is \
+             always drawn from seed + i*1000003 and every task starts from \
+             a pristine per-domain simulator world.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Fuzzing seed, same seeding scheme as the serial fuzzers.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "For $(b,--kind chaos): restrict to the fast representatives \
+             (no skip lists, no BST).")
+  in
+  let run kind trials batch jobs seed quick report =
+    if trials < 1 then begin
+      Printf.eprintf "fleet: --trials must be >= 1\n";
+      exit 2
+    end;
+    if batch < 1 then begin
+      Printf.eprintf "fleet: --batch must be >= 1\n";
+      exit 2
+    end;
+    let jobs =
+      if jobs = 0 then Harness.Fleet.default_jobs ()
+      else if jobs < 1 then begin
+        Printf.eprintf "fleet: --jobs must be >= 1\n";
+        exit 2
+      end
+      else jobs
+    in
+    let kind_name, fuzz_batch =
+      match kind with
+      | `Chaos ->
+          let entries =
+            if quick then Chaos.quick_entries else Chaos.default_entries
+          in
+          ( "chaos",
+            fun ~offset ~runs ppf ->
+              Chaos.fuzz ~entries ~offset ~summary:false ~runs ~seed ppf )
+      | `Kv ->
+          ( "chaos-kv",
+            fun ~offset ~runs ppf ->
+              Chaos.fuzz_kv ~offset ~summary:false ~runs ~seed ppf )
+      | `Txn ->
+          ( "chaos-txn",
+            fun ~offset ~runs ppf ->
+              Chaos.fuzz_txn ~offset ~summary:false ~runs ~seed ppf )
+    in
+    (* One task per contiguous batch of trial indices. Each task renders
+       into its own buffer with absolute trial indices, so concatenating
+       the buffers in task order reproduces the serial fuzzer's output
+       byte for byte, whatever the jobs/batch split was. *)
+    let tasks =
+      List.init
+        ((trials + batch - 1) / batch)
+        (fun b ->
+          let offset = b * batch in
+          let runs = min batch (trials - offset) in
+          Harness.Fleet.task
+            ~label:(Printf.sprintf "%s[%d..%d]" kind_name offset
+                      (offset + runs - 1))
+            (fun () ->
+              let buf = Buffer.create 4096 in
+              let ppf = Format.formatter_of_buffer buf in
+              let failed = fuzz_batch ~offset ~runs ppf in
+              Format.pp_print_flush ppf ();
+              (failed, Buffer.contents buf)))
+    in
+    let results =
+      with_host_time
+        (Printf.sprintf "fleet %s %d trials (%d jobs)" kind_name trials jobs)
+        (fun _ -> trials)
+        (fun () ->
+          Harness.Fleet.map ~jobs ~reset:Chaos.fresh_world tasks)
+    in
+    let failures = List.fold_left (fun a (f, _) -> a + f) 0 results in
+    let buf = Buffer.create 8192 in
+    List.iter (fun (_, s) -> Buffer.add_string buf s) results;
+    (* The merged summary matches the serial fuzzer's byte for byte (jobs
+       and batch never appear on stdout). *)
+    Buffer.add_string buf
+      (Printf.sprintf "%s: %d/%d trials failed (seed %d)\n" kind_name
+         failures trials seed);
+    let output = Buffer.contents buf in
+    print_string output;
+    (match report with
+    | None -> ()
+    | Some path ->
+        let lines =
+          String.split_on_char '\n' output
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        (* Report params exclude jobs/batch: the report is a function of
+           (kind, trials, seed, quick) alone, so fleets of different
+           widths diff clean. *)
+        write_report path
+          (J.make ~subcommand:"fleet" ~seed:(Some seed)
+             ~params:
+               [
+                 ("kind", J.Str kind_name);
+                 ("trials", J.Int trials);
+                 ("quick", J.Bool quick);
+               ]
+             ~runs:[]
+             ~sections:
+               [
+                 ("failures", J.Int failures);
+                 ("trials", J.Arr (List.map (fun l -> J.Str l) lines));
+               ]));
+    if failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Domain-parallel trial fleet: farm chaos/kv/txn fuzz trials \
+          across worker domains in seeded batches. Byte-identical stdout \
+          for any --jobs/--batch split of the same (kind, trials, seed).")
+    Term.(
+      const run $ kind $ trials $ batch $ jobs $ seed $ quick $ report_arg)
+
 (* ---------------- kv ---------------- *)
 
 let kv_cmd =
@@ -1425,6 +1583,7 @@ let () =
             run_cmd;
             soak_cmd;
             chaos_cmd;
+            fleet_cmd;
             kv_cmd;
             txn_cmd;
             hostperf_cmd;

@@ -747,9 +747,11 @@ let report_failures ppf fs =
     (fun f -> Format.fprintf ppf "           oracle %-16s %s@." f.f_oracle f.f_detail)
     fs
 
-let fuzz ?(entries = default_entries) ~runs ~seed ppf =
+let fuzz ?(entries = default_entries) ?(offset = 0) ?(summary = true) ~runs
+    ~seed ppf =
   let failed = ref 0 in
-  for i = 0 to runs - 1 do
+  for j = 0 to runs - 1 do
+    let i = offset + j in
     let rng = Rng.create (seed + (i * 1_000_003)) in
     let tr = gen_trial entries rng in
     let o = run_trial tr in
@@ -765,7 +767,9 @@ let fuzz ?(entries = default_entries) ~runs ~seed ppf =
         (to_string small)
     end
   done;
-  Format.fprintf ppf "chaos: %d/%d trials failed (seed %d)@." !failed runs seed;
+  if summary then
+    Format.fprintf ppf "chaos: %d/%d trials failed (seed %d)@." !failed runs
+      seed;
   !failed
 
 let replay ?(entries = default_entries) s ppf =
@@ -1157,9 +1161,10 @@ let kv_shrink ?(budget = 60) tr0 =
     !cur
   end
 
-let fuzz_kv ~runs ~seed ppf =
+let fuzz_kv ?(offset = 0) ?(summary = true) ~runs ~seed ppf =
   let failed = ref 0 in
-  for i = 0 to runs - 1 do
+  for j = 0 to runs - 1 do
+    let i = offset + j in
     let rng = Rng.create (seed + (i * 1_000_003)) in
     let tr = gen_kv_trial rng in
     let _, _, fs = run_kv_trial tr in
@@ -1176,8 +1181,9 @@ let fuzz_kv ~runs ~seed ppf =
         (kv_to_string small)
     end
   done;
-  Format.fprintf ppf "chaos-kv: %d/%d trials failed (seed %d)@." !failed runs
-    seed;
+  if summary then
+    Format.fprintf ppf "chaos-kv: %d/%d trials failed (seed %d)@." !failed
+      runs seed;
   !failed
 
 let replay_kv s ppf =
@@ -1381,9 +1387,10 @@ let txn_shrink ?(budget = 60) tr0 =
     !cur
   end
 
-let fuzz_txn ~runs ~seed ppf =
+let fuzz_txn ?(offset = 0) ?(summary = true) ~runs ~seed ppf =
   let failed = ref 0 in
-  for i = 0 to runs - 1 do
+  for j = 0 to runs - 1 do
+    let i = offset + j in
     let rng = Rng.create (seed + (i * 1_000_003)) in
     let tr = gen_txn_trial rng in
     let _, _, fs = run_txn_trial tr in
@@ -1400,8 +1407,9 @@ let fuzz_txn ~runs ~seed ppf =
         (txn_to_string small)
     end
   done;
-  Format.fprintf ppf "chaos-txn: %d/%d trials failed (seed %d)@." !failed runs
-    seed;
+  if summary then
+    Format.fprintf ppf "chaos-txn: %d/%d trials failed (seed %d)@." !failed
+      runs seed;
   !failed
 
 let replay_txn s ppf =
@@ -1417,3 +1425,24 @@ let replay_txn s ppf =
        (List.length fs)
    end);
   List.length fs
+
+(* ------------------------------------------------------------------ *)
+(* World reset                                                         *)
+
+(* Restore every piece of the calling domain's simulator world to
+   process-pristine state: the scheduler (counters, packed-line table,
+   fault hook, noise, heap), the fault engine, the observability journal,
+   the probe cells, and every id source trials allocate from (packing
+   groups, lock handles, transaction oids, skip-list level generators).
+   After this, a trial behaves exactly as it would in a fresh process —
+   the reset the fleet runner applies before each task so batch output
+   is byte-identical to serial output. *)
+let fresh_world () =
+  Sim.Sched.reset_world ();
+  Sim.Fault.reset_world ();
+  Obs.Journal.reset_world ();
+  Sim.Sim_rt.Probe.reset_world ();
+  Rt.Group.reset ();
+  Locks.Handle.reset_ids ();
+  Txn.Workload.T.reset_oids ();
+  Dstruct.Sl_common.reset_states ()

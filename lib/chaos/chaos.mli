@@ -97,6 +97,8 @@ val shrink : ?budget:int -> trial -> trial
 
 val fuzz :
   ?entries:entry list ->
+  ?offset:int ->
+  ?summary:bool ->
   runs:int ->
   seed:int ->
   Format.formatter ->
@@ -105,7 +107,14 @@ val fuzz :
     [seed + i * 1_000_003]), shrinking and reporting each failure with a
     one-line repro ([optik_bench chaos --replay '...']). Returns the
     number of failing trials. Output is byte-deterministic for a given
-    ([entries], [runs], [seed]). *)
+    ([entries], [runs], [seed]).
+
+    [offset] (default 0) starts at trial index [offset] instead of 0:
+    [fuzz ~offset ~runs] runs trials [offset..offset+runs-1] of the same
+    seeded sequence, printing the same absolute indices — so a fleet of
+    batches concatenates to exactly the serial output. [summary] (default
+    true) prints the trailing ["chaos: F/T trials failed"] line; batch
+    runs pass [false] and let the driver print one merged summary. *)
 
 val replay : ?entries:entry list -> string -> Format.formatter -> int
 (** Parse a repro string, run it, report the verdict; returns the number
@@ -150,9 +159,10 @@ val kv_config : kv_trial -> Kv.config
 val run_kv_trial :
   kv_trial -> Harness.Runner.measurement * Kv.result * failure list
 
-val fuzz_kv : runs:int -> seed:int -> Format.formatter -> int
-(** Like {!fuzz} over KV trials (same seeding scheme and output shape);
-    returns the number of failing trials. *)
+val fuzz_kv :
+  ?offset:int -> ?summary:bool -> runs:int -> seed:int -> Format.formatter -> int
+(** Like {!fuzz} over KV trials (same seeding scheme, output shape and
+    batching parameters); returns the number of failing trials. *)
 
 val replay_kv : string -> Format.formatter -> int
 (** Replay one KV trial string; returns its oracle-failure count. *)
@@ -192,10 +202,24 @@ val txn_config : txn_trial -> Txn.Workload.config
 val run_txn_trial :
   txn_trial -> Harness.Runner.measurement * Txn.Workload.result * failure list
 
-val fuzz_txn : runs:int -> seed:int -> Format.formatter -> int
-(** Like {!fuzz} over transaction trials (same seeding scheme and output
-    shape); returns the number of failing trials. *)
+val fuzz_txn :
+  ?offset:int -> ?summary:bool -> runs:int -> seed:int -> Format.formatter -> int
+(** Like {!fuzz} over transaction trials (same seeding scheme, output
+    shape and batching parameters); returns the number of failing
+    trials. *)
 
 val replay_txn : string -> Format.formatter -> int
 (** Replay one transaction trial string; returns its oracle-failure
     count. *)
+
+(** {1 World reset} *)
+
+val fresh_world : unit -> unit
+(** Restore the calling domain's entire simulator world to
+    process-pristine state: scheduler counters/tables/heap
+    ([Sim.Sched.reset_world]), the fault engine, the observability
+    journal, probe cells, and every id source (packing groups, lock
+    handles, transaction oids, skip-list level rngs). Structures created
+    before the reset are invalidated. The fleet runner calls this before
+    every task so a trial's output does not depend on which domain ran
+    it or what ran there before. *)

@@ -2,30 +2,36 @@
    per-thread level generator. Levels follow the usual p = 1/2 geometric
    distribution, capped at [max_level] (supports the paper's largest
    experiment, 65536 elements, comfortably). The generator is a per-thread
-   xorshift so that simulator runs are deterministic. *)
+   xorshift so that simulator runs are deterministic — and the state
+   array is per-domain, so fleet worker domains draw independent,
+   pristine sequences. *)
 
 let max_level = 20
 
-let states = Array.init 128 (fun i -> ref ((0x9E3779B9 * (i + 1)) lxor 0x2545F491))
+let seed_state i = (0x9E3779B9 * (i + 1)) lxor 0x2545F491
+
+let skey : int array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.init 128 seed_state)
 
 let reset_states () =
-  Array.iteri
-    (fun i st -> st := (0x9E3779B9 * (i + 1)) lxor 0x2545F491)
-    states
+  let states = Domain.DLS.get skey in
+  for i = 0 to Array.length states - 1 do
+    states.(i) <- seed_state i
+  done
 
-let xorshift st =
-  let x = !st in
+let xorshift states i =
+  let x = states.(i) in
   let x = x lxor (x lsl 13) in
   let x = x lxor (x lsr 7) in
   let x = x lxor (x lsl 17) in
   let x = x land max_int in
-  st := x;
+  states.(i) <- x;
   x
 
 (* Toplevel index in [0, max_level - 1]: count leading 1-bits of a random
    word (geometric, p = 1/2). *)
 let random_toplevel tid =
-  let x = xorshift states.(tid land 127) in
+  let x = xorshift (Domain.DLS.get skey) (tid land 127) in
   let rec count lvl x =
     if lvl >= max_level - 1 then max_level - 1
     else if x land 1 = 1 then count (lvl + 1) (x lsr 1)

@@ -53,13 +53,16 @@ let scaled mode ops = int_of_float (float_of_int ops *. mode.ops_scale)
    numbered in production order so the same command line always yields
    the same run ids (required for diffing two seeds). *)
 
-let sink : (string * Runner.measurement) list ref = ref []
+let sink_key : (string * Runner.measurement) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let emit desc (m : Runner.measurement) =
+  let sink = Domain.DLS.get sink_key in
   sink := (desc, m) :: !sink;
   m
 
 let drain_measurements () =
+  let sink = Domain.DLS.get sink_key in
   let ms = List.rev !sink in
   sink := [];
   List.mapi (fun i (d, m) -> (Printf.sprintf "r%03d:%s" i d, m)) ms

@@ -4,19 +4,34 @@
     array of samples (16K in the paper) that wraps around when full; at
     the end of a run the per-thread arrays are merged and summarized as
     5th / 25th / 50th / 75th / 95th percentiles (the boxplot values of
-    Figures 7 and 12). *)
+    Figures 7 and 12).
+
+    The sample buffer grows lazily from empty toward the 16K cap. A
+    harness allocates one collector per thread per latency class, so a
+    10k-thread capacity run would otherwise pay 10_000 x classes x 128KB
+    up front — several gigabytes for collectors that mostly record a
+    handful of samples each. *)
 
 type t = {
-  samples : int array;
+  mutable samples : int array;
   mutable n : int;  (** total recorded (may exceed capacity) *)
 }
 
 let capacity = 16_384
 
-let create () = { samples = Array.make capacity 0; n = 0 }
+let create () = { samples = [||]; n = 0 }
 
 let record t v =
-  t.samples.(t.n mod capacity) <- v;
+  let i = t.n mod capacity in
+  (* [i] walks 0,1,2,... until wrap, so it can only step just past the
+     current length — doubling (capped at [capacity]) always covers it. *)
+  if i >= Array.length t.samples then begin
+    let cap' = min capacity (max 64 (2 * Array.length t.samples)) in
+    let s = Array.make cap' 0 in
+    Array.blit t.samples 0 s 0 (Array.length t.samples);
+    t.samples <- s
+  end;
+  t.samples.(i) <- v;
   t.n <- t.n + 1
 
 let count t = t.n

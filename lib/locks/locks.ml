@@ -259,11 +259,19 @@ module Handle = struct
   (* Id-range allocator for handle ids. Creation-order determinism is
      all that matters (ids only ever order lock acquisition); structures
      allocate their ranges single-threadedly at first versioned access,
-     which the deterministic simulator serializes. *)
-  let next_base = ref 0
+     which the deterministic simulator serializes. The counter is
+     domain-local so fleet worker domains allocate independent, pristine
+     sequences. *)
+  let next_base_key : int ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref 0)
 
   let fresh_base n =
+    let next_base = Domain.DLS.get next_base_key in
     let b = !next_base in
     next_base := b + n;
     b
+
+  (* Restart the id sequence (world reset); handles created before the
+     reset must be dropped with their structures. *)
+  let reset_ids () = Domain.DLS.get next_base_key := 0
 end

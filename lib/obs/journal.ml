@@ -3,13 +3,18 @@
     by the scheduler's instrumentation checkpoints, plus per-cache-line
     contention accounting ("hot lines").
 
-    The journal is a process-global single recording session, matching
-    the simulator's single-OS-thread design: a harness calls {!start}
+    The journal is a single recording session {e per domain}, matching
+    the simulator's one-world-per-domain design: a harness calls {!start}
     before a simulated run and {!stop} afterwards to obtain the
     {!record}. While no recording is active every entry point is a cheap
     no-op (one flag check), so probes cost nothing on untraced runs —
     and they {e never} cost virtual time either way, which is what keeps
     traced and untraced runs cycle-identical.
+
+    The entry buffer is an arena: {!stop} hands out a copy of the live
+    prefix and keeps the backing array, so repeated record/stop cycles
+    (soak sweeps, fleet trials) reallocate nothing once the buffer has
+    reached its high-water mark.
 
     Determinism: entries carry only virtual time, thread id and names —
     never cache-line ids or any other allocation-order-dependent value —
@@ -37,30 +42,6 @@ let point_name : Rt.Rt_intf.fault_point -> string = function
   | Op_boundary -> "op-boundary"
 
 (* ------------------------------------------------------------------ *)
-(* Allocation-site attribution                                         *)
-
-(* [Probe.with_site] scopes a label over allocations; the simulator's
-   line allocator calls {!note_line} for every fresh cache line, and the
-   mapping persists across runs (structures are built before the
-   recording starts). The table only grows for lines allocated inside a
-   [with_site] scope, so unlabeled code pays one ref read per line. *)
-
-let cur_site : string option ref = ref None
-let sites : (int, string) Hashtbl.t = Hashtbl.create 256
-
-let with_site site f =
-  let saved = !cur_site in
-  cur_site := Some site;
-  Fun.protect ~finally:(fun () -> cur_site := saved) f
-
-let note_line id =
-  match !cur_site with
-  | None -> ()
-  | Some site -> Hashtbl.replace sites id site
-
-let site_of id = Hashtbl.find_opt sites id
-
-(* ------------------------------------------------------------------ *)
 (* Per-line contention accounting                                      *)
 
 type line_stat = {
@@ -78,70 +59,143 @@ type record = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* The recorder                                                        *)
-
-let recording_flag = ref false
-let recording () = !recording_flag
-
-(* Growable entry buffer. *)
-let buf : entry array ref = ref [||]
-let buf_len = ref 0
+(* The per-domain journal state                                        *)
 
 let dummy_entry = { at = 0; tid = 0; kind = Instant ("", None) }
 
-let push e =
-  let cap = Array.length !buf in
-  if !buf_len = cap then begin
+(* Everything the journal mutates, one instance per domain: the
+   allocation-site scope and line->site table ([Probe.with_site]; the
+   mapping persists across runs because structures are built before the
+   recording starts), the recording flag, the growable entry buffer, and
+   the per-line contention stats. A fresh domain starts with a pristine
+   journal, so fleet worker domains record independently. *)
+type jstate = {
+  mutable j_site : string option;
+  j_sites : (int, string) Hashtbl.t;
+  mutable j_recording : bool;
+  mutable j_buf : entry array;
+  mutable j_len : int;
+  j_lines : (int, line_stat) Hashtbl.t;
+}
+
+let jkey : jstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        j_site = None;
+        j_sites = Hashtbl.create 256;
+        j_recording = false;
+        j_buf = [||];
+        j_len = 0;
+        j_lines = Hashtbl.create 64;
+      })
+
+let[@inline] jstate () = Domain.DLS.get jkey
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-site attribution                                         *)
+
+let with_site site f =
+  let j = jstate () in
+  let saved = j.j_site in
+  j.j_site <- Some site;
+  Fun.protect ~finally:(fun () -> j.j_site <- saved) f
+
+let note_line id =
+  let j = jstate () in
+  match j.j_site with
+  | None -> ()
+  | Some site -> Hashtbl.replace j.j_sites id site
+
+let site_of id = Hashtbl.find_opt (jstate ()).j_sites id
+
+(* ------------------------------------------------------------------ *)
+(* The recorder                                                        *)
+
+let recording () = (jstate ()).j_recording
+
+let push j e =
+  let cap = Array.length j.j_buf in
+  if j.j_len = cap then begin
     let cap' = if cap = 0 then 1024 else 2 * cap in
     let b = Array.make cap' dummy_entry in
-    Array.blit !buf 0 b 0 cap;
-    buf := b
+    Array.blit j.j_buf 0 b 0 cap;
+    j.j_buf <- b
   end;
-  !buf.(!buf_len) <- e;
-  incr buf_len
+  j.j_buf.(j.j_len) <- e;
+  j.j_len <- j.j_len + 1
 
-let line_stats : (int, line_stat) Hashtbl.t = Hashtbl.create 64
+let emit ~at ~tid kind =
+  let j = jstate () in
+  if j.j_recording then push j { at; tid; kind }
 
-let emit ~at ~tid kind = if !recording_flag then push { at; tid; kind }
-
-let stat_of id =
-  match Hashtbl.find_opt line_stats id with
+let stat_of j id =
+  match Hashtbl.find_opt j.j_lines id with
   | Some s -> s
   | None ->
       let s =
         {
           ls_id = id;
-          ls_site = site_of id;
+          ls_site = Hashtbl.find_opt j.j_sites id;
           ls_transfers = 0;
           ls_cas_fails = 0;
           ls_bounces = 0;
           ls_stalls = 0;
         }
       in
-      Hashtbl.add line_stats id s;
+      Hashtbl.add j.j_lines id s;
       s
 
 (* The [on_*] accounting hooks are recording-gated at the caller (the
    scheduler's cost model), so they can assume an active session. *)
-let on_transfer id = let s = stat_of id in s.ls_transfers <- s.ls_transfers + 1
-let on_cas_fail id = let s = stat_of id in s.ls_cas_fails <- s.ls_cas_fails + 1
-let on_bounce id = let s = stat_of id in s.ls_bounces <- s.ls_bounces + 1
-let on_stall id = let s = stat_of id in s.ls_stalls <- s.ls_stalls + 1
+let on_transfer id =
+  let s = stat_of (jstate ()) id in
+  s.ls_transfers <- s.ls_transfers + 1
+
+let on_cas_fail id =
+  let s = stat_of (jstate ()) id in
+  s.ls_cas_fails <- s.ls_cas_fails + 1
+
+let on_bounce id =
+  let s = stat_of (jstate ()) id in
+  s.ls_bounces <- s.ls_bounces + 1
+
+let on_stall id =
+  let s = stat_of (jstate ()) id in
+  s.ls_stalls <- s.ls_stalls + 1
 
 let start () =
-  buf := [||];
-  buf_len := 0;
-  Hashtbl.reset line_stats;
-  recording_flag := true
+  let j = jstate () in
+  j.j_len <- 0;
+  Hashtbl.reset j.j_lines;
+  j.j_recording <- true
 
 let stop () =
-  recording_flag := false;
-  let entries = Array.sub !buf 0 !buf_len in
-  buf := [||];
-  buf_len := 0;
+  let j = jstate () in
+  j.j_recording <- false;
+  let entries = Array.sub j.j_buf 0 j.j_len in
+  (* Keep the backing array (the arena) but drop the entry references so
+     a finished session does not pin its names/blocks until the next. *)
+  Array.fill j.j_buf 0 j.j_len dummy_entry;
+  j.j_len <- 0;
   let lines =
-    Hashtbl.fold (fun _ s acc -> s :: acc) line_stats []
+    Hashtbl.fold (fun _ s acc -> s :: acc) j.j_lines []
     |> List.sort (fun a b -> compare a.ls_id b.ls_id)
   in
-  Hashtbl.reset line_stats;
+  Hashtbl.reset j.j_lines;
   { entries; lines }
+
+(* ------------------------------------------------------------------ *)
+(* World reset                                                         *)
+
+(* Back to process-pristine state: any in-flight recording is abandoned,
+   the site table (which deliberately survives ordinary sessions) is
+   emptied, and the entry arena is released. Part of the fleet runner's
+   per-trial reset. *)
+let reset_world () =
+  let j = jstate () in
+  j.j_site <- None;
+  Hashtbl.reset j.j_sites;
+  j.j_recording <- false;
+  j.j_buf <- [||];
+  j.j_len <- 0;
+  Hashtbl.reset j.j_lines

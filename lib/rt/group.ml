@@ -2,11 +2,21 @@
    {!Rt_intf.RT.atomic_packed}). Each [fresh] call reserves a stride of
    2^16 ids, so callers can address related lines as [base + offset].
    Used both for arrays (slots per line) and for co-locating the fields
-   of one node on one line, the way a C struct would be laid out. *)
+   of one node on one line, the way a C struct would be laid out.
 
-let counter = ref 0
+   The counter is domain-local: group ids feed the simulator's
+   packed-line table, which is itself one-per-domain, so each domain
+   allocating its own id sequence keeps fleet trials byte-identical to
+   serial runs. *)
+
+let key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let stride = 1 lsl 16
 
 let fresh () =
+  let counter = Domain.DLS.get key in
   incr counter;
   !counter * stride
+
+(* Restart the id sequence (world reset). Groups handed out before the
+   reset must not be used to create new locations afterwards. *)
+let reset () = Domain.DLS.get key := 0

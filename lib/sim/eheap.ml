@@ -36,18 +36,53 @@ let create ~dummy =
 
 let length t = t.len
 let is_empty t = t.len = 0
+let capacity t = Array.length t.times
 
-let grow t =
-  let cap = Array.length t.times in
-  let times' = Array.make (2 * cap) 0 in
-  let seqs' = Array.make (2 * cap) 0 in
-  let payloads' = Array.make (2 * cap) t.dummy in
+(* Replace the backing arrays with fresh ones of size [cap] (a power of
+   two, >= t.len). Heap order is index-based, so a straight blit of the
+   live prefix preserves it exactly. *)
+let resize t cap =
+  let times' = Array.make cap 0 in
+  let seqs' = Array.make cap 0 in
+  let payloads' = Array.make cap t.dummy in
   Array.blit t.times 0 times' 0 t.len;
   Array.blit t.seqs 0 seqs' 0 t.len;
   Array.blit t.payloads 0 payloads' 0 t.len;
   t.times <- times';
   t.seqs <- seqs';
   t.payloads <- payloads'
+
+let grow t = resize t (2 * Array.length t.times)
+
+(* Presize for a known burst of pushes (e.g. one event per virtual thread
+   at run start) so the push loop never has to double mid-flight. *)
+let ensure_capacity t n =
+  let cap = ref (Array.length t.times) in
+  if n > !cap then begin
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    resize t !cap
+  end
+
+(* Empty the heap for reuse: drop every pending payload (so abandoned
+   continuations are collectable) and restart the sequence counter, which
+   makes a reused heap indistinguishable from a fresh [create]. The
+   backing arrays are retained — that is the point of reuse. *)
+let clear t =
+  Array.fill t.payloads 0 t.len t.dummy;
+  t.len <- 0;
+  t.seq <- 0
+
+(* Shrink the backing arrays back toward the 64-slot floor after a
+   large run, keeping any live prefix. Called on world reset so a single
+   10k-thread run does not pin megabytes for the rest of the process. *)
+let compact t =
+  let cap = ref 64 in
+  while !cap < t.len do
+    cap := 2 * !cap
+  done;
+  if !cap < Array.length t.times then resize t !cap
 
 let push t time payload =
   if t.len = Array.length t.times then grow t;

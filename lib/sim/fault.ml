@@ -105,41 +105,60 @@ type event = { e_tid : int; e_clock : int; e_ops : int; e_spec : spec }
 
 type armed = { spec : spec; mutable remaining : int; mutable fired : bool }
 
-let active : armed array ref = ref [||]
-let storm_window : (int * int list) option ref = ref None
-let fired_log : event list ref = ref []
+(* All of the engine's mutable state, one instance per domain (like the
+   scheduler world it injects into): the armed plan, the open storm
+   window, the fired log, the logical shard-store tables and the resync
+   probe. A fleet worker domain starts with a pristine engine. *)
+type fstate = {
+  mutable active : armed array;
+  mutable storm_window : (int * int list) option;
+  mutable fired_log : event list;
+  (* Logical shard-store state, keyed by store index. Like [fired_log],
+     these tables survive [clear] (until the next [install]) so a harness
+     can still observe unacknowledged crashes — and wipe the affected
+     stores — after the run returns. *)
+  shard_epochs : (int, int) Hashtbl.t;
+  shard_deadlines : (int, int) Hashtbl.t;
+  (* Is store [s]'s pair currently mid-resync? Installed by the KV
+     service for the duration of a run; gates {!Resync_crash} hit
+     counting. The default says "no", so resync-targeted specs are inert
+     outside a service that arms the probe. *)
+  mutable resync_probe : int -> bool;
+}
 
-(* Logical shard-store state, keyed by store index. Like [fired_log],
-   these tables survive [clear] (until the next [install]) so a harness
-   can still observe unacknowledged crashes — and wipe the affected
-   stores — after the run returns. *)
-let shard_epochs : (int, int) Hashtbl.t = Hashtbl.create 16
-let shard_deadlines : (int, int) Hashtbl.t = Hashtbl.create 16
+let fkey : fstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        active = [||];
+        storm_window = None;
+        fired_log = [];
+        shard_epochs = Hashtbl.create 16;
+        shard_deadlines = Hashtbl.create 16;
+        resync_probe = (fun _ -> false);
+      })
 
-(* Is store [s]'s pair currently mid-resync? Installed by the KV service
-   for the duration of a run; gates {!Resync_crash} hit counting. The
-   default says "no", so resync-targeted specs are inert outside a
-   service that arms the probe. *)
-let resync_probe : (int -> bool) ref = ref (fun _ -> false)
-let set_resync_probe f = resync_probe := f
+let[@inline] fstate () = Domain.DLS.get fkey
+
+let set_resync_probe f = (fstate ()).resync_probe <- f
 
 (** How many times store [s] has crashed under the current plan. A
     service compares this against its last observed value to detect (and
     wipe after) crashes, including crash+auto-recover cycles that
     happened entirely between two of its own accesses. *)
 let shard_crash_count s =
-  Option.value ~default:0 (Hashtbl.find_opt shard_epochs s)
+  Option.value ~default:0 (Hashtbl.find_opt (fstate ()).shard_epochs s)
 
 (** Is store [s] currently down? Auto-recovery is lazy: a finite window
     is removed the first time it is consulted past its deadline (by the
     calling thread's clock, so different threads may briefly disagree —
     exactly like real failure detectors). *)
 let shard_down s =
-  match Hashtbl.find_opt shard_deadlines s with
+  let f = fstate () in
+  match Hashtbl.find_opt f.shard_deadlines s with
   | None -> false
   | Some deadline ->
       if deadline <> max_int && Sched.now () >= deadline then begin
-        Hashtbl.remove shard_deadlines s;
+        Hashtbl.remove f.shard_deadlines s;
         false
       end
       else true
@@ -154,13 +173,14 @@ let derived_hits seed i =
   1 + ((x lxor (x lsr 16)) mod 48)
 
 let handler p =
+  let f = fstate () in
   let tid = Sched.tid () in
   (* A storm in progress stalls its victims at whatever checkpoint they
      reach next, until the window closes. *)
-  (match !storm_window with
+  (match f.storm_window with
   | Some (t_end, victims) ->
       let c = Sched.now () in
-      if c >= t_end then storm_window := None
+      if c >= t_end then f.storm_window <- None
       else if victims = [] || List.mem tid victims then Sched.work (t_end - c)
   | None -> ());
   Array.iter
@@ -170,39 +190,41 @@ let handler p =
         && a.spec.f_point = p
         && (match a.spec.f_tid with None -> true | Some t -> t = tid)
         && match a.spec.f_action with
-           | Resync_crash { shard; _ } -> !resync_probe shard
+           | Resync_crash { shard; _ } -> f.resync_probe shard
            | _ -> true
       then (
         a.remaining <- a.remaining - 1;
         if a.remaining <= 0 then (
           a.fired <- true;
-          fired_log :=
+          f.fired_log <-
             {
               e_tid = tid;
               e_clock = Sched.now ();
               e_ops = Sched.ops_so_far ();
               e_spec = a.spec;
             }
-            :: !fired_log;
+            :: f.fired_log;
           match a.spec.f_action with
           | Crash -> raise Sched.Crashed
           | Stall n -> Sched.work n
           | Storm { victims; duration } ->
-              storm_window := Some (Sched.now () + duration, victims)
+              f.storm_window <- Some (Sched.now () + duration, victims)
           | Shard_crash { shard; down_for } | Resync_crash { shard; down_for }
             ->
-              Hashtbl.replace shard_epochs shard (shard_crash_count shard + 1);
-              Hashtbl.replace shard_deadlines shard
+              Hashtbl.replace f.shard_epochs shard
+                (shard_crash_count shard + 1);
+              Hashtbl.replace f.shard_deadlines shard
                 (if down_for = 0 then max_int else Sched.now () + down_for)
-          | Shard_recover shard -> Hashtbl.remove shard_deadlines shard)))
-    !active
+          | Shard_recover shard -> Hashtbl.remove f.shard_deadlines shard)))
+    f.active
 
 let install p =
-  fired_log := [];
-  storm_window := None;
-  Hashtbl.reset shard_epochs;
-  Hashtbl.reset shard_deadlines;
-  active :=
+  let f = fstate () in
+  f.fired_log <- [];
+  f.storm_window <- None;
+  Hashtbl.reset f.shard_epochs;
+  Hashtbl.reset f.shard_deadlines;
+  f.active <-
     Array.of_list
       (List.mapi
          (fun i sp ->
@@ -218,10 +240,11 @@ let install p =
    quiesces (compares epochs and wipes) after the run — and thus after
    [with_plan]'s cleanup — returns. *)
 let clear () =
+  let f = fstate () in
   Sched.set_fault_hook None;
-  active := [||];
-  storm_window := None;
-  resync_probe := (fun _ -> false)
+  f.active <- [||];
+  f.storm_window <- None;
+  f.resync_probe <- (fun _ -> false)
 
 (* [events] stays readable after [clear] (until the next [install]) so a
    harness can assert on what fired after the run returns. *)
@@ -229,7 +252,19 @@ let with_plan p f =
   install p;
   Fun.protect ~finally:clear f
 
-let events () = List.rev !fired_log
+let events () = List.rev (fstate ()).fired_log
+
+(* Back to process-pristine state, shard tables and fired log included —
+   the engine's part of a fleet trial reset. *)
+let reset_world () =
+  let f = fstate () in
+  Sched.set_fault_hook None;
+  f.active <- [||];
+  f.storm_window <- None;
+  f.fired_log <- [];
+  Hashtbl.reset f.shard_epochs;
+  Hashtbl.reset f.shard_deadlines;
+  f.resync_probe <- (fun _ -> false)
 
 let point_name : point -> string = function
   | Rt.Rt_intf.Before_cas -> "before-cas"

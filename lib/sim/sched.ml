@@ -29,7 +29,22 @@
     strictly before the earliest pending event timestamp and before the end
     of the thread's scheduling window. This fast path is exact — it admits
     only interleavings the slow path could also produce — and makes
-    traversal-heavy simulations run at memory speed. *)
+    traversal-heavy simulations run at memory speed.
+
+    {b Capacity.} Thread records live in a per-domain arena reused across
+    runs, the event heap keeps (and compacts) its backing arrays, and the
+    packed-line table is an open-addressing int table — a 10k-virtual-
+    thread run allocates a handful of arrays up front and then runs with
+    no per-thread or per-event churn.
+
+    {b Isolation.} All of the simulator's mutable world state — current
+    scheduler/thread, the line and group counters, the packed-line table,
+    the fault hook, noise width, the arena and the event heap — lives in
+    one domain-local instance ({!dstate}). Each OCaml domain therefore
+    carries an independent simulator: a fleet runner can farm seeded
+    trials across real domains and each behaves exactly like a fresh
+    process, which is what keeps fleet output byte-identical to serial
+    output. *)
 
 exception Timeout of string
 
@@ -79,9 +94,9 @@ type watchdog = {
 let default_watchdog = { check_events = 0; starve_cycles = 8_000_000 }
 
 type thread = {
-  t_id : int;
-  ctx : int;
-  rank : int;  (** position among threads sharing this context *)
+  t_id : int;  (** equals the arena index; never changes *)
+  mutable ctx : int;
+  mutable rank : int;  (** position among threads sharing this context *)
   mutable residents : int;  (** number of threads sharing this context *)
   mutable clock : int;
   mutable window_end : int;
@@ -111,6 +126,7 @@ type thread = {
 type t = {
   topo : Topology.t;
   quantum : int;
+  epoch : int;  (** the world epoch this run started under *)
   threads : thread array;
   q : (unit -> unit) Eheap.t;
   mutable live : int;
@@ -148,13 +164,63 @@ type t = {
   m_inv : int;
 }
 
-(* The simulator is single-OS-threaded by construction; a pair of global
-   refs identifies the running virtual thread. [None] means "outside any
-   simulation": operations then apply directly with no cost, which lets
-   structures be built, inspected and unit-tested without a scheduler. *)
-let cur_sched : t option ref = ref None
-let cur_thread : thread option ref = ref None
-let epoch = ref 0
+(* ------------------------------------------------------------------ *)
+(* The per-domain world instance                                       *)
+
+(* Never accessed through an operation: it fills empty arena and table
+   slots and is replaced before any thread runs, so its mutable fields
+   are never written (which also makes sharing it across domains safe). *)
+let dummy_line =
+  {
+    id = 0;
+    epoch = 0;
+    writer = -1;
+    sharers = 0;
+    exclusive = false;
+    busy_until = 0;
+    stalls = 0;
+    streaming = false;
+  }
+
+(* Everything the simulator mutates between and during runs, one record
+   per domain. [d_thread = None] means "outside any simulation":
+   operations then apply directly with no cost, which lets structures be
+   built, inspected and unit-tested without a scheduler. A worker domain's
+   first access builds a pristine instance, so every domain starts life
+   exactly like a fresh process. *)
+type dstate = {
+  mutable d_sched : t option;
+  mutable d_thread : thread option;
+  mutable d_epoch : int;
+      (** world epoch, bumped per run; lines from older epochs are cold *)
+  mutable d_lines : int;  (** line-id counter *)
+  mutable d_groups : int;  (** {!fresh_group} counter (negative ids) *)
+  d_packed : line Itbl.t;  (** packing group -> shared line *)
+  mutable d_hook : (Fp.fault_point -> unit) option;
+  mutable d_noise : int;  (** noise width in bits; 62 = full, 0 = off *)
+  mutable d_arena : thread array;
+      (** thread-record arena, grown to the high-water thread count and
+          reused by every run on this domain; slot [i] has [t_id = i] *)
+  d_heap : (unit -> unit) Eheap.t;
+      (** the event heap, cleared (not freed) between runs *)
+}
+
+let dkey : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        d_sched = None;
+        d_thread = None;
+        d_epoch = 0;
+        d_lines = 0;
+        d_groups = 0;
+        d_packed = Itbl.create ~dummy:dummy_line ();
+        d_hook = None;
+        d_noise = 62;
+        d_arena = [||];
+        d_heap = Eheap.create ~dummy:(fun () -> ());
+      })
+
+let[@inline] dstate () = Domain.DLS.get dkey
 
 type _ Effect.t +=
   | Suspend : (thread -> ('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
@@ -167,27 +233,26 @@ type _ Effect.t +=
    when [f] suspends (performs an effect), control returns here normally —
    the handler enqueues the continuation and returns — so the reset runs
    at every suspension point, exactly as the [~finally] did. *)
-let dispatching th f () =
-  cur_thread := th.self;
+let dispatching d th f () =
+  d.d_thread <- th.self;
   match f () with
-  | () -> cur_thread := None
+  | () -> d.d_thread <- None
   | exception e ->
-      cur_thread := None;
+      d.d_thread <- None;
       raise e
 
 (* ------------------------------------------------------------------ *)
 (* Locations                                                           *)
 
-let line_counter = ref 0
-
-let fresh_line ?(streaming = false) () =
-  incr line_counter;
+let new_line d ~streaming =
+  let id = d.d_lines + 1 in
+  d.d_lines <- id;
   (* Attribute the line to the allocation site named by the innermost
      [Probe.with_site] scope, if any (hot-line profiles). *)
-  Obs.Journal.note_line !line_counter;
+  Obs.Journal.note_line id;
   {
-    id = !line_counter;
-    epoch = !epoch;
+    id;
+    epoch = d.d_epoch;
     writer = -1;
     sharers = 0;
     exclusive = false;
@@ -196,40 +261,40 @@ let fresh_line ?(streaming = false) () =
     streaming;
   }
 
+let fresh_line ?(streaming = false) () = new_line (dstate ()) ~streaming
+
 let loc v = { v; line = fresh_line () }
 
 (* Allocate on the same line as an existing location: C-struct field
    co-location (one node = one line). *)
 let loc_with (other : 'b loc) v = { v; line = other.line }
 
-let packed_lines : (int, line) Hashtbl.t = Hashtbl.create 64
-
 (* Locations created with the same [group] share a cache line, modeling
    contiguous allocation: one node's fields, ticket-lock halves,
    array-map slots. [streaming] marks array-like data (pipelined reads);
    the first creator of a group decides. *)
 let loc_packed ?(streaming = false) ~group v =
+  let d = dstate () in
   let line =
-    match Hashtbl.find_opt packed_lines group with
+    match Itbl.find_opt d.d_packed group with
     | Some l -> l
     | None ->
-        let l = fresh_line ~streaming () in
-        Hashtbl.add packed_lines group l;
+        let l = new_line d ~streaming in
+        Itbl.add d.d_packed group l;
         l
   in
   { v; line }
 
-let fresh_group =
-  let c = ref 0 in
-  fun () ->
-    decr c;
-    !c
+let fresh_group () =
+  let d = dstate () in
+  d.d_groups <- d.d_groups - 1;
+  d.d_groups
 
 (* Reset stale coherence state when a line created in an earlier run is
    touched again: it is cold in every cache. *)
-let refresh line =
-  if line.epoch <> !epoch then (
-    line.epoch <- !epoch;
+let refresh (s : t) (line : line) =
+  if line.epoch <> s.epoch then (
+    line.epoch <- s.epoch;
     line.writer <- -1;
     line.sharers <- 0;
     line.exclusive <- false;
@@ -246,7 +311,7 @@ let refresh line =
    prefill, unit tests) entries land at time 0 on thread 0. *)
 let obs_emit kind =
   if Obs.Journal.recording () then
-    match !cur_thread with
+    match (dstate ()).d_thread with
     | Some th -> Obs.Journal.emit ~at:th.clock ~tid:th.t_id kind
     | None -> Obs.Journal.emit ~at:0 ~tid:0 kind
 
@@ -258,11 +323,11 @@ let obs_emit kind =
    ([work]) or raise [Crashed]. The indirection keeps the scheduler free
    of injection policy while letting lock/backoff code report through a
    single entry point. *)
-let fault_hook : (Fp.fault_point -> unit) option ref = ref None
-let set_fault_hook h = fault_hook := h
+let set_fault_hook h = (dstate ()).d_hook <- h
 
 let fault_point (p : Fp.fault_point) =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None -> ()
   | Some th ->
       (match p with
@@ -278,7 +343,7 @@ let fault_point (p : Fp.fault_point) =
          recording test guards the [Point] block allocation itself: with
          tracing off a checkpoint costs one flag load, nothing more. *)
       if Obs.Journal.recording () then obs_emit (Obs.Journal.Point p);
-      (match !fault_hook with None -> () | Some f -> f p);
+      (match d.d_hook with None -> () | Some f -> f p);
       (* The depth decrement happens only after the hook ran: locks report
          [Critical_exit] before the releasing store, so a thread crashed at
          this checkpoint still holds the lock and must still count. *)
@@ -446,13 +511,13 @@ let[@inline] can_inline_work s th cost =
    the operation (line state may have changed) and resumes. The closures
    this allocates only exist on the suspension path, which allocates a
    heap event and an effect continuation anyway. *)
-let suspend_op (type a) s (price : t -> thread -> line option * int * bool)
+let suspend_op (type a) d s (price : t -> thread -> line option * int * bool)
     (sem : unit -> a) : a =
   Effect.perform
     (Suspend
        (fun th k ->
          Eheap.push s.q th.clock
-           (dispatching th (fun () ->
+           (dispatching d th (fun () ->
                 let ready = window_ready th s th.clock in
                 th.clock <- ready;
                 th.window_end <- window_end_of th s ready;
@@ -466,12 +531,13 @@ let suspend_op (type a) s (price : t -> thread -> line option * int * bool)
 (* Public memory operations                                            *)
 
 let read (l : 'a loc) : 'a =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None -> l.v
   | Some th ->
-      let s = match !cur_sched with Some s -> s | None -> assert false in
+      let s = match d.d_sched with Some s -> s | None -> assert false in
       let line = l.line in
-      refresh line;
+      refresh s line;
       s.n_reads <- s.n_reads + 1;
       let cost = read_cost s th line in
       if can_inline_line s th line cost ~serialize:false then begin
@@ -480,19 +546,20 @@ let read (l : 'a loc) : 'a =
         l.v
       end
       else
-        suspend_op s
+        suspend_op d s
           (fun s th -> (Some line, read_cost s th line, false))
           (fun () ->
             apply_read th line;
             l.v)
 
 let write (l : 'a loc) (v : 'a) : unit =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None -> l.v <- v
   | Some th ->
-      let s = match !cur_sched with Some s -> s | None -> assert false in
+      let s = match d.d_sched with Some s -> s | None -> assert false in
       let line = l.line in
-      refresh line;
+      refresh s line;
       s.n_writes <- s.n_writes + 1;
       let cost = own_cost s th line ~rmw:false in
       if can_inline_line s th line cost ~serialize:true then begin
@@ -501,24 +568,25 @@ let write (l : 'a loc) (v : 'a) : unit =
         l.v <- v
       end
       else
-        suspend_op s
+        suspend_op d s
           (fun s th -> (Some line, own_cost s th line ~rmw:false, true))
           (fun () ->
             apply_own th line;
             l.v <- v)
 
 let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None ->
       if l.v == expected then (
         l.v <- desired;
         true)
       else false
   | Some th ->
-      let s = match !cur_sched with Some s -> s | None -> assert false in
+      let s = match d.d_sched with Some s -> s | None -> assert false in
       fault_point Fp.Before_cas;
       let line = l.line in
-      refresh line;
+      refresh s line;
       s.n_cas <- s.n_cas + 1;
       let cost = own_cost s th line ~rmw:true in
       let ok =
@@ -534,7 +602,7 @@ let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
             false)
         end
         else
-          suspend_op s
+          suspend_op d s
             (fun s th -> (Some line, own_cost s th line ~rmw:true, true))
             (fun () ->
               apply_own th line;
@@ -551,15 +619,16 @@ let cas (l : 'a loc) (expected : 'a) (desired : 'a) : bool =
       ok
 
 let faa (l : int loc) (n : int) : int =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None ->
       let old = l.v in
       l.v <- old + n;
       old
   | Some th ->
-      let s = match !cur_sched with Some s -> s | None -> assert false in
+      let s = match d.d_sched with Some s -> s | None -> assert false in
       let line = l.line in
-      refresh line;
+      refresh s line;
       s.n_faa <- s.n_faa + 1;
       let cost = own_cost s th line ~rmw:true in
       if can_inline_line s th line cost ~serialize:true then begin
@@ -570,7 +639,7 @@ let faa (l : int loc) (n : int) : int =
         old
       end
       else
-        suspend_op s
+        suspend_op d s
           (fun s th -> (Some line, own_cost s th line ~rmw:true, true))
           (fun () ->
             apply_own th line;
@@ -579,15 +648,16 @@ let faa (l : int loc) (n : int) : int =
             old)
 
 let exchange (l : 'a loc) (v : 'a) : 'a =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None ->
       let old = l.v in
       l.v <- v;
       old
   | Some th ->
-      let s = match !cur_sched with Some s -> s | None -> assert false in
+      let s = match d.d_sched with Some s -> s | None -> assert false in
       let line = l.line in
-      refresh line;
+      refresh s line;
       s.n_cas <- s.n_cas + 1;
       let cost = own_cost s th line ~rmw:true in
       if can_inline_line s th line cost ~serialize:true then begin
@@ -598,7 +668,7 @@ let exchange (l : 'a loc) (v : 'a) : 'a =
         old
       end
       else
-        suspend_op s
+        suspend_op d s
           (fun s th -> (Some line, own_cost s th line ~rmw:true, true))
           (fun () ->
             apply_own th line;
@@ -608,12 +678,13 @@ let exchange (l : 'a loc) (v : 'a) : 'a =
 
 let work (n : int) : unit =
   if n > 0 then
-    match !cur_thread with
+    let d = dstate () in
+    match d.d_thread with
     | None -> ()
     | Some th ->
-        let s = match !cur_sched with Some s -> s | None -> assert false in
+        let s = match d.d_sched with Some s -> s | None -> assert false in
         if can_inline_work s th n then exec_work s th n
-        else suspend_op s (fun _ _ -> (None, n, false)) (fun () -> ())
+        else suspend_op d s (fun _ _ -> (None, n, false)) (fun () -> ())
 
 let pause_cost = 8
 
@@ -623,12 +694,13 @@ let pause_n n = work (pause_cost * n)
 (* Yield gives up the rest of the scheduling window (when oversubscribed)
    or acts as a pause (when not). *)
 let yield () =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None -> ()
   | Some th ->
       if th.residents <= 1 then pause ()
       else
-        let s = match !cur_sched with Some s -> s | None -> assert false in
+        let s = match d.d_sched with Some s -> s | None -> assert false in
         Effect.perform
           (Suspend
              (fun th k ->
@@ -639,7 +711,7 @@ let yield () =
                let off = if off = 0 then m else off in
                let t' = (slot + off) * q in
                Eheap.push s.q t'
-                 (dispatching th (fun () ->
+                 (dispatching d th (fun () ->
                       th.clock <- max th.clock t';
                       if th.clock > s.end_time then s.end_time <- th.clock;
                       th.window_end <- window_end_of th s th.clock;
@@ -648,18 +720,20 @@ let yield () =
 (* ------------------------------------------------------------------ *)
 (* Run-control helpers exposed to harness code                         *)
 
-let now () = match !cur_thread with None -> 0 | Some th -> th.clock
+let now () =
+  match (dstate ()).d_thread with None -> 0 | Some th -> th.clock
 
 let stop_requested () =
-  match !cur_sched with None -> false | Some s -> s.stop
+  match (dstate ()).d_sched with None -> false | Some s -> s.stop
 
 let tick () =
-  match !cur_sched with
+  let d = dstate () in
+  match d.d_sched with
   | None -> ()
   | Some s ->
       s.ops <- s.ops + 1;
       if s.ops_target > 0 && s.ops >= s.ops_target then s.stop <- true;
-      (match !cur_thread with
+      (match d.d_thread with
       | None -> ()
       | Some th ->
           th.ops_done <- th.ops_done + 1;
@@ -670,9 +744,9 @@ let tick () =
           fault_point Fp.Op_boundary)
 
 let request_stop () =
-  match !cur_sched with None -> () | Some s -> s.stop <- true
+  match (dstate ()).d_sched with None -> () | Some s -> s.stop <- true
 
-let tid () = match !cur_thread with None -> 0 | Some th -> th.t_id
+let tid () = match (dstate ()).d_thread with None -> 0 | Some th -> th.t_id
 
 (* Deterministic timing noise: a pure hash of (thread id, virtual clock).
    Identical schedules yield identical noise, preserving run-to-run
@@ -682,32 +756,34 @@ let tid () = match !cur_thread with None -> 0 | Some th -> th.t_id
    [noise () mod span], so few-bit noise repeats over short spans and
    weakens the decorrelation, which is exactly the degraded-timing regime
    the chaos engine fuzzes. *)
-let noise_width = ref 62
 
 (* Disabling noise removes the timing jitter that keeps contending
    threads from phase-locking (see Backoff). Exposed so the liveness
    watchdog's starvation tests can deterministically reproduce the
    phase-locked-handoff incident; restore to [true] afterwards. *)
-let set_noise b = noise_width := if b then 62 else 0
+let set_noise b = (dstate ()).d_noise <- (if b then 62 else 0)
 
 let set_noise_bits n =
   if n < 0 || n > 62 then invalid_arg "Sched.set_noise_bits: want 0..62";
-  noise_width := n
+  (dstate ()).d_noise <- n
 
-let noise_bits () = !noise_width
+let noise_bits () = (dstate ()).d_noise
 
 let noise () =
-  match !cur_thread with
+  let d = dstate () in
+  match d.d_thread with
   | None -> 0
-  | Some _ when !noise_width = 0 -> 0
+  | Some _ when d.d_noise = 0 -> 0
   | Some th ->
       let x = (th.clock * 0x9E3779B1) lxor ((th.t_id + 1) * 0x85EBCA77) in
       let x = x lxor (x lsr 13) in
       let x = (x * 0xC2B2AE35) land max_int in
-      (x lxor (x lsr 16)) land ((1 lsl !noise_width) - 1)
+      (x lxor (x lsr 16)) land ((1 lsl d.d_noise) - 1)
 
 let nthreads () =
-  match !cur_sched with None -> 1 | Some s -> Array.length s.threads
+  match (dstate ()).d_sched with
+  | None -> 1
+  | Some s -> Array.length s.threads
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
@@ -742,7 +818,8 @@ let stats_of s =
     events = s.events;
   }
 
-let ops_so_far () = match !cur_sched with None -> 0 | Some s -> s.ops
+let ops_so_far () =
+  match (dstate ()).d_sched with None -> 0 | Some s -> s.ops
 
 (* ------------------------------------------------------------------ *)
 (* Liveness watchdog                                                   *)
@@ -895,9 +972,11 @@ let pp_report ppf r =
 
 (* The most recent abort's report, kept so a harness catching [Timeout]
    (whose payload is just a string) can still recover partial stats and
-   per-thread progress. *)
-let last_report : report option ref = ref None
-let last_abort_report () = !last_report
+   per-thread progress. Domain-local like the rest of the world state. *)
+let last_report_key : report option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let last_abort_report () = !(Domain.DLS.get last_report_key)
 
 (* Classify the aborting run and build the exception to raise: genuinely
    progressing runs keep the historical [Timeout], stuck ones get the
@@ -905,10 +984,34 @@ let last_abort_report () = !last_report
 let abort_exn s reason =
   let v = classify s in
   let r = build_report s v reason in
-  last_report := Some r;
+  Domain.DLS.get last_report_key := Some r;
   match v with
   | Progress -> Timeout reason
   | Starved _ | Livelocked -> Stalled r
+
+(* ------------------------------------------------------------------ *)
+(* World reset                                                         *)
+
+(* Restore this domain's simulator world to process-pristine state:
+   counters to zero, tables emptied, hook and noise back to defaults,
+   oversized heap arrays compacted. The arena and the heap's (compacted)
+   backing arrays are retained — they are invisible to output. Locations
+   and groups created before the reset must not be used after it: their
+   line ids would collide with newly allocated ones. *)
+let reset_world () =
+  let d = dstate () in
+  if d.d_sched <> None then
+    invalid_arg "Sched.reset_world: cannot reset inside a run";
+  d.d_thread <- None;
+  d.d_epoch <- 0;
+  d.d_lines <- 0;
+  d.d_groups <- 0;
+  Itbl.clear d.d_packed;
+  d.d_hook <- None;
+  d.d_noise <- 62;
+  Eheap.clear d.d_heap;
+  Eheap.compact d.d_heap;
+  Domain.DLS.get last_report_key := None
 
 (* ------------------------------------------------------------------ *)
 (* The run loop                                                        *)
@@ -918,44 +1021,82 @@ let default_max_events = 400_000_000
 let default_read_slack = 1_000
 let default_max_inline_ops = 40_000_000_000
 
+(* Grow the thread arena to hold [n] records. Records are created once
+   and reset in [run]; slot [i]'s [t_id] is [i] forever, and [self] is
+   tied here so dispatching never allocates an option. *)
+let ensure_arena d n =
+  let len = Array.length d.d_arena in
+  if n > len then begin
+    let arena =
+      Array.init n (fun i ->
+          if i < len then d.d_arena.(i)
+          else begin
+            let th =
+              {
+                t_id = i;
+                ctx = 0;
+                rank = 0;
+                residents = 0;
+                clock = 0;
+                window_end = 0;
+                finished = false;
+                last_line = dummy_line;
+                ops_done = 0;
+                last_op_clock = 0;
+                restarts = 0;
+                crit_depth = 0;
+                waiting = false;
+                crashed = false;
+                self = None;
+              }
+            in
+            th.self <- Some th;
+            th
+          end)
+    in
+    d.d_arena <- arena
+  end
+
 let run ?(quantum = default_quantum) ?(ops_target = 0)
     ?(max_events = default_max_events) ?(read_slack = default_read_slack)
     ?(max_inline_ops = default_max_inline_ops) ?(watchdog = default_watchdog)
     ~topology ~nthreads:n body =
   if n <= 0 then invalid_arg "Sched.run: nthreads must be positive";
-  if !cur_sched <> None then invalid_arg "Sched.run: nested simulations";
-  last_report := None;
-  incr epoch;
+  let d = dstate () in
+  if d.d_sched <> None then invalid_arg "Sched.run: nested simulations";
+  Domain.DLS.get last_report_key := None;
+  d.d_epoch <- d.d_epoch + 1;
   let nctx = Topology.n_contexts topology in
+  ensure_arena d n;
+  let threads = Array.sub d.d_arena 0 n in
   let per_ctx = Array.make nctx 0 in
-  let threads =
-    Array.init n (fun i ->
-        let ctx = i mod nctx in
-        let rank = per_ctx.(ctx) in
-        per_ctx.(ctx) <- rank + 1;
-        {
-          t_id = i;
-          ctx;
-          rank;
-          residents = 0 (* patched below *);
-          clock = 0;
-          window_end = 0;
-          finished = false;
-          last_line = fresh_line ();
-          ops_done = 0;
-          last_op_clock = 0;
-          restarts = 0;
-          crit_depth = 0;
-          waiting = false;
-          crashed = false;
-          self = None (* tied below *);
-        })
-  in
+  (* Reset each arena record for this run. The loop runs 0..n-1 so the
+     per-thread [new_line] calls happen in ascending t_id order — the
+     same line-id sequence the old per-run [Array.init] produced, which
+     the golden digests depend on. *)
+  for i = 0 to n - 1 do
+    let th = threads.(i) in
+    let ctx = i mod nctx in
+    let rank = per_ctx.(ctx) in
+    per_ctx.(ctx) <- rank + 1;
+    th.ctx <- ctx;
+    th.rank <- rank;
+    th.residents <- 0 (* patched below *);
+    th.clock <- 0;
+    th.window_end <- 0;
+    th.finished <- false;
+    th.last_line <- new_line d ~streaming:false;
+    th.ops_done <- 0;
+    th.last_op_clock <- 0;
+    th.restarts <- 0;
+    th.crit_depth <- 0;
+    th.waiting <- false;
+    th.crashed <- false
+  done;
   Array.iter
     (fun th ->
       th.residents <- per_ctx.(th.ctx);
-      th.window_end <- max_int;
-      th.self <- Some th)
+      th.window_end <- max_int)
     threads;
   (* Memoize the full transfer matrix: the hot path replaces every
      [Topology.transfer] call (context-record chasing and branch ladder)
@@ -966,12 +1107,19 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
       xfer.(((src + 1) * nctx) + dst) <- Topology.transfer topology ~src ~dst
     done
   done;
+  (* Reuse the domain's event heap: clearing resets the sequence counter,
+     so a reused heap pops in exactly the order a fresh one would, and
+     presizing absorbs the one-event-per-thread start burst without
+     doubling mid-push. *)
+  Eheap.clear d.d_heap;
+  Eheap.ensure_capacity d.d_heap (n + 64);
   let s =
     {
       topo = topology;
       quantum;
+      epoch = d.d_epoch;
       threads;
-      q = Eheap.create ~dummy:(fun () -> ());
+      q = d.d_heap;
       live = n;
       stop = false;
       max_events;
@@ -997,7 +1145,7 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
       m_inv = topology.Topology.c_inv_per_sharer;
     }
   in
-  cur_sched := Some s;
+  d.d_sched <- Some s;
   let start_thread th =
     Effect.Deep.match_with
       (fun () -> body th.t_id)
@@ -1020,8 +1168,8 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
                 th.finished <- true;
                 s.live <- s.live - 1
             | e ->
-                cur_sched := None;
-                cur_thread := None;
+                d.d_sched <- None;
+                d.d_thread <- None;
                 raise e);
         effc =
           (fun (type a) (e : a Effect.t) ->
@@ -1036,14 +1184,17 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
     (fun th ->
       let t0 = window_ready th s 0 in
       Eheap.push s.q t0
-        (dispatching th (fun () ->
+        (dispatching d th (fun () ->
              th.clock <- t0;
              th.window_end <- window_end_of th s t0;
              start_thread th)))
     threads;
   let finalize () =
-    cur_sched := None;
-    cur_thread := None
+    d.d_sched <- None;
+    d.d_thread <- None;
+    (* Abandoned events (a run that stopped with work still queued) must
+       not leak into the next run that reuses this heap. *)
+    Eheap.clear d.d_heap
   in
   (try
      while s.live > 0 && not (Eheap.is_empty s.q) do
@@ -1080,7 +1231,7 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
        finalize ();
        raise (abort_exn s reason)
    | Stalled r ->
-       last_report := Some r;
+       Domain.DLS.get last_report_key := Some r;
        finalize ();
        raise (Stalled r)
    | e ->

@@ -130,9 +130,28 @@ val obs_emit : Obs.Journal.kind -> unit
     This is what [Sim_rt.Probe] reports through. *)
 
 val set_fault_hook : (Rt.Rt_intf.fault_point -> unit) option -> unit
-(** Install (or clear) the process-global fault handler. The handler runs
-    in the reporting thread's context. Prefer [Fault.with_plan], which
-    manages installation and cleanup. *)
+(** Install (or clear) the calling domain's fault handler. The handler
+    runs in the reporting thread's context. Prefer [Fault.with_plan],
+    which manages installation and cleanup. *)
+
+(** {1 World reset}
+
+    All of the simulator's mutable state — the current run, line and
+    group counters, the packed-line table, fault hook, noise width, the
+    thread arena and event heap — is {e domain-local}: every OCaml
+    domain carries an independent simulator world, and a fresh domain
+    starts pristine. *)
+
+val reset_world : unit -> unit
+(** Restore the calling domain's simulator world to process-pristine
+    state: line/group counters back to zero, packed-line table emptied,
+    fault hook cleared, noise width back to the default, oversized event
+    heap storage compacted, {!last_abort_report} cleared. Locations and
+    groups created {e before} the reset are invalidated (their line ids
+    would collide with new ones) — drop every structure along with the
+    reset. Used by the fleet runner so trial output is independent of
+    which domain (and in what order) ran the trial. Raises
+    [Invalid_argument] inside a {!run}. *)
 
 (** {1 Results} *)
 

@@ -26,11 +26,20 @@ let noise = Sched.noise
 let nthreads = Sched.nthreads
 let on_fault = Sched.fault_point
 
-(* Probes never touch the simulated clock: counters and histograms are
-   plain refs (the simulator is single-OS-threaded), and every probe call
+(* Probes never touch the simulated clock, and every probe call
    additionally lands in the observability journal — stamped with the
    calling thread's virtual time by [Sched.obs_emit] — whenever a
    recording is active.
+
+   A counter/histogram handle is an immutable (name, id) pair; the actual
+   cells live in a per-domain table indexed by id. Handles are memoized
+   in a process-global registry (module-level bindings like
+   [Runner.op_cycles] are created once on whichever domain loads the
+   module and then used from fleet worker domains), so the registry is
+   the one piece of shared state here and is mutex-guarded; the hot
+   paths — incr/add/observe — touch only the immutable handle and the
+   calling domain's own cells, no lock. Each domain thus accumulates its
+   own counts, which is exactly what keeps fleet trials independent.
 
    Every journal emission below tests [Obs.Journal.recording] at the call
    site, before the [Obs.Journal.kind] argument is built: otherwise each
@@ -40,51 +49,97 @@ let on_fault = Sched.fault_point
 module Probe = struct
   module Hb = Rt.Rt_intf.Hbucket
 
-  type counter = { c_name : string; cell : int ref }
-  type histogram = { h_name : string; cells : int array }
+  type counter = { c_name : string; c_id : int }
+  type histogram = { h_name : string; h_id : int }
 
+  (* The handle registry: name -> handle, ids assigned densely in
+     creation order. Shared by all domains, hence the mutex. *)
+  let reg_mutex = Mutex.create ()
   let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
   let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+  let n_counters = ref 0
+  let n_histograms = ref 0
 
   let counter name =
-    match Hashtbl.find_opt counters name with
-    | Some c -> c
-    | None ->
-        let c = { c_name = name; cell = ref 0 } in
-        Hashtbl.add counters name c;
-        c
+    Mutex.protect reg_mutex (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some c -> c
+        | None ->
+            let c = { c_name = name; c_id = !n_counters } in
+            Stdlib.incr n_counters;
+            Hashtbl.add counters name c;
+            c)
+
+  let histogram name =
+    Mutex.protect reg_mutex (fun () ->
+        match Hashtbl.find_opt histograms name with
+        | Some h -> h
+        | None ->
+            let h = { h_name = name; h_id = !n_histograms } in
+            Stdlib.incr n_histograms;
+            Hashtbl.add histograms name h;
+            h)
+
+  (* Per-domain cells, grown on demand to cover the ids in use. The
+     histogram array is flat: histogram [h] owns the [Hb.n_buckets]-wide
+     slice starting at [h.h_id * Hb.n_buckets]. *)
+  type cells = { mutable cc : int array; mutable hc : int array }
+
+  let ckey : cells Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { cc = [||]; hc = [||] })
+
+  let grown a n =
+    let cap = ref (max 16 (Array.length a)) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    let a' = Array.make !cap 0 in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+
+  let[@inline] ccells c =
+    let cs = Domain.DLS.get ckey in
+    if c.c_id >= Array.length cs.cc then cs.cc <- grown cs.cc (c.c_id + 1);
+    cs.cc
+
+  let[@inline] hcells h =
+    let cs = Domain.DLS.get ckey in
+    let need = (h.h_id + 1) * Hb.n_buckets in
+    if need > Array.length cs.hc then cs.hc <- grown cs.hc need;
+    cs.hc
 
   let incr c =
-    Stdlib.incr c.cell;
+    let cc = ccells c in
+    cc.(c.c_id) <- cc.(c.c_id) + 1;
     if Obs.Journal.recording () then
       Sched.obs_emit (Obs.Journal.Count (c.c_name, 1))
 
   let add c n =
-    c.cell := !(c.cell) + n;
+    let cc = ccells c in
+    cc.(c.c_id) <- cc.(c.c_id) + n;
     if Obs.Journal.recording () then
       Sched.obs_emit (Obs.Journal.Count (c.c_name, n))
 
-  let count c = !(c.cell)
+  let count c =
+    let cc = (Domain.DLS.get ckey).cc in
+    if c.c_id < Array.length cc then cc.(c.c_id) else 0
+
   let counter_name c = c.c_name
 
-  let histogram name =
-    match Hashtbl.find_opt histograms name with
-    | Some h -> h
-    | None ->
-        let h = { h_name = name; cells = Array.make Hb.n_buckets 0 } in
-        Hashtbl.add histograms name h;
-        h
-
   let observe h v =
-    let i = Hb.index v in
-    h.cells.(i) <- h.cells.(i) + 1;
+    let hc = hcells h in
+    let i = (h.h_id * Hb.n_buckets) + Hb.index v in
+    hc.(i) <- hc.(i) + 1;
     if Obs.Journal.recording () then
       Sched.obs_emit (Obs.Journal.Sample (h.h_name, v))
 
   let buckets h =
+    let hc = (Domain.DLS.get ckey).hc in
+    let base = h.h_id * Hb.n_buckets in
+    let cell i = if base + i < Array.length hc then hc.(base + i) else 0 in
     let acc = ref [] in
     for i = Hb.n_buckets - 1 downto 0 do
-      if h.cells.(i) > 0 then acc := (Hb.lo i, Hb.hi i, h.cells.(i)) :: !acc
+      if cell i > 0 then acc := (Hb.lo i, Hb.hi i, cell i) :: !acc
     done;
     !acc
 
@@ -113,26 +168,39 @@ module Probe = struct
 
   (* ---- backend extras (not part of {!Rt.Rt_intf.PROBE}) ---- *)
 
-  (** Zero every registered counter and histogram; harnesses call this
-      after prefill so statistics reflect only the measured window. *)
+  (** Zero this domain's counter and histogram cells (the handle registry
+      is untouched); harnesses call this after prefill so statistics
+      reflect only the measured window. *)
   let reset_all () =
-    Hashtbl.iter (fun _ c -> c.cell := 0) counters;
-    Hashtbl.iter (fun _ h -> Array.fill h.cells 0 Hb.n_buckets 0) histograms
+    let cs = Domain.DLS.get ckey in
+    Array.fill cs.cc 0 (Array.length cs.cc) 0;
+    Array.fill cs.hc 0 (Array.length cs.hc) 0
 
-  (** Non-zero counters as [(name, value)], sorted by name so reports are
-      deterministic. *)
+  (** This domain's non-zero counters as [(name, value)], sorted by name
+      so reports are deterministic. *)
   let dump () =
-    Hashtbl.fold
-      (fun name c acc -> if !(c.cell) > 0 then (name, !(c.cell)) :: acc else acc)
-      counters []
+    let cc = (Domain.DLS.get ckey).cc in
+    let len = Array.length cc in
+    Mutex.protect reg_mutex (fun () ->
+        Hashtbl.fold
+          (fun name c acc ->
+            if c.c_id < len && cc.(c.c_id) > 0 then (name, cc.(c.c_id)) :: acc
+            else acc)
+          counters [])
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
   (** Has a counter with this exact name been created (by any functor
-      instantiation so far)? Used by the probe-coverage audit. *)
-  let registered name = Hashtbl.mem counters name
+      instantiation so far, on any domain)? Used by the probe-coverage
+      audit. *)
+  let registered name = Mutex.protect reg_mutex (fun () -> Hashtbl.mem counters name)
 
   (** Every registered counter name (zero or not), sorted. *)
   let counter_names () =
-    Hashtbl.fold (fun name _ acc -> name :: acc) counters []
+    Mutex.protect reg_mutex (fun () ->
+        Hashtbl.fold (fun name _ acc -> name :: acc) counters [])
     |> List.sort String.compare
+
+  (** Alias with the fleet-reset naming convention: probe cells are
+      per-domain, so resetting them is all a world reset needs. *)
+  let reset_world = reset_all
 end

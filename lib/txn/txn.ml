@@ -56,14 +56,22 @@ module Make (Rt : Rt.Rt_intf.RT) = struct
       }
         -> obj
 
-  let next_oid = ref 0
+  (* Domain-local like every other id source, so fleet worker domains
+     number their objects from 1 no matter which trials ran before. *)
+  let next_oid_key : int ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref 0)
 
   let obj (type a) (module S : SET_OPS with type t = a) (st : a) : obj =
     (* Touch the overlay now (key 0 only selects a stripe; the structure
        itself is not accessed) so no lazy allocation races the run. *)
     ignore (S.lock_handle st 0 : Locks.Handle.t);
+    let next_oid = Domain.DLS.get next_oid_key in
     incr next_oid;
     Obj { oid = !next_oid; ops = (module S); st }
+
+  (* Restart object numbering (world reset); objects packed before the
+     reset must be dropped with their structures. *)
+  let reset_oids () = Domain.DLS.get next_oid_key := 0
 
   let obj_id (Obj { oid; _ }) = oid
 

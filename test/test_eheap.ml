@@ -1,0 +1,125 @@
+(* Tests for the event heap's capacity machinery: growth under a large
+   pending set, [ensure_capacity]/[clear]/[compact] reuse, and a qcheck
+   total-order property at 10k+ pending events. The basic ordering and
+   FIFO-among-equals cases live in test_sim; these target the paths a
+   10k-thread capacity run leans on. *)
+
+module Eheap = Sim.Eheap
+
+(* Drain the heap, checking the (time, seq) pop order is a strictly
+   increasing total order, and return the popped (time, payload) list. *)
+let drain_checked h =
+  let last_t = ref min_int and popped = ref [] in
+  let last_was = ref None in
+  while not (Eheap.is_empty h) do
+    let t, v = Eheap.pop h in
+    Alcotest.(check bool) "times nondecreasing" true (t >= !last_t);
+    (match !last_was with
+    | Some (t', v') when t' = t ->
+        (* payloads below encode insertion order: equal times pop FIFO *)
+        Alcotest.(check bool) "FIFO among equal times" true (v > v')
+    | _ -> ());
+    last_t := t;
+    last_was := Some (t, v);
+    popped := (t, v) :: !popped
+  done;
+  List.rev !popped
+
+(* qcheck: for any list of timestamps (10k+ of them, heavy duplication so
+   the seq tiebreak is exercised), pushing them all and popping them all
+   yields exactly the stable sort of the input — the total order the
+   deterministic scheduler is built on. *)
+let total_order_prop times =
+  let h = Eheap.create ~dummy:(-1) in
+  List.iteri (fun i t -> Eheap.push h t i) times;
+  let popped = drain_checked h in
+  let expected =
+    List.mapi (fun i t -> (t, i)) times
+    |> List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+  in
+  popped = expected
+
+let qcheck_total_order =
+  Tutil.qcheck_case ~count:10 "total order at 10k+ events"
+    QCheck2.Gen.(list_size (int_range 10_000 12_000) (int_bound 500))
+    total_order_prop
+
+(* Push far past the initial 64-slot capacity, interleaving pops so the
+   growth happens with a live, already-sifted prefix; everything must
+   still pop in total order. *)
+let test_pop_all_after_grow () =
+  let h = Eheap.create ~dummy:(-1) in
+  Alcotest.(check int) "initial capacity" 64 (Eheap.capacity h);
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Eheap.push h ((i * 7919) mod 1000) i;
+    (* occasional pop mid-growth: the hole-based sift must stay sound *)
+    if i mod 97 = 96 then ignore (Eheap.pop h)
+  done;
+  Alcotest.(check bool) "grew" true (Eheap.capacity h >= Eheap.length h);
+  Alcotest.(check bool) "holds the rest" true (Eheap.length h > n - 200);
+  ignore (drain_checked h);
+  Alcotest.(check bool) "drained" true (Eheap.is_empty h)
+
+let test_ensure_capacity () =
+  let h = Eheap.create ~dummy:(-1) in
+  Eheap.ensure_capacity h 10_000;
+  let cap = Eheap.capacity h in
+  Alcotest.(check bool) "presized" true (cap >= 10_000);
+  (* the start burst: one event per virtual thread, no mid-flight grow *)
+  for i = 0 to 9_999 do
+    Eheap.push h i i
+  done;
+  Alcotest.(check int) "no growth during burst" cap (Eheap.capacity h);
+  Eheap.ensure_capacity h 100;
+  Alcotest.(check int) "never shrinks" cap (Eheap.capacity h)
+
+(* clear + compact return a big heap to the 64-slot floor, and a reused
+   heap is indistinguishable from a fresh one: same pushes, same pops
+   (the seq counter restarts, so tiebreaks replay identically). *)
+let test_clear_compact_reuse () =
+  (* payloads are insertion indices, as [drain_checked] expects *)
+  let pushes h = List.iteri (fun i t -> Eheap.push h t i) [ 4; 4; 1; 9; 4; 1 ] in
+  let fresh = Eheap.create ~dummy:(-1) in
+  pushes fresh;
+  let expected = drain_checked fresh in
+  let h = Eheap.create ~dummy:(-1) in
+  Eheap.ensure_capacity h 10_000;
+  for i = 0 to 9_999 do
+    Eheap.push h i i
+  done;
+  Eheap.clear h;
+  Alcotest.(check int) "cleared" 0 (Eheap.length h);
+  Eheap.compact h;
+  Alcotest.(check int) "back to the floor" 64 (Eheap.capacity h);
+  pushes h;
+  Alcotest.(check bool) "reused heap pops like fresh" true
+    (drain_checked h = expected)
+
+(* compact with a live prefix keeps it, ordered, at the smallest
+   power-of-two capacity that fits. *)
+let test_compact_live () =
+  let h = Eheap.create ~dummy:(-1) in
+  Eheap.ensure_capacity h 8_192;
+  for i = 0 to 99 do
+    Eheap.push h (i mod 13) i
+  done;
+  Eheap.compact h;
+  Alcotest.(check int) "tight capacity" 128 (Eheap.capacity h);
+  Alcotest.(check int) "kept events" 100 (Eheap.length h);
+  ignore (drain_checked h)
+
+let () =
+  Alcotest.run "eheap"
+    [
+      ( "capacity",
+        [
+          qcheck_total_order;
+          Alcotest.test_case "pop all after grow" `Quick
+            test_pop_all_after_grow;
+          Alcotest.test_case "ensure_capacity" `Quick test_ensure_capacity;
+          Alcotest.test_case "clear/compact reuse" `Quick
+            test_clear_compact_reuse;
+          Alcotest.test_case "compact live prefix" `Quick test_compact_live;
+        ] );
+    ]
