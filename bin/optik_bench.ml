@@ -52,6 +52,106 @@ let write_report path (j : J.json) =
   Harness.Report.write path j;
   Printf.eprintf "[host] wrote report %s\n%!" path
 
+(* ---------------- request tracing ---------------- *)
+
+(* The service subcommands (kv, txn) share these: --attrib records the
+   run's journal and prints/reports per-phase latency attribution;
+   --timeline FILE additionally writes the windowed virtual-time series
+   as Chrome counter tracks. Either implies tracing; traced and untraced
+   runs are cycle-identical (emissions never advance the virtual clock),
+   so turning them on cannot change the measured numbers. *)
+let attrib_arg =
+  Arg.(
+    value & flag
+    & info [ "attrib" ]
+        ~doc:
+          "Trace every request and attribute its latency to typed phases \
+           (queue, route, store, backoff, acquire, validate, commit, resync, \
+           dual-write): prints the per-phase and per-outcome summary and \
+           attaches the $(b,attrib) and $(b,timeline) sections to --report \
+           (diffable with $(b,optik_bench diff)).")
+
+let timeline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          "Write the virtual-time timeline — windowed completion, retry, \
+           abort, timeout, shed, failover, crash and storm counts plus \
+           per-phase occupancy — as Chrome counter tracks to $(docv) (load \
+           in Perfetto). Implies the tracing --attrib turns on.")
+
+let print_attrib (a : Obs.Attrib.t) =
+  let module A = Obs.Attrib in
+  Printf.printf "  traced          %d requests (%d dropped mid-run)\n"
+    (List.length a.A.reqs) a.A.dropped;
+  let grand = List.fold_left (fun s (r : A.areq) -> s + r.A.a_total) 0 a.A.reqs in
+  List.iter
+    (fun p ->
+      let total =
+        List.fold_left
+          (fun s (r : A.areq) ->
+            s + Option.value ~default:0 (List.assoc_opt p r.A.a_phases))
+          0 a.A.reqs
+      in
+      if total > 0 then
+        Printf.printf "    phase %-10s %10d cycles  %5.1f%%\n" p total
+          (100. *. float_of_int total /. float_of_int (max 1 grand)))
+    (List.sort_uniq String.compare ("other" :: a.A.phases));
+  let by_outcome =
+    List.filter_map
+      (fun o ->
+        let n =
+          List.length
+            (List.filter
+               (fun (r : A.areq) -> String.equal r.A.a_outcome o)
+               a.A.reqs)
+        in
+        if n = 0 then None else Some (Printf.sprintf "%s=%d" o n))
+      Obs.Tracectx.outcomes
+  in
+  if by_outcome <> [] then
+    Printf.printf "    outcomes        %s\n" (String.concat "  " by_outcome)
+
+(* Only the windows where something went wrong: quiet windows carry no
+   diagnosis, and 24 all-zero lines would bury the storm/crash ones. *)
+let print_timeline (tl : Obs.Attrib.timeline) =
+  let module A = Obs.Attrib in
+  Printf.printf "  timeline        %d windows x %d cycles\n" tl.A.tl_nwindows
+    tl.A.tl_width;
+  for w = 0 to tl.A.tl_nwindows - 1 do
+    if
+      tl.A.tl_aborts.(w) + tl.A.tl_timeouts.(w) + tl.A.tl_sheds.(w)
+      + tl.A.tl_failovers.(w) + tl.A.tl_crashes.(w) + tl.A.tl_storms.(w)
+      > 0
+    then
+      Printf.printf
+        "    w%02d reqs=%-5d retries=%-5d aborts=%-4d timeouts=%-4d \
+         sheds=%-4d failovers=%-4d crashes=%-3d storms=%d\n"
+        w tl.A.tl_reqs.(w) tl.A.tl_retries.(w) tl.A.tl_aborts.(w)
+        tl.A.tl_timeouts.(w) tl.A.tl_sheds.(w) tl.A.tl_failovers.(w)
+        tl.A.tl_crashes.(w) tl.A.tl_storms.(w)
+  done
+
+(* Analyze a run's trace: print the summaries, write the Chrome timeline
+   when asked, and return the report sections. *)
+let trace_analysis ~timeline_file (trace : Obs.Journal.record option) =
+  match trace with
+  | None -> []
+  | Some rec_ ->
+      let a = Obs.Attrib.analyze rec_ in
+      let tl = Obs.Attrib.timeline rec_ in
+      print_attrib a;
+      print_timeline tl;
+      (match timeline_file with
+      | None -> ()
+      | Some path ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (Obs.Attrib.timeline_chrome tl));
+          Printf.eprintf "[host] wrote timeline %s\n%!" path);
+      [ Harness.Report.attrib_section a; Harness.Report.timeline_section tl ]
+
 (* ---------------- figures ---------------- *)
 
 let figures_cmd =
@@ -949,7 +1049,7 @@ let kv_cmd =
   let run rep shards threads ops keys read scan transfer accounts machine seed
       deadline retries faults rolling down_for stagger broken_retry
       no_replication degraded_for resync_batch broken_resync fuzz replay report
-      =
+      attrib timeline =
     let topo =
       match machine with
       | "xeon" -> Sim.Topology.xeon
@@ -1049,11 +1149,12 @@ let kv_cmd =
             plan;
           }
         in
+        let record_obs = attrib || timeline <> None in
         let m, r =
           with_host_time
             (Printf.sprintf "kv %s" rep)
             (fun (m, _) -> m.Harness.Runner.ops)
-            (fun () -> Kv.run cfg)
+            (fun () -> Kv.run ~record_obs cfg)
         in
         Printf.printf
           "kv/%s on %s, %d shards (primary+replica), %d clients, %d requests, \
@@ -1115,6 +1216,9 @@ let kv_cmd =
         end;
         Printf.printf "  %s\n"
           (Format.asprintf "%a" Kv.pp_oracle r.Kv.res_oracle);
+        let trace_sections =
+          trace_analysis ~timeline_file:timeline r.Kv.res_trace
+        in
         (match report with
         | None -> ()
         | Some path ->
@@ -1146,7 +1250,7 @@ let kv_cmd =
                        | Some `Dual_write -> J.Str "dual-write"
                        | Some `Fencing -> J.Str "fencing" );
                    ]
-                 ~sections:[ Kv.report_section cfg r ]
+                 ~sections:(Kv.report_section cfg r :: trace_sections)
                  [ ("kv/" ^ rep, m) ]));
         (* Exit on the warranted verdict: a loss in a voided pair is the
            one outage f = 1 permits (and the run reports it); any other
@@ -1168,7 +1272,8 @@ let kv_cmd =
       const run $ rep $ shards $ threads $ ops $ keys $ read $ scan $ transfer
       $ accounts $ machine $ seed $ deadline $ retries $ faults $ rolling
       $ down_for $ stagger $ broken_retry $ no_replication $ degraded_for
-      $ resync_batch $ broken_resync $ fuzz $ replay $ report_arg)
+      $ resync_batch $ broken_resync $ fuzz $ replay $ report_arg $ attrib_arg
+      $ timeline_arg)
 
 (* ---------------- txn ---------------- *)
 
@@ -1247,7 +1352,7 @@ let txn_cmd =
           ~doc:"Replay one transaction trial string (as emitted by --fuzz).")
   in
   let run rep objects accounts threads ops transfer machine seed broken fuzz
-      replay report =
+      replay report attrib timeline =
     let topo =
       match machine with
       | "xeon" -> Sim.Topology.xeon
@@ -1300,11 +1405,12 @@ let txn_cmd =
             broken;
           }
         in
+        let record_obs = attrib || timeline <> None in
         let m, r =
           with_host_time
             (Printf.sprintf "txn %s" rep)
             (fun (m, _) -> m.Harness.Runner.ops)
-            (fun () -> Txn.Workload.run cfg)
+            (fun () -> Txn.Workload.run ~record_obs cfg)
         in
         Printf.printf
           "txn/%s on %s, %d objects x %d accounts, %d threads, %d \
@@ -1333,6 +1439,9 @@ let txn_cmd =
           m.Harness.Runner.counters;
         Printf.printf "%s\n"
           (Format.asprintf "%a" Txn.Workload.pp_result r);
+        let trace_sections =
+          trace_analysis ~timeline_file:timeline r.Txn.Workload.res_trace
+        in
         (match report with
         | None -> ()
         | Some path ->
@@ -1349,7 +1458,7 @@ let txn_cmd =
                      ("machine", J.Str machine);
                      ("broken", J.Bool broken);
                    ]
-                 ~sections:[ Txn.Workload.report_section cfg r ]
+                 ~sections:(Txn.Workload.report_section cfg r :: trace_sections)
                  [ ("txn/" ^ rep, m) ]));
         if
           (not r.Txn.Workload.res_oracle.Txn.Workload.ok)
@@ -1366,7 +1475,7 @@ let txn_cmd =
           serializability oracle over the committed history.")
     Term.(
       const run $ rep $ objects $ accounts $ threads $ ops $ transfer $ machine
-      $ seed $ broken $ fuzz $ replay $ report_arg)
+      $ seed $ broken $ fuzz $ replay $ report_arg $ attrib_arg $ timeline_arg)
 
 (* ---------------- hostperf ---------------- *)
 
@@ -1536,6 +1645,43 @@ let diff_cmd =
           carry profiles.")
     Term.(const run $ file_a $ file_b $ top)
 
+(* ---------------- probes ---------------- *)
+
+let probes_cmd =
+  let run () =
+    (* Probe handles are created lazily by the subsystems that own them
+       (a process that never runs a transaction registers no txn.*
+       counters), so touch each service once: building a KV service and a
+       transaction manager registers their probes without running a
+       simulation. Module-level handles (scheduler, runner, structure
+       internals) registered when their modules loaded. *)
+    ignore (Kv.create Kv.default_config : Kv.t);
+    ignore (Txn.Workload.T.create ());
+    let rows = Sim.Sim_rt.Probe.all () in
+    let bad =
+      List.filter_map
+        (fun (name, _) ->
+          match J.split_counter name with
+          | Some _ -> None
+          | None -> Some name)
+        rows
+    in
+    List.iter (fun (name, kind) -> Printf.printf "%-9s  %s\n" kind name) rows;
+    if bad <> [] then begin
+      Printf.eprintf
+        "probes: %d name(s) violate the <rep>.<metric> convention: %s\n"
+        (List.length bad) (String.concat ", " bad);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "probes"
+       ~doc:
+         "List every registered probe as '<kind>  <name>' — the same \
+          registry the report probe audit iterates — and fail if any name \
+          escapes the <rep>.<metric> convention.")
+    Term.(const run $ const ())
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -1588,5 +1734,6 @@ let () =
             txn_cmd;
             hostperf_cmd;
             diff_cmd;
+            probes_cmd;
             list_cmd;
           ]))

@@ -127,6 +127,156 @@ let make ~subcommand ~seed ~params ?(sections = [])
     ~runs:(List.map (fun (id, m) -> run_entry ~id m) runs)
     ~sections
 
+(* ------------------------------------------------------------------ *)
+(* Trace-analysis sections: latency attribution and timelines          *)
+
+let pstats_json (s : Pstats.summary) : (string * J.json) list =
+  [
+    ("n", J.Int s.Pstats.n);
+    ("p50", J.Int s.Pstats.p50);
+    ("p95", J.Int s.Pstats.p95);
+    ("p99", J.Int s.Pstats.p99);
+    ("p999", J.Int s.Pstats.p999);
+    ("mean", J.Float s.Pstats.mean);
+  ]
+
+let share ~part ~whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+(** The latency-attribution section of a run report: per-phase totals and
+    percentiles over the traced requests, a per-outcome split of request
+    totals, and a "why is p99 slow" tail breakdown — the phase shares of
+    just the requests at or beyond the all-request p99. Deterministic for
+    a seed, so two reports' sections diff leaf-by-leaf. *)
+let attrib_section (a : Obs.Attrib.t) : string * J.json =
+  let reqs = a.Obs.Attrib.reqs in
+  let phase_cycles (r : Obs.Attrib.areq) p =
+    Option.value ~default:0 (List.assoc_opt p r.Obs.Attrib.a_phases)
+  in
+  let grand =
+    List.fold_left (fun s (r : Obs.Attrib.areq) -> s + r.Obs.Attrib.a_total) 0 reqs
+  in
+  let phase_json p =
+    let ps = Pstats.create () in
+    let total = ref 0 in
+    List.iter
+      (fun r ->
+        let c = phase_cycles r p in
+        if c > 0 then begin
+          Pstats.record ps c;
+          total := !total + c
+        end)
+      reqs;
+    ( p,
+      J.Obj
+        (("total", J.Int !total)
+        :: ("share_pct", J.Float (share ~part:!total ~whole:grand))
+        :: pstats_json (Pstats.summarize [ ps ])) )
+  in
+  let outcome_json o =
+    let ps = Pstats.create () in
+    List.iter
+      (fun (r : Obs.Attrib.areq) ->
+        if String.equal r.Obs.Attrib.a_outcome o then
+          Pstats.record ps r.Obs.Attrib.a_total)
+      reqs;
+    if Pstats.count ps = 0 then None
+    else Some (o, J.Obj (pstats_json (Pstats.summarize [ ps ])))
+  in
+  let all = Pstats.create () in
+  List.iter (fun (r : Obs.Attrib.areq) -> Pstats.record all r.Obs.Attrib.a_total) reqs;
+  let all_s = Pstats.summarize [ all ] in
+  (* The tail section answers "where do the slowest requests spend their
+     time": phase shares over just the requests at/beyond the p99. *)
+  let tail = List.filter (fun (r : Obs.Attrib.areq) -> r.Obs.Attrib.a_total >= all_s.Pstats.p99) reqs in
+  let tail_cycles =
+    List.fold_left (fun s (r : Obs.Attrib.areq) -> s + r.Obs.Attrib.a_total) 0 tail
+  in
+  let tail_phase p =
+    let c = List.fold_left (fun s r -> s + phase_cycles r p) 0 tail in
+    if c = 0 then None
+    else
+      Some
+        ( p,
+          J.Obj
+            [
+              ("total", J.Int c);
+              ("share_pct", J.Float (share ~part:c ~whole:tail_cycles));
+            ] )
+  in
+  let tail_outcomes =
+    List.filter_map
+      (fun o ->
+        let n =
+          List.length
+            (List.filter
+               (fun (r : Obs.Attrib.areq) -> String.equal r.Obs.Attrib.a_outcome o)
+               tail)
+        in
+        if n = 0 then None else Some (o, J.Int n))
+      Obs.Tracectx.outcomes
+  in
+  ( "attrib",
+    J.Obj
+      [
+        ("requests", J.Int (List.length reqs));
+        ("dropped", J.Int a.Obs.Attrib.dropped);
+        ("total", J.Obj (pstats_json all_s));
+        ("phases", J.Obj (List.map phase_json ("other" :: a.Obs.Attrib.phases |> List.sort_uniq String.compare)));
+        ( "outcomes",
+          J.Obj (List.filter_map outcome_json Obs.Tracectx.outcomes) );
+        ( "tail",
+          J.Obj
+            ([
+               ("threshold_p99", J.Int all_s.Pstats.p99);
+               ("requests", J.Int (List.length tail));
+               ("cycles", J.Int tail_cycles);
+               ("outcomes", J.Obj tail_outcomes);
+             ]
+            @ [
+                ( "phases",
+                  J.Obj
+                    (List.filter_map tail_phase
+                       ("other" :: a.Obs.Attrib.phases
+                       |> List.sort_uniq String.compare)) );
+              ]) );
+      ] )
+
+(** The virtual-time timeline section: one object per window ("w00" …)
+    holding the window's event counts and per-phase occupancy, plus the
+    grid geometry. Objects, not arrays, so the report diff's numeric-leaf
+    flattener yields stable [timeline.w07.retries] paths. *)
+let timeline_section (tl : Obs.Attrib.timeline) : string * J.json =
+  let open Obs.Attrib in
+  let window w =
+    let occ =
+      List.filter_map
+        (fun (p, vs) -> if vs.(w) = 0 then None else Some (p, J.Int vs.(w)))
+        tl.tl_occ
+    in
+    ( Printf.sprintf "w%02d" w,
+      J.Obj
+        ([
+           ("reqs", J.Int tl.tl_reqs.(w));
+           ("retries", J.Int tl.tl_retries.(w));
+           ("aborts", J.Int tl.tl_aborts.(w));
+           ("timeouts", J.Int tl.tl_timeouts.(w));
+           ("sheds", J.Int tl.tl_sheds.(w));
+           ("failovers", J.Int tl.tl_failovers.(w));
+           ("crashes", J.Int tl.tl_crashes.(w));
+           ("storms", J.Int tl.tl_storms.(w));
+         ]
+        @ if occ = [] then [] else [ ("occ", J.Obj occ) ]) )
+  in
+  ( "timeline",
+    J.Obj
+      ([
+         ("horizon", J.Int tl.tl_horizon);
+         ("nwindows", J.Int tl.tl_nwindows);
+         ("width", J.Int tl.tl_width);
+       ]
+      @ List.init tl.tl_nwindows window) )
+
 (** Validate and write a report; a schema violation here is a bug in the
     emitter, so it fails loudly rather than writing a bad file. *)
 let write path (j : J.json) =

@@ -366,6 +366,9 @@ type result = {
   res_shard_lat : Harness.Pstats.summary array;
       (** request latency per home shard (the shard the key routes to),
           all request classes pooled — localizes a crash's tail damage *)
+  res_trace : Obs.Journal.record option;
+      (** the raw journal when [run ~record_obs:true]; feeds
+          {!Obs.Attrib} and the trace exporters *)
 }
 
 let lat_classes = [| "get"; "put"; "scan"; "timeout"; "shed" |]
@@ -375,6 +378,21 @@ let class_scan = 2
 let class_timeout = 3
 let class_shed = 4
 let class_transfer = 5
+
+(* Class index -> name for [Req_end] trace markers. [class_transfer]
+   sits just past the base array whether or not the run's class set
+   includes it ([lat_classes_of] appends it conditionally). *)
+let class_name cls =
+  if cls < Array.length lat_classes then lat_classes.(cls) else "transfer"
+
+(* Phase-span names, precomputed so the recording-off cost of a span is
+   one flag load — no concatenation, no allocation (PR 4 discipline). *)
+let ph_route = Obs.Tracectx.(span_name Route)
+let ph_store = Obs.Tracectx.(span_name Store)
+let ph_backoff = Obs.Tracectx.(span_name Backoff)
+let ph_resync = Obs.Tracectx.(span_name Resync)
+let ph_dual = Obs.Tracectx.(span_name Dual_write)
+let ph_queue = Obs.Tracectx.(inline_prefix ^ phase_name Queue)
 
 (* The transfer class exists only when transfers are enabled, and the
    resync class only under a fault plan (resync runs after crashes, and
@@ -574,6 +592,7 @@ let do_resync t si ~src ~dst =
   let p = t.cfg.policy in
   let sh = t.shards.(si) in
   let ctr = t.shard_ctr.(si) in
+  Probe.span_begin ph_resync;
   sh.s_resync <- true;
   dst.n_state <- Resyncing;
   let t0 = Sim.Sched.now () in
@@ -651,7 +670,8 @@ let do_resync t si ~src ~dst =
     push_event t
       (Printf.sprintf "s%d resync %s aborted (epoch fence)" si dst.n_label)
   end;
-  sh.s_resync <- false
+  sh.s_resync <- false;
+  Probe.span_end ph_resync
 
 (* Start a resync if the pair has none in flight and the peer is usable
    as a source: live, with no unobserved crash (its epoch must be
@@ -685,6 +705,9 @@ let refresh t shard_idx node : health * int =
     Probe.incr t.shard_ctr.(shard_idx).c_wipes;
     node.n_state <- Crashed;
     node.n_recovered_at <- Sim.Sched.now ();
+    if Obs.Journal.recording () then
+      Sim.Sched.obs_emit
+        (Obs.Journal.Instant (Obs.Tracectx.ev_node_crash, Some node.n_id));
     push_event t
       (Printf.sprintf "%s crashed (epoch %d): store wiped" node.n_label e);
     for _ = 1 to crashes do
@@ -770,7 +793,9 @@ let backoff t rng n =
     min p.backoff_cap (p.backoff_base lsl min n 20) + Rng.below rng p.backoff_base
   in
   Probe.add t.k_backoff b;
-  Sim.Sched.work b
+  Probe.span_begin ph_backoff;
+  Sim.Sched.work b;
+  Probe.span_end ph_backoff
 
 let deadline_passed t ~arrival =
   Sim.Sched.now () - arrival > t.cfg.policy.deadline
@@ -798,10 +823,12 @@ let attempt_put t req =
     else (req.q_uid * 64) + (req.q_attempts land 63)
   in
   if not (List.mem elem req.q_elems) then req.q_elems <- elem :: req.q_elems;
+  Probe.span_begin ph_route;
   let p_h, p_epoch = refresh t si sh.primary in
   let r_h, r_epoch =
     if p.replicate then refresh t si sh.replica else (Down, 0)
   in
+  Probe.span_end ph_route;
   if p_h = Down && r_h <> Down then begin
     Probe.incr t.k_failovers;
     Probe.incr t.shard_ctr.(si).c_failovers
@@ -817,10 +844,20 @@ let attempt_put t req =
   in
   let apply node h =
     h <> Down && (not (skip_dual node))
-    && (store_insert node.n_store elem || store_mem node.n_store elem)
+    &&
+    (* a write landing on a mid-resync copy is the dual-write phase *)
+    let dual = node.n_state = Resyncing in
+    if dual then Probe.span_begin ph_dual;
+    let applied =
+      store_insert node.n_store elem || store_mem node.n_store elem
+    in
+    if dual then Probe.span_end ph_dual;
+    applied
   in
+  Probe.span_begin ph_store;
   let applied_p = apply sh.primary p_h in
   let applied_r = p.replicate && apply sh.replica r_h in
+  Probe.span_end ph_store;
   if applied_p && sh.primary.n_state = Resyncing then
     Probe.incr t.shard_ctr.(si).c_resync_dual;
   if applied_r && sh.replica.n_state = Resyncing then
@@ -862,6 +899,8 @@ let do_put t rng ~arrival req =
     else begin
       Probe.incr t.k_retries;
       Probe.incr t.shard_ctr.(si).c_restarts;
+      if Obs.Journal.recording () then
+        Sim.Sched.obs_emit (Obs.Journal.Instant (Obs.Tracectx.ev_retry, Some n));
       backoff t rng n;
       go (n + 1)
     end
@@ -884,6 +923,7 @@ let do_get t rng ~arrival key =
     Probe.incr t.shard_ctr.(si).c_failovers
   in
   let rec go n =
+    Probe.span_begin ph_route;
     let p_h, _ = refresh t si sh.primary in
     let node =
       if p_h = Up then Some sh.primary
@@ -901,9 +941,12 @@ let do_get t rng ~arrival key =
         else None
       end
     in
+    Probe.span_end ph_route;
     match node with
     | Some node ->
+        Probe.span_begin ph_store;
         ignore (store_mem node.n_store probe);
+        Probe.span_end ph_store;
         class_get
     | None ->
         if n >= t.cfg.policy.max_retries || deadline_passed t ~arrival then begin
@@ -914,6 +957,9 @@ let do_get t rng ~arrival key =
         else begin
           Probe.incr t.k_retries;
           Probe.incr t.shard_ctr.(si).c_restarts;
+          if Obs.Journal.recording () then
+            Sim.Sched.obs_emit
+              (Obs.Journal.Instant (Obs.Tracectx.ev_retry, Some n));
           backoff t rng n;
           go (n + 1)
         end
@@ -930,7 +976,9 @@ let do_scan t ~arrival key =
   let w = t.cfg.workload in
   let si0 = shard_of t key in
   let behind = Sim.Sched.now () - arrival > t.cfg.policy.deadline / 2 in
+  Probe.span_begin ph_route;
   let first_h, _ = refresh t si0 t.shards.(si0).primary in
+  Probe.span_end ph_route;
   if behind || first_h = Recovering then begin
     Probe.incr t.k_sheds;
     Probe.incr t.shard_ctr.(si0).c_sheds;
@@ -940,6 +988,7 @@ let do_scan t ~arrival key =
     let hi = min w.keys (key + w.scan_width - 1) in
     let all_served = ref true in
     let k = ref key in
+    Probe.span_begin ph_store;
     while !all_served && !k <= hi do
       let si = shard_of t !k in
       let sh = t.shards.(si) in
@@ -964,6 +1013,7 @@ let do_scan t ~arrival key =
       | None -> all_served := false);
       incr k
     done;
+    Probe.span_end ph_store;
     if !all_served then class_scan
     else begin
       Probe.incr t.k_timeouts;
@@ -1043,6 +1093,28 @@ let client t lat tid =
     in
     let r = Rng.below rng 100 in
     Sim.Sim_rt.on_fault Rt.Rt_intf.Op_boundary;
+    (* Request markers: id 0 is the untraced sentinel (real ids start at
+       1). Queueing delay elapsed before this point, so it travels as a
+       precomputed-duration phase instant rather than a span. *)
+    let trace_id =
+      if Obs.Journal.recording () then begin
+        let kind =
+          if r < w.read_pct then "get"
+          else if r < w.read_pct + w.scan_pct then "scan"
+          else if r < w.read_pct + w.scan_pct + w.transfer_pct then "transfer"
+          else "put"
+        in
+        let id = Obs.Tracectx.next_id () in
+        Sim.Sched.obs_emit (Obs.Journal.Req_begin (kind, id));
+        let q = Sim.Sched.now () - arrival in
+        if q > 0 then
+          Sim.Sched.obs_emit (Obs.Journal.Instant (ph_queue, Some q));
+        if in_storm then
+          Sim.Sched.obs_emit (Obs.Journal.Instant (Obs.Tracectx.ev_storm, None));
+        id
+      end
+      else 0
+    in
     let cls =
       if r < w.read_pct then do_get t rng ~arrival key
       else if r < w.read_pct + w.scan_pct then do_scan t ~arrival key
@@ -1065,6 +1137,8 @@ let client t lat tid =
             do_put t rng ~arrival req)
       end
     in
+    if trace_id <> 0 && Obs.Journal.recording () then
+      Sim.Sched.obs_emit (Obs.Journal.Req_end (class_name cls, trace_id));
     let d = Sim.Sched.now () - arrival in
     Harness.Pstats.record lat.(cls) d;
     Harness.Pstats.record t.shard_lat.(shard_of t key) d;
@@ -1177,7 +1251,8 @@ let format_events t =
       else Printf.sprintf "t=%d %s" clk msg)
     t.events_rev
 
-let run (cfg : config) : Harness.Runner.measurement * result =
+let run ?(record_obs = false) (cfg : config) :
+    Harness.Runner.measurement * result =
   Dstruct.Sl_common.reset_states ();
   let t = create cfg in
   Probe.reset_all ();
@@ -1203,11 +1278,17 @@ let run (cfg : config) : Harness.Runner.measurement * result =
     | Some p -> p
     | None -> Sim.Fault.plan ~seed:cfg.seed []
   in
+  (* Recording brackets the measured run only: stopped before [quiesce]
+     so post-run repair probes don't pollute the trace. The record comes
+     back raw (in [res_trace]) because attribution and the timeline need
+     the entries, not just a profile summary. *)
+  if record_obs then Obs.Journal.start ();
   let stats, outcome =
     Harness.Runner.run_guarded ~faults ~topology:cfg.topo
       ~nthreads:cfg.threads ~ops_target:cfg.ops
       (fun tid -> client t lat.(tid) tid)
   in
+  let trace = if record_obs then Some (Obs.Journal.stop ()) else None in
   let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
   quiesce t;
   let oracle = check_oracle t in
@@ -1259,7 +1340,7 @@ let run (cfg : config) : Harness.Runner.measurement * result =
       final_size;
       valid;
       outcome;
-      obs = None;
+      obs = Option.map Obs.Profile.summarize trace;
     }
   in
   let result =
@@ -1274,6 +1355,7 @@ let run (cfg : config) : Harness.Runner.measurement * result =
           t.shards;
       res_shard_lat =
         Array.map (fun p -> Harness.Pstats.summarize [ p ]) t.shard_lat;
+      res_trace = trace;
     }
   in
   (m, result)

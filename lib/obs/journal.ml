@@ -29,6 +29,14 @@ type kind =
   | Span_end of string
   | Point of Rt.Rt_intf.fault_point
       (** an instrumentation checkpoint reported through [on_fault] *)
+  | Req_begin of string * int
+      (** a traced request starts: request kind ("get", "put",
+          "transfer", ...), deterministic trace id ({!next_req_id}) *)
+  | Req_end of string * int
+      (** the request completes: its latency class name, same trace id.
+          Everything the thread journaled between the paired markers —
+          phase spans, retries, failovers — belongs to that request
+          (see [Tracectx] and [Attrib]). *)
 
 type entry = { at : int;  (** virtual cycles *) tid : int; kind : kind }
 
@@ -76,6 +84,9 @@ type jstate = {
   mutable j_buf : entry array;
   mutable j_len : int;
   j_lines : (int, line_stat) Hashtbl.t;
+  mutable j_next_req : int;
+      (** next trace id; per recording session, so same-seed runs hand
+          out identical ids regardless of what recorded before them *)
 }
 
 let jkey : jstate Domain.DLS.key =
@@ -87,6 +98,7 @@ let jkey : jstate Domain.DLS.key =
         j_buf = [||];
         j_len = 0;
         j_lines = Hashtbl.create 64;
+        j_next_req = 1;
       })
 
 let[@inline] jstate () = Domain.DLS.get jkey
@@ -112,6 +124,16 @@ let site_of id = Hashtbl.find_opt (jstate ()).j_sites id
 (* The recorder                                                        *)
 
 let recording () = (jstate ()).j_recording
+
+(* Deterministic trace ids: the simulator interleaves its virtual
+   threads on one OS thread, so the order of [next_req_id] calls — hence
+   the ids themselves — is a pure function of the seed. Reset by
+   {!start} so every recording session numbers its requests from 1. *)
+let next_req_id () =
+  let j = jstate () in
+  let id = j.j_next_req in
+  j.j_next_req <- id + 1;
+  id
 
 let push j e =
   let cap = Array.length j.j_buf in
@@ -167,6 +189,7 @@ let start () =
   let j = jstate () in
   j.j_len <- 0;
   Hashtbl.reset j.j_lines;
+  j.j_next_req <- 1;
   j.j_recording <- true
 
 let stop () =
@@ -198,4 +221,5 @@ let reset_world () =
   j.j_recording <- false;
   j.j_buf <- [||];
   j.j_len <- 0;
+  j.j_next_req <- 1;
   Hashtbl.reset j.j_lines

@@ -663,6 +663,58 @@ let diff ?(top = 10) (a : json) (b : json) : (string, string) result =
               end)
             common)
         pairs;
+      (* Free-form sections (oracle extras, attrib, timeline…) diff the
+         same way: flatten each side's non-envelope members and compare
+         the common numeric leaves, so a phase share or a window's
+         failover count is as diffable as any run metric. *)
+      let envelope =
+        [ "schema"; "version"; "tool"; "subcommand"; "seed"; "params"; "runs" ]
+      in
+      let section_members j =
+        match j with
+        | Obj members ->
+            Obj (List.filter (fun (k, _) -> not (List.mem k envelope)) members)
+        | _ -> Obj []
+      in
+      let fa = flatten (section_members a) and fb = flatten (section_members b) in
+      let common =
+        List.filter_map
+          (fun (path, va) ->
+            match List.assoc_opt path fb with
+            | Some vb -> Some (path, va, vb)
+            | None -> None)
+          fa
+      in
+      common_paths := !common_paths + List.length common;
+      let changed = List.filter (fun (_, va, vb) -> va <> vb) common in
+      if changed <> [] then begin
+        out "";
+        out "== sections ==";
+        out "  %-42s %14s %14s %14s %9s" "metric" "a" "b" "delta" "rel";
+        List.iter
+          (fun (path, va, vb) ->
+            let delta = vb -. va in
+            let rel =
+              if va = 0. then (if vb = 0. then 0. else Float.infinity)
+              else 100. *. delta /. Float.abs va
+            in
+            out "  %-42s %14s %14s %14s %9s" path (fnum va) (fnum vb)
+              (signed delta)
+              (if Float.is_finite rel then Printf.sprintf "%+.1f%%" rel
+               else "new");
+            let w = worsening path va vb in
+            if w > 0.0005 then
+              regressions :=
+                {
+                  rg_run = "sections";
+                  rg_path = path;
+                  rg_a = va;
+                  rg_b = vb;
+                  rg_worse = w;
+                }
+                :: !regressions)
+          changed
+      end;
       (* Top-k regressions, ranked by relative worsening; deterministic
          tie-break on (run, path). *)
       let ranked =

@@ -47,7 +47,13 @@ let jsonl_entry b (e : Journal.entry) =
       Printf.bprintf b ",\"name\":\"%s\"" (escape name)
   | Journal.Point p ->
       common "point";
-      Printf.bprintf b ",\"name\":\"%s\"" (Journal.point_name p));
+      Printf.bprintf b ",\"name\":\"%s\"" (Journal.point_name p)
+  | Journal.Req_begin (kind, id) ->
+      common "req-begin";
+      Printf.bprintf b ",\"name\":\"%s\",\"trace\":%d" (escape kind) id
+  | Journal.Req_end (cls, id) ->
+      common "req-end";
+      Printf.bprintf b ",\"name\":\"%s\",\"trace\":%d" (escape cls) id);
   Buffer.add_string b "}\n"
 
 let to_jsonl (r : Journal.record) =
@@ -61,10 +67,13 @@ let to_jsonl (r : Journal.record) =
 (* Critical sections are reconstructed as spans from the paired
    [Critical_enter]/[Critical_exit] checkpoints; [Probe.span_begin]/
    [span_end] map to "B"/"E" directly. A per-thread stack of open spans
-   keeps the output well-formed: unmatched ends are dropped, spans still
-   open when the trace ends are closed at the final timestamp (a thread
-   crashed by fault injection inside its critical section shows exactly
-   that). *)
+   keeps the output well-formed: unmatched ends are dropped. A thread
+   killed by a [crash] fault journals [Instant ("thread.crash", None)]
+   at its death timestamp, and its open spans are closed right there
+   with a [crashed:true] arg — the span visibly ends where the thread
+   died, instead of being silently stretched to the end of the trace.
+   Spans still open at EOF (the run simply ended) close at the final
+   timestamp, as before. *)
 
 let crit = "critical-section"
 
@@ -115,15 +124,46 @@ let to_chrome (r : Journal.record) =
             ~args:(Printf.sprintf "{\"value\":%d}" v)
             ()
       | Journal.Instant (name, arg) ->
-          let args =
-            Option.map (fun v -> Printf.sprintf "{\"value\":%d}" v) arg
-          in
-          ev ~name ~ph:"i" ~ts:e.at ~tid:e.tid ?args ()
+          if String.equal name "thread.crash" then begin
+            (* close the dead thread's spans at its death timestamp *)
+            (match Hashtbl.find_opt open_spans e.tid with
+            | Some stack ->
+                Hashtbl.remove open_spans e.tid;
+                List.iter
+                  (fun n ->
+                    ev ~name:n ~ph:"E" ~ts:e.at ~tid:e.tid
+                      ~args:"{\"crashed\":true}" ())
+                  stack
+            | None -> ());
+            ev ~name ~ph:"i" ~ts:e.at ~tid:e.tid ()
+          end
+          else
+            let args =
+              Option.map (fun v -> Printf.sprintf "{\"value\":%d}" v) arg
+            in
+            ev ~name ~ph:"i" ~ts:e.at ~tid:e.tid ?args ()
       | Journal.Span_begin name -> span_open e.tid name e.at
       | Journal.Span_end name -> span_close e.tid name e.at
       | Journal.Point Rt.Rt_intf.Critical_enter -> span_open e.tid crit e.at
       | Journal.Point Rt.Rt_intf.Critical_exit -> span_close e.tid crit e.at
-      | Journal.Point p -> ev ~name:(Journal.point_name p) ~ph:"i" ~ts:e.at ~tid:e.tid ())
+      | Journal.Point p -> ev ~name:(Journal.point_name p) ~ph:"i" ~ts:e.at ~tid:e.tid ()
+      | Journal.Req_begin (kind, id) ->
+          ev ~name:("req:" ^ kind) ~ph:"B" ~ts:e.at ~tid:e.tid
+            ~args:(Printf.sprintf "{\"trace\":%d}" id)
+            ();
+          Hashtbl.replace open_spans e.tid
+            (("req:" ^ kind)
+            :: Option.value ~default:[] (Hashtbl.find_opt open_spans e.tid))
+      | Journal.Req_end (_, _) -> (
+          (* the span opened by [Req_begin] — named for the request kind,
+             which the end's class may legitimately differ from *)
+          match Hashtbl.find_opt open_spans e.tid with
+          | Some (top :: rest)
+            when String.length top > 4 && String.equal (String.sub top 0 4) "req:"
+            ->
+              Hashtbl.replace open_spans e.tid rest;
+              ev ~name:top ~ph:"E" ~ts:e.at ~tid:e.tid ()
+          | _ -> ()))
     r.entries;
   (* Close whatever is still open, deterministically (ascending tid). *)
   Hashtbl.fold (fun tid stack acc -> (tid, stack) :: acc) open_spans []

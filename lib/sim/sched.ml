@@ -1163,7 +1163,14 @@ let run ?(quantum = default_quantum) ?(ops_target = 0)
             | Crashed ->
                 (* Killed by fault injection: the thread is gone but the
                    simulation is not. Shared state is left exactly as the
-                   thread last wrote it — held locks stay held. *)
+                   thread last wrote it — held locks stay held. The death
+                   is journaled at the thread's clock so trace exporters
+                   and analyzers close its open spans and in-flight
+                   request at the right timestamp instead of carrying
+                   them to end of trace; recording-gated, so untraced
+                   (and crash-free) runs emit nothing. *)
+                if Obs.Journal.recording () then
+                  obs_emit (Obs.Journal.Instant ("thread.crash", None));
                 th.crashed <- true;
                 th.finished <- true;
                 s.live <- s.live - 1

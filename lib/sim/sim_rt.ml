@@ -200,6 +200,19 @@ module Probe = struct
         Hashtbl.fold (fun name _ acc -> name :: acc) counters [])
     |> List.sort String.compare
 
+  (** Every registered probe as [(name, kind)] with kind ["counter"] or
+      ["histogram"], sorted by name then kind. The single source of truth
+      for probe listings: the [optik_bench probes] subcommand prints it
+      and the report probe-name audit iterates it, so a probe that
+      escapes the [<rep>.<metric>] convention fails both the same way. *)
+  let all () =
+    Mutex.protect reg_mutex (fun () ->
+        let cs =
+          Hashtbl.fold (fun name _ acc -> (name, "counter") :: acc) counters []
+        in
+        Hashtbl.fold (fun name _ acc -> (name, "histogram") :: acc) histograms cs)
+    |> List.sort compare
+
   (** Alias with the fleet-reset naming convention: probe cells are
       per-domain, so resetting them is all a world reset needs. *)
   let reset_world = reset_all

@@ -36,6 +36,14 @@
 
 module type SET_OPS = Dstruct.Dstruct_intf.SET_OPS
 
+(* Phase-span names for the trace contract ({!Obs.Tracectx}),
+   precomputed so a span's recording-off cost is one flag load — no
+   concatenation, no allocation (PR 4 discipline). *)
+let ph_acquire = Obs.Tracectx.(span_name Acquire)
+let ph_validate = Obs.Tracectx.(span_name Validate)
+let ph_commit = Obs.Tracectx.(span_name Commit)
+let ph_backoff = Obs.Tracectx.(span_name Backoff)
+
 module Make (Rt : Rt.Rt_intf.RT) = struct
   type policy =
     | Optimistic  (** the real protocol *)
@@ -223,7 +231,10 @@ module Make (Rt : Rt.Rt_intf.RT) = struct
           | Some tok -> acquire ((h, tok) :: held) rest
           | None -> Error held)
     in
-    match acquire [] (lock_set ws) with
+    Rt.Probe.span_begin ph_acquire;
+    let acquired = acquire [] (lock_set ws) in
+    Rt.Probe.span_end ph_acquire;
+    match acquired with
     | Error held ->
         release_revert held;
         Rt.Probe.incr t.c_vfail_lock;
@@ -243,11 +254,13 @@ module Make (Rt : Rt.Rt_intf.RT) = struct
               tok_at_acquire = r.r_tok
           | None -> r.r_handle.Locks.Handle.check r.r_tok
         in
+        Rt.Probe.span_begin ph_validate;
         let valid =
           match t.policy with
           | Broken_commit -> true
           | Optimistic -> List.for_all read_ok ctx.reads
         in
+        Rt.Probe.span_end ph_validate;
         if not valid then begin
           release_revert held;
           Rt.Probe.incr t.c_vfail_read;
@@ -255,10 +268,12 @@ module Make (Rt : Rt.Rt_intf.RT) = struct
           None
         end
         else begin
+          Rt.Probe.span_begin ph_commit;
           List.iter (fun w -> obj_write w.w_obj w.w_key w.w_val) ws;
           let ticket = Rt.faa t.clock 1 in
           List.iter (fun ((h : Locks.Handle.t), _) -> h.commit ()) held;
           Rt.Probe.incr t.c_commits;
+          Rt.Probe.span_end ph_commit;
           Some ticket
         end
 
@@ -270,7 +285,10 @@ module Make (Rt : Rt.Rt_intf.RT) = struct
       match try_commit t ctx with
       | Some ticket -> (x, ticket)
       | None ->
+          Rt.Probe.event Obs.Tracectx.ev_retry;
+          Rt.Probe.span_begin ph_backoff;
           t.backoff attempt;
+          Rt.Probe.span_end ph_backoff;
           go (attempt + 1)
     in
     go 0
@@ -292,7 +310,9 @@ module Make (Rt : Rt.Rt_intf.RT) = struct
       end
       else begin
         Rt.Probe.incr t.c_snap_retries;
+        Rt.Probe.span_begin ph_backoff;
         t.backoff attempt;
+        Rt.Probe.span_end ph_backoff;
         go (attempt + 1)
       end
     in
@@ -533,8 +553,21 @@ module Workload = struct
     while not (Sim.Sched.stop_requested ()) do
       let t0 = Sim.Sched.now () in
       Sim.Sim_rt.on_fault Rt.Rt_intf.Op_boundary;
+      (* Hoisted so the request kind is known for [Req_begin] without
+         perturbing the sampling sequence. Id 0 = untraced sentinel. *)
+      let is_transfer = Harness.Rng.below rng 100 < cfg.transfer_pct in
+      let trace_id =
+        if Obs.Journal.recording () then begin
+          let id = Obs.Tracectx.next_id () in
+          Sim.Sched.obs_emit
+            (Obs.Journal.Req_begin
+               ((if is_transfer then "transfer" else "audit"), id));
+          id
+        end
+        else 0
+      in
       let cls =
-        if Harness.Rng.below rng 100 < cfg.transfer_pct then begin
+        if is_transfer then begin
           let o1, k1 = pick_slot () in
           let rec pick_dst () =
             let o2, k2 = pick_slot () in
@@ -582,6 +615,8 @@ module Workload = struct
           class_audit
         end
       in
+      if trace_id <> 0 && Obs.Journal.recording () then
+        Sim.Sched.obs_emit (Obs.Journal.Req_end (lat_classes.(cls), trace_id));
       Harness.Pstats.record lat.(cls) (Sim.Sched.now () - t0);
       Sim.Sched.tick ()
     done
@@ -596,6 +631,9 @@ module Workload = struct
     res_vfail_read : int;
     res_snapshots : int;
     res_snap_retries : int;
+    res_trace : Obs.Journal.record option;
+        (** the raw journal when [run ~record_obs:true]; feeds
+            {!Obs.Attrib} and the trace exporters *)
   }
 
   let make_objects cfg (m : (module SET_OPS)) =
@@ -607,7 +645,8 @@ module Workload = struct
         done;
         T.obj (module S) st)
 
-  let run (cfg : config) : Harness.Runner.measurement * result =
+  let run ?(record_obs = false) (cfg : config) :
+      Harness.Runner.measurement * result =
     if cfg.objects < 1 || cfg.accounts < 1 || cfg.objects * cfg.accounts < 2
     then invalid_arg "Txn.Workload: need at least two account slots";
     Dstruct.Sl_common.reset_states ();
@@ -628,12 +667,16 @@ module Workload = struct
               Harness.Pstats.create ()))
     in
     let host0 = Unix.gettimeofday () in
+    (* Recording brackets the measured run only; the record comes back
+       raw (in [res_trace]) for attribution and the trace exporters. *)
+    if record_obs then Obs.Journal.start ();
     let stats, outcome =
       Harness.Runner.run_guarded
         ~faults:(Sim.Fault.plan ~seed:cfg.seed [])
         ~topology:cfg.topo ~nthreads:cfg.threads ~ops_target:cfg.ops
         (fun tid -> client cfg objs mgr log lat.(tid) tid)
     in
+    let trace = if record_obs then Some (Obs.Journal.stop ()) else None in
     let host_s = Float.max 1e-9 (Unix.gettimeofday () -. host0) in
     let oracle =
       check_serializable cfg (Harness.History.Log.all log) objs
@@ -671,7 +714,7 @@ module Workload = struct
         final_size = Array.fold_left (fun a ob -> a + T.obj_size ob) 0 objs;
         valid = Array.for_all T.obj_validate objs;
         outcome;
-        obs = None;
+        obs = Option.map Obs.Profile.summarize trace;
       }
     in
     let result =
@@ -683,6 +726,7 @@ module Workload = struct
         res_vfail_read = Probe.count mgr.T.c_vfail_read;
         res_snapshots = Probe.count mgr.T.c_snapshots;
         res_snap_retries = Probe.count mgr.T.c_snap_retries;
+        res_trace = trace;
       }
     in
     (m, result)

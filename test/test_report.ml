@@ -374,9 +374,13 @@ let test_optik_reps_instrumented () =
   some_prefixed "skiplists" SB.skiplists;
   some_prefixed "bsts" SB.bsts
 
+(* Iterates [Probe.all] — the same registry rows the [optik_bench probes]
+   subcommand prints — so a probe that escapes the naming convention
+   fails this audit and that listing identically. Covers histograms too:
+   their names feed the same report paths. *)
 let test_counter_naming_convention () =
   List.iter
-    (fun name ->
+    (fun (name, _kind) ->
       match J.split_counter name with
       | Some (prefix, _) ->
           (* Transaction-layer counters must live under the [txn.]
@@ -388,7 +392,7 @@ let test_counter_naming_convention () =
       | None ->
           Alcotest.failf "counter %S violates the <rep>.<metric> convention"
             name)
-    (Sim.Sim_rt.Probe.counter_names ())
+    (Sim.Sim_rt.Probe.all ())
 
 (* The transaction manager's counters: registered the moment a manager
    exists, all six under [txn.], and classified by the wasted-work
